@@ -1,0 +1,184 @@
+"""Ablation benchmarks for the design choices DESIGN.md §4 calls out.
+
+Each ablation perturbs one modelling decision and checks the direction
+and rough magnitude of its effect on the design-space landmarks:
+
+* sync bits per subsector (the §III.B.2 "3 bits" assumption),
+* ECC overhead ratio (1/8 vs the disk's 1/10 vs none),
+* best-effort fraction (the §IV.A 5% tax and the DESIGN.md §4.3
+  convention that makes the Figure 3a wall land "slightly above
+  1000 kbps"),
+* probe wear factor (literal Equation (6) vs the write-verify variant,
+  DESIGN.md §4.5),
+* playback hours per day (Table I's 8 h).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.config import (
+    DesignGoal,
+    WorkloadConfig,
+    ibm_mems_prototype,
+    table1_workload,
+)
+from repro.core.capacity import CapacityModel
+from repro.core.design_space import DesignSpaceExplorer
+from repro.core.lifetime import ProbesModel
+
+from conftest import run_once
+
+GOAL_80 = DesignGoal(energy_saving=0.80)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_sync_bits(benchmark):
+    """More sync bits per subsector push the capacity plateau right."""
+
+    def capacity_plateaus():
+        results = {}
+        for sync_bits in (0, 3, 6, 12):
+            device = ibm_mems_prototype().replace(
+                sync_bits_per_subsector=sync_bits
+            )
+            model = CapacityModel(device)
+            results[sync_bits] = model.min_buffer_for_utilisation(0.88)
+        return results
+
+    plateaus = run_once(benchmark, capacity_plateaus)
+    print()
+    print("min buffer (bits) for 88% vs sync bits:", plateaus)
+    assert plateaus[3] > plateaus[0]
+    assert plateaus[6] > plateaus[3]
+    assert plateaus[12] > plateaus[6]
+    # The requirement scales linearly with the per-subsector tax.
+    assert plateaus[6] == pytest.approx(2 * plateaus[3], rel=0.01)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_ecc_ratio(benchmark):
+    """The ECC ratio sets the utilisation supremum: 8/9, 10/11, 1."""
+
+    def suprema():
+        results = {}
+        for numerator, denominator in ((1, 8), (1, 10), (0, 1)):
+            device = ibm_mems_prototype().replace(
+                ecc_numerator=numerator, ecc_denominator=denominator
+            )
+            results[(numerator, denominator)] = CapacityModel(
+                device
+            ).utilisation_supremum
+        return results
+
+    results = run_once(benchmark, suprema)
+    print()
+    print("utilisation supremum vs ECC ratio:", results)
+    assert results[(1, 8)] == pytest.approx(8 / 9)
+    assert results[(1, 10)] == pytest.approx(10 / 11)
+    assert results[(0, 1)] == 1.0
+    # The paper's 88% goal is only *just* feasible under 1/8 ECC.
+    assert results[(1, 8)] - 0.88 < 0.01
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_best_effort_moves_energy_wall(benchmark):
+    """The 5% best-effort tax positions the Figure 3a wall."""
+
+    def walls():
+        results = {}
+        for fraction in (0.0, 0.05, 0.10):
+            workload = table1_workload().replace(
+                best_effort_fraction=fraction
+            )
+            explorer = DesignSpaceExplorer(ibm_mems_prototype(), workload)
+            results[fraction] = explorer.energy_wall_rate(GOAL_80)
+        return results
+
+    results = run_once(benchmark, walls)
+    print()
+    print("80%-goal energy wall (bit/s) vs best-effort fraction:", results)
+    # Without the tax the 80% goal never walls inside the studied range.
+    assert math.isinf(results[0.0])
+    # With Table I's 5% the wall lands slightly above 1000 kbps.
+    assert 1.0e6 <= results[0.05] <= 1.5e6
+    # A heavier tax pulls the wall further left.
+    assert results[0.10] < results[0.05]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_probe_wear_factor(benchmark):
+    """Literal Eq. (6) vs write-verify: the Figure 3b wall position."""
+
+    def walls():
+        results = {}
+        for wear in (1.0, 2.0):
+            device = ibm_mems_prototype(probe_wear_factor=wear)
+            probes = ProbesModel(device, table1_workload())
+            results[wear] = probes.max_rate_for_lifetime(7.0)
+        return results
+
+    results = run_once(benchmark, walls)
+    print()
+    print("probes wall (bit/s) vs wear factor:", results)
+    # Literal Equation (6): ~2.9 Mbps; write-verify: ~1.45 Mbps — the
+    # paper's narrated "around 1500 kbps" (DESIGN.md §4.5).
+    assert results[1.0] == pytest.approx(2.899e6, rel=0.01)
+    assert results[2.0] == pytest.approx(1.45e6, rel=0.01)
+    assert results[1.0] == pytest.approx(2 * results[2.0], rel=1e-9)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_hours_per_day(benchmark):
+    """Springs-driven buffer scales with daily playback hours."""
+
+    def buffers():
+        results = {}
+        for hours in (4.0, 8.0, 16.0):
+            workload = WorkloadConfig(hours_per_day=hours)
+            explorer = DesignSpaceExplorer(ibm_mems_prototype(), workload)
+            requirement = explorer.dimensioner.dimension(
+                DesignGoal(energy_saving=0.70), 1_024_000.0
+            )
+            results[hours] = requirement.required_buffer_bits
+        return results
+
+    results = run_once(benchmark, buffers)
+    print()
+    print("required buffer (bits) vs hours/day:", results)
+    # Springs-dominated at this operating point: linear in T.
+    assert results[8.0] == pytest.approx(2 * results[4.0], rel=0.01)
+    assert results[16.0] == pytest.approx(2 * results[8.0], rel=0.01)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_sensitivity_sweep(benchmark):
+    """The full OAT sensitivity study runs and keeps its directions."""
+
+    def study():
+        return sensitivity_analysis(
+            ibm_mems_prototype(),
+            table1_workload(),
+            goal=DesignGoal(energy_saving=0.70),
+            factors=(0.5, 2.0),
+        )
+
+    baseline, results = run_once(benchmark, study)
+    print()
+    from repro.analysis.sensitivity import sensitivity_table
+
+    print(sensitivity_table(baseline, results).render())
+    by_knob = {(r.knob, r.factor): r for r in results}
+    # Doubling standby power raises the break-even buffer.
+    assert by_knob[("standby_power_w", 2.0)].break_even_bits > (
+        baseline.break_even_bits
+    )
+    # Doubling the springs rating halves the (springs-bound) buffer.
+    assert by_knob[
+        ("springs_duty_cycles", 2.0)
+    ].required_buffer_bits == pytest.approx(
+        baseline.required_buffer_bits / 2, rel=0.01
+    )

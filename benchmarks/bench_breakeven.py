@@ -1,0 +1,37 @@
+"""Benchmark ``breakeven``: §III.A.1 break-even buffers, MEMS vs disk.
+
+Paper rows reproduced:
+
+* MEMS break-even 0.07 - 8.87 kB over 32-4096 kbps,
+* 1.8-inch disk 0.08 - 9.29 MB over the same range,
+* "a difference of three orders of magnitude".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.breakeven import run as run_breakeven
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="breakeven")
+def test_breakeven_ranges(benchmark):
+    result = run_once(benchmark, run_breakeven)
+    print()
+    print(result.render())
+    headline = result.headline
+    assert headline["mems_break_even_min_kb"] == pytest.approx(0.07, rel=0.02)
+    assert headline["mems_break_even_max_kb"] == pytest.approx(8.87, rel=0.01)
+    assert headline["disk_break_even_min_mb"] == pytest.approx(0.073, rel=0.02)
+    assert headline["disk_break_even_max_mb"] == pytest.approx(9.29, rel=0.01)
+    assert headline["orders_of_magnitude"] == pytest.approx(3.0, abs=0.1)
+
+
+@pytest.mark.benchmark(group="breakeven")
+def test_breakeven_ratio_constant_across_rates(benchmark):
+    """The disk/MEMS ratio holds at every rate of the Table I grid."""
+    result = run_once(benchmark, run_breakeven)
+    ratios = result.tables[0].column("disk/MEMS")
+    assert all(900 <= ratio <= 1200 for ratio in ratios)

@@ -1,0 +1,41 @@
+"""Benchmark ``capacity-example``: §III.B capacity utilisation.
+
+Paper rows reproduced: utilisation tops at ~88% (~106 GB of 120 GB);
+the curve saturates beyond ~7 kB sectors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.capacity_example import run as run_capacity
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="capacity")
+def test_capacity_example(benchmark):
+    result = run_once(benchmark, run_capacity)
+    print()
+    print(result.render())
+    headline = result.headline
+    assert headline["utilisation_supremum"] == pytest.approx(8 / 9)
+    assert headline["user_capacity_gb_at_88pct"] == pytest.approx(
+        106, rel=0.01
+    )
+    assert 30 <= headline["buffer_for_88pct_kb"] <= 40
+
+
+@pytest.mark.benchmark(group="capacity")
+def test_capacity_curve_saturates(benchmark):
+    """Beyond ~7 kB the utilisation gain per doubling collapses."""
+    result = run_once(benchmark, run_capacity)
+    curve = result.tables[0]
+    buffers = curve.column("buffer (kB)")
+    utilisation = curve.column("utilisation")
+    by_size = dict(zip(buffers, utilisation))
+    early_gain = by_size[4] - by_size[2]     # 2 -> 4 kB
+    late_gain = by_size[20] - by_size[10]    # 10 -> 20 kB
+    assert late_gain < 0.3 * early_gain
+    # Monotone non-decreasing when the best format <= cap is chosen.
+    assert all(a <= b + 1e-12 for a, b in zip(utilisation, utilisation[1:]))

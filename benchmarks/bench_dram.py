@@ -1,0 +1,31 @@
+"""Benchmark ``dram-negligible``: §IV.A's DRAM energy verdict."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.dram_exp import run as run_dram
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="dram")
+def test_dram_negligible(benchmark):
+    result = run_once(benchmark, run_dram)
+    print()
+    print(result.render())
+    # "Present but negligible": under a quarter of the system total at
+    # every plotted buffer size, and a few percent at the break-even end.
+    assert result.headline["max_dram_share"] < 0.25
+    shares = result.tables[0].column("DRAM share")
+    assert shares[0] < 0.05
+
+
+@pytest.mark.benchmark(group="dram")
+def test_dram_share_stays_bounded(benchmark):
+    result = run_once(benchmark, run_dram)
+    shares = result.tables[0].column("DRAM share")
+    # The device's overhead term dominates at small buffers; as it decays
+    # the DRAM share grows but stays a minor contributor.
+    assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+    assert shares[-1] < 0.25

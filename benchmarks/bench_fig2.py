@@ -1,0 +1,96 @@
+"""Benchmarks ``fig2a``/``fig2b``: buffering influence at 1024 kbps.
+
+Shape claims asserted against the regenerated series:
+
+* per-bit energy falls monotonically and shows diminishing returns
+  beyond ~20 kB (Figure 2a),
+* capacity saturates beyond ~7 kB (Figure 2a),
+* springs lifetime is linear in the buffer; ~90 kB buys 7 years; the
+  plotted range tops out near 4 years (Figure 2b),
+* probes lifetime follows the capacity trend and saturates (Figure 2b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2a, run_fig2b
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a(benchmark):
+    result = run_once(benchmark, run_fig2a)
+    print()
+    print(result.render())
+    headline = result.headline
+
+    energy = result.tables[0].column("energy (nJ/b)")
+    assert all(a > b for a, b in zip(energy, energy[1:]))  # monotone drop
+    assert 110 <= headline["energy_at_break_even_nj"] <= 140
+    assert headline["energy_at_20x_nj"] < energy[0] / 4
+
+    # Diminishing returns beyond 20 kB.
+    first_drop = (
+        headline["energy_at_break_even_nj"] - headline["energy_at_20kb_nj"]
+    )
+    second_drop = (
+        headline["energy_at_20kb_nj"] - headline["energy_at_40kb_nj"]
+    )
+    assert second_drop < 0.1 * first_drop
+
+    # Capacity saturates beyond 7 kB; the curve ends near the 88% top.
+    assert headline["utilisation_at_7kb"] > 0.95 * (
+        headline["utilisation_supremum"]
+    )
+    assert headline["capacity_at_max_buffer_gb"] == pytest.approx(
+        106, rel=0.02
+    )
+
+    # DRAM energy present but negligible on this axis (§IV.A).
+    assert headline["dram_max_nj"] < 10
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b(benchmark):
+    result = run_once(benchmark, run_fig2b)
+    print()
+    print(result.render())
+    headline = result.headline
+
+    # Springs at 1e8 limit lifetime to ~4 years in the plotted range.
+    assert 3.0 <= headline["springs_at_range_end_years"] <= 4.5
+    # ~90 kB buys the 7-year target.
+    assert headline["buffer_for_7yr_springs_kb"] == pytest.approx(90, rel=0.1)
+    assert headline["springs_at_90kb_years"] == pytest.approx(7, rel=0.1)
+
+    springs = result.tables[0].column("springs (years)")
+    probes = result.tables[0].column("probes (years)")
+    buffers = result.tables[0].column("buffer (kB)")
+
+    # Springs linear in the buffer.
+    assert springs[-1] / springs[0] == pytest.approx(
+        buffers[-1] / buffers[0], rel=1e-6
+    )
+    # Probes follow the capacity trend: rising towards the ceiling, with
+    # the utilisation saw-tooth (the ceilings of Equation 2) allowed.
+    assert all(b >= 0.95 * a for a, b in zip(probes, probes[1:]))
+    assert probes[-1] > probes[0]
+    assert probes[-1] > 0.9 * headline["probes_ceiling_years"]
+    # In the plotted range the springs are the binding component.
+    assert all(s < p for s, p in zip(springs, probes))
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_lifetime_anchor_20kb_vs_90kb(benchmark):
+    """§IV.B text: energy is satisfied by ~20 kB but 7 years needs ~90 kB."""
+    result = run_once(benchmark, run_fig2b)
+    springs = dict(
+        zip(
+            result.tables[0].column("buffer (kB)"),
+            result.tables[0].column("springs (years)"),
+        )
+    )
+    below_20 = [years for kb, years in springs.items() if kb <= 20]
+    assert all(years < 2 for years in below_20)

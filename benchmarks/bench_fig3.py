@@ -1,0 +1,97 @@
+"""Benchmarks ``fig3a``/``fig3b``/``fig3c`` (+ the §IV.C C=85% variant).
+
+Shape claims asserted per panel:
+
+* 3a: regions C -> E -> X; capacity plateau ~34 kB; the 80% goal's wall
+  "slightly above 1000 kbps"; buffer diverges approaching the wall.
+* 3b: regions C -> Lsp -> (Lpb spike) -> X; energy never dictates; the
+  required buffer sits 1-2 orders of magnitude above the
+  energy-efficiency buffer; the wall is the probes limit.
+* 3c: regions C -> E only; feasible across the whole range; lifetime
+  disappears with silicon springs and 200-cycle probes.
+* C=85%: the capacity-dominated range shrinks and lifetime appears
+  before energy takes over.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.fig3 import (
+    run_fig3_c85,
+    run_fig3a,
+    run_fig3b,
+    run_fig3c,
+)
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3a(benchmark):
+    result = run_once(benchmark, run_fig3a)
+    print()
+    print(result.render())
+    headline = result.headline
+    assert headline["region_sequence"] == ["C", "E", "X"]
+    assert 1_000 <= headline["energy_wall_kbps"] <= 1_500
+    assert headline["buffer_at_min_rate_kb"] == pytest.approx(33.8, rel=0.02)
+    # Required buffer diverges towards the wall: the last feasible sample
+    # sits orders of magnitude above the capacity plateau.
+    rows = result.tables[0].rows
+    feasible_buffers = [row[1] for row in rows if math.isfinite(row[1])]
+    assert feasible_buffers[-1] > 20 * feasible_buffers[0]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3b(benchmark):
+    result = run_once(benchmark, run_fig3b)
+    print()
+    print(result.render())
+    headline = result.headline
+    sequence = headline["region_sequence"]
+    assert sequence[0] == "C"
+    assert "Lsp" in sequence
+    assert "E" not in sequence
+    assert sequence[-1] == "X"
+    # Probes wall (literal Equation 6; see DESIGN.md §4.5 for the
+    # write-verify calibration matching the paper's 1500 kbps prose).
+    assert headline["probes_wall_kbps"] == pytest.approx(2899, rel=0.02)
+    assert headline["max_feasible_rate_kbps"] <= headline["probes_wall_kbps"]
+
+    # 1-2 orders of magnitude between required and energy-efficiency
+    # buffers across the springs-dominated range.
+    rows = [
+        row for row in result.tables[0].rows
+        if row[3] == "Lsp" and math.isfinite(row[2])
+    ]
+    assert rows, "springs-dominated region missing"
+    for row in rows:
+        ratio = row[1] / row[2]
+        assert 3 <= ratio <= 300
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3c(benchmark):
+    result = run_once(benchmark, run_fig3c)
+    print()
+    print(result.render())
+    headline = result.headline
+    assert headline["region_sequence"] == ["C", "E"]
+    assert math.isinf(headline["energy_wall_kbps"])
+    assert headline["max_feasible_rate_kbps"] == pytest.approx(4096, rel=0.01)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_c85_variant(benchmark):
+    result = run_once(benchmark, run_fig3_c85)
+    print()
+    print(result.render())
+    sequence = result.headline["region_sequence"]
+    assert sequence[0] == "C"
+    assert "Lsp" in sequence and "E" in sequence
+    assert sequence.index("Lsp") < sequence.index("E")
+    # The capacity plateau is much lower at 85% (~7.5 kB vs ~34 kB).
+    assert result.headline["buffer_at_min_rate_kb"] < 10

@@ -1,0 +1,46 @@
+"""Benchmark the §IV.C energy-for-buffer frontier.
+
+Quantifies the paper's closing argument at 1024 kbps: the frontier is
+flat (springs-priced) up to ~75% saving, turns upward, and diverges at
+the operating point's maximum (~80.6%) — so a designer should sit at
+the knee rather than chase the last few percent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ibm_mems_prototype, table1_workload
+from repro.core.dimensioning import Constraint
+from repro.core.pareto import energy_buffer_frontier
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="pareto")
+def test_energy_buffer_frontier(benchmark):
+    frontier = run_once(
+        benchmark,
+        energy_buffer_frontier,
+        ibm_mems_prototype(),
+        table1_workload(),
+    )
+    print()
+    print(
+        f"floor {frontier.floor_bits / 8000:.1f} kB, "
+        f"max saving {frontier.max_saving:.2%}, "
+        f"knee at {frontier.knee_point().energy_saving:.2%}"
+    )
+    # Flat floor priced by the springs.
+    feasible = [p for p in frontier.points if p.feasible]
+    assert feasible[0].dominant is Constraint.SPRINGS
+    # 70% rides the floor; the wall sits just above 80%.
+    assert frontier.buffer_for(0.70) == pytest.approx(
+        frontier.floor_bits, rel=1e-6
+    )
+    assert 0.79 < frontier.max_saving < 0.82
+    # Diverging cost near the wall.
+    assert frontier.buffer_for(0.805) > 20 * frontier.floor_bits
+    # The computed knee lands between the paper's two sampled goals.
+    knee = frontier.knee_point(cost_factor=3.0)
+    assert 0.70 <= knee.energy_saving <= frontier.max_saving

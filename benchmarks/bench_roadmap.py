@@ -1,0 +1,77 @@
+"""Roadmap benchmark: the paper's conclusion, explored forward.
+
+"We explored MEMS design space and showed that enhancement in probes
+lifetime is essentially needed."  This bench sweeps the named
+technology points of :data:`repro.devices.scaling.ROADMAP` through the
+(E=70%, C=88%, L=7) goal and checks the conclusion quantitatively:
+
+* tougher tips are the *only* knob that moves the probes wall,
+* silicon springs shrink the required buffer but leave the wall alone,
+* faster channels make the *capacity* goal proportionally more
+  expensive (more sync bits per subsector for the same 30 µs window).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import DesignGoal, table1_workload
+from repro.core.design_space import DesignSpaceExplorer
+from repro.devices.scaling import ROADMAP, TechnologyPoint, scale_table1_device
+
+from conftest import run_once
+
+GOAL = DesignGoal(energy_saving=0.70, capacity_utilisation=0.88,
+                  lifetime_years=7.0)
+
+
+def _roadmap_summary():
+    workload = table1_workload()
+    summary = {}
+    for point in ROADMAP:
+        device = scale_table1_device(point)
+        explorer = DesignSpaceExplorer(device, workload,
+                                       points_per_decade=8)
+        requirement = explorer.dimensioner.dimension(GOAL, 1_024_000.0)
+        summary[point.name] = {
+            "probes_wall_bps": explorer.probes_wall_rate(GOAL),
+            "buffer_bits": requirement.required_buffer_bits,
+            "dominant": (
+                requirement.dominant.value if requirement.feasible else "X"
+            ),
+        }
+    return summary
+
+
+@pytest.mark.benchmark(group="roadmap")
+def test_technology_roadmap(benchmark):
+    summary = run_once(benchmark, _roadmap_summary)
+    print()
+    for name, row in summary.items():
+        wall = row["probes_wall_bps"]
+        wall_text = f"{wall / 1000:.0f} kbps" if math.isfinite(wall) else "-"
+        print(
+            f"{name:38s} probes wall {wall_text:>11s}  "
+            f"buffer {row['buffer_bits'] / 8000:8.1f} kB  ({row['dominant']})"
+        )
+    base = summary["Table I prototype"]
+
+    # The paper's conclusion: only probe endurance moves the probes wall.
+    tough = summary["tougher tips (2x endurance)"]
+    assert tough["probes_wall_bps"] == pytest.approx(
+        2 * base["probes_wall_bps"], rel=0.01
+    )
+    springs = summary["silicon springs"]
+    assert springs["probes_wall_bps"] == pytest.approx(
+        base["probes_wall_bps"], rel=0.01
+    )
+    # Silicon springs shrink the 1024 kbps buffer (springs-dominated at
+    # the Table I point) down to the capacity plateau.
+    assert springs["buffer_bits"] < 0.5 * base["buffer_bits"]
+    assert springs["dominant"] == "C"
+
+    # Faster channels inflate the capacity-driven buffer ~4x.
+    fast = summary["fast channels (4x per-probe rate)"]
+    assert fast["buffer_bits"] > 2 * springs["buffer_bits"]

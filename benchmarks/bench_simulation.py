@@ -1,0 +1,69 @@
+"""Benchmarks for the DES substrate: model agreement and throughput.
+
+* ``sim-validate``: the executable Figure 1b pipeline agrees with
+  Equation (1) on a 3x3 operating grid (DESIGN.md §4.8),
+* engine throughput: events processed per second (kernel health),
+* pipeline throughput: simulated refill cycles per wall-clock second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.core.energy import EnergyModel
+from repro.experiments.validation_exp import run as run_validation
+from repro.sim.engine import Environment
+from repro.streaming.pipeline import simulate_streaming
+
+from conftest import run_once_slow
+
+RATE = 1_024_000.0
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_sim_validate(benchmark):
+    """Model-vs-simulation agreement across the operating grid."""
+    result = run_once_slow(benchmark, run_validation, cycles_per_point=150)
+    print()
+    print(result.render())
+    assert result.headline["all_agree"]
+    assert result.headline["worst_energy_error"] < 0.01
+    assert result.headline["worst_cycle_error"] < 0.01
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_engine_event_throughput(benchmark):
+    """Raw kernel: chained timeouts, two concurrent processes."""
+
+    def run_events() -> float:
+        env = Environment()
+
+        def ticker(period):
+            for _ in range(5_000):
+                yield env.timeout(period)
+
+        env.process(ticker(1.0))
+        env.process(ticker(0.7))
+        env.run()
+        return env.now
+
+    final_time = benchmark(run_events)
+    assert final_time == pytest.approx(5_000.0)
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_pipeline_cycle_throughput(benchmark, device, workload):
+    """Simulated refill cycles per wall-clock second at 20 kB / 1024 kbps."""
+    buffer_bits = units.kb_to_bits(20)
+    model = EnergyModel(device, workload)
+    duration = 500 * model.cycle_time(buffer_bits, RATE)
+
+    def run_pipeline():
+        return simulate_streaming(
+            device, buffer_bits, RATE, duration, workload
+        )
+
+    report = run_once_slow(benchmark, run_pipeline)
+    assert report.refill_cycles == pytest.approx(500, abs=2)
+    assert report.underruns == 0

@@ -1,0 +1,29 @@
+"""Benchmark ``table1``: regenerate Table I and its derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run as run_table1
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark):
+    """Table I regenerates with the paper's derived constants."""
+    result = run_once(benchmark, run_table1)
+    print()
+    print(result.render())
+    headline = result.headline
+    # rm = 1024 probes x 100 kbps = 102.4 Mbps.
+    assert headline["transfer_rate_mbps"] == pytest.approx(102.4)
+    # toh = 3 ms, Eoh = 2.016 mJ at 672 mW.
+    assert headline["overhead_time_ms"] == pytest.approx(3.0)
+    assert headline["overhead_energy_mj"] == pytest.approx(2.016)
+    # T = 8 h/day over a year.
+    assert headline["playback_seconds_per_year"] == pytest.approx(1.0512e7)
+    # §I: "a small footprint (41 mm^2)".
+    assert headline["footprint_mm2"] == pytest.approx(41, rel=0.01)
+    # §I: "ultrahigh densities (> 1 Tb/in^2)".
+    assert headline["implied_density_tb_in2"] > 1.0

@@ -1,0 +1,35 @@
+"""Benchmark ``tradeoff10``: the abstract's headline claim.
+
+"Trading off 10% of the optimal energy saving of a MEMS device reduces
+its buffer capacity by up to three orders of magnitude."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tradeoff10 import run as run_tradeoff
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="tradeoff")
+def test_tradeoff_three_orders_of_magnitude(benchmark):
+    result = run_once(benchmark, run_tradeoff)
+    print()
+    print(result.render())
+    headline = result.headline
+    assert headline["max_orders_of_magnitude"] >= 3.0
+    # The peak sits just below the 80% goal's energy wall.
+    assert 1_000 <= headline["rate_of_max_ratio_kbps"] <= 1_400
+
+
+@pytest.mark.benchmark(group="tradeoff")
+def test_tradeoff_ratio_never_below_one(benchmark):
+    result = run_once(benchmark, run_tradeoff)
+    import math
+
+    for row in result.tables[0].rows:
+        ratio = row[3]
+        if math.isfinite(ratio):
+            assert ratio >= 1.0 - 1e-12

@@ -1,0 +1,33 @@
+"""Benchmark ``wear-balance``: the Equation (6) balance assumption.
+
+Asserts the experiment's story: streaming traffic is perfectly balanced
+without levelling hardware (the paper's assumption holds for its own
+workload), hot-spot traffic is not, and a one-register rotating remap
+recovers most of the lost lifetime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.wear_exp import run as run_wear
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="wear")
+def test_wear_balance(benchmark):
+    result = run_once(benchmark, run_wear)
+    print()
+    print(result.render())
+    headline = result.headline
+    # The paper's streaming workload satisfies the assumption (up to the
+    # partial final pass over the medium).
+    assert headline["streaming_direct_efficiency"] > 0.99
+    # A hot-spot workload without levelling forfeits most of the lifetime.
+    assert headline["hotspot_direct_efficiency"] < 0.4
+    # The rotating remap recovers a large share; greedy is near-perfect.
+    assert headline["hotspot_rotating_efficiency"] > 2 * (
+        headline["hotspot_direct_efficiency"]
+    )
+    assert headline["hotspot_least_worn_efficiency"] > 0.99

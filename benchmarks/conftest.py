@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite doubles as the figure-regeneration harness: each
+``bench_*`` module regenerates one paper artefact under pytest-benchmark
+timing and asserts the *shape* of the paper's claims (who wins, where
+crossovers fall, saturation points) on the produced numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import disk_18inch, ibm_mems_prototype, table1_workload
+
+
+@pytest.fixture(scope="session")
+def device():
+    """The Table I MEMS device (springs 1e8, probes 100 cycles)."""
+    return ibm_mems_prototype()
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The Table I workload."""
+    return table1_workload()
+
+
+@pytest.fixture(scope="session")
+def disk():
+    """The 1.8-inch disk comparator."""
+    return disk_18inch()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with few rounds (experiments are seconds-long)."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=3, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+def run_once_slow(benchmark, func, *args, **kwargs):
+    """Benchmark a slow (simulation-heavy) target with a single round."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Generate a full design-space report for a custom MEMS device.
+
+Shows the exploration machinery on a device *variant* rather than the
+paper's exact prototype: suppose the fab can deliver silicon springs
+(1e12 cycles) but probe tips are stuck at 100 write cycles, and the
+target application mixes more writes (60%).  Where does the design space
+open up, and what walls remain?
+
+The report regenerates, for each studied goal:
+
+* the minimal-required-buffer curve over 32-4096 kbps,
+* the dominance regions (the paper's C / E / Lsp / Lpb / X brackets),
+* the feasibility walls,
+
+and closes with the energy-for-buffer trade-off table.
+
+Run with::
+
+    python examples/design_space_report.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+from repro import units
+from repro.analysis.tables import render_series
+from repro.core.tradeoff import compare_energy_goals
+
+
+def report_goal(
+    explorer: repro.DesignSpaceExplorer, goal: repro.DesignGoal
+) -> None:
+    result = explorer.sweep(goal)
+    print(f"--- goal {goal.label()} ---")
+    rates_kbps = [r / 1000 for r in result.rates_bps]
+    required_kb = [
+        units.bits_to_kb(b) if math.isfinite(b) else float("inf")
+        for b in result.required_buffer_bits
+    ]
+    energy_kb = [
+        units.bits_to_kb(b) if math.isfinite(b) else float("inf")
+        for b in result.energy_buffer_bits
+    ]
+    print(
+        render_series(
+            "rate (kbps)",
+            rates_kbps,
+            {
+                "required buffer (kB)": required_kb,
+                "energy-only buffer (kB)": energy_kb,
+            },
+            max_rows=12,
+        )
+    )
+    print("regions: ", "  ".join(str(region) for region in result.regions))
+    energy_wall = explorer.energy_wall_rate(goal)
+    probes_wall = explorer.probes_wall_rate(goal)
+    if math.isfinite(energy_wall):
+        print(f"energy wall : {units.format_rate(energy_wall)}")
+    if math.isfinite(probes_wall):
+        print(f"probes wall : {units.format_rate(probes_wall)}")
+    print()
+
+
+def main() -> None:
+    # The device variant: silicon springs, fragile probes, write-heavy use.
+    device = repro.ibm_mems_prototype(
+        springs_duty_cycles=1e12, probe_write_cycles=100
+    )
+    workload = repro.table1_workload().replace(write_fraction=0.60)
+    explorer = repro.DesignSpaceExplorer(
+        device, workload, points_per_decade=12
+    )
+
+    print("Design-space report")
+    print(f"device  : {device.name} (springs 1e12, probes 100 cycles)")
+    print(f"workload: {workload.write_fraction:.0%} writes, "
+          f"{workload.hours_per_day:g} h/day, "
+          f"{workload.best_effort_fraction:.0%} best-effort")
+    print()
+
+    for energy_goal in (0.80, 0.70):
+        report_goal(
+            explorer,
+            repro.DesignGoal(
+                energy_saving=energy_goal,
+                capacity_utilisation=0.88,
+                lifetime_years=7.0,
+            ),
+        )
+
+    # The write-heavy workload moves the probes wall left; quantify it.
+    lifetime = repro.LifetimeModel(device, workload)
+    base_lifetime = repro.LifetimeModel(device, repro.table1_workload())
+    print("probes wall for a 7-year target:")
+    print(f"  at 40% writes : "
+          f"{units.format_rate(base_lifetime.probes.max_rate_for_lifetime(7.0))}")
+    print(f"  at 60% writes : "
+          f"{units.format_rate(lifetime.probes.max_rate_for_lifetime(7.0))}")
+    print()
+
+    # The headline trade-off on this variant.
+    analysis = compare_energy_goals(device, workload)
+    print(analysis.summary())
+
+
+if __name__ == "__main__":
+    main()

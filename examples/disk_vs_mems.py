@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Head-to-head: MEMS storage against a 1.8-inch disk drive (§III.A.1).
+
+Reproduces the paper's central comparison — the break-even streaming
+buffer differs by three orders of magnitude — and extends it with the
+consequences the paper derives from it:
+
+* the duty-cycle rating the springs must sustain for disk-class lifetime
+  (§III.C.1: ~1e8 cycles vs the disk's ~1e5),
+* simulated energy behaviour of both devices around their respective
+  break-even points.
+
+Run with::
+
+    python examples/disk_vs_mems.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro import units
+from repro.analysis.tables import format_table
+from repro.streaming import simulate_always_on, simulate_streaming
+
+RATE_BPS = 1_024_000.0
+PLAYBACK_YEARS_TARGET = 7.0
+
+
+def main() -> None:
+    mems = repro.ibm_mems_prototype()
+    disk = repro.disk_18inch()
+    workload = repro.table1_workload()
+
+    mems_energy = repro.EnergyModel(mems, workload)
+    disk_energy = repro.EnergyModel(disk, workload)
+
+    # --- break-even buffers across the Table I rate grid -----------------
+    rows = []
+    for rate in repro.TABLE1_RATE_GRID_BPS:
+        mems_be = mems_energy.break_even_buffer(rate)
+        disk_be = disk_energy.break_even_buffer(rate)
+        rows.append(
+            (
+                rate / 1000,
+                units.format_size(mems_be),
+                units.format_size(disk_be),
+                f"{disk_be / mems_be:,.0f}x",
+            )
+        )
+    print("Break-even streaming buffer")
+    print(
+        format_table(
+            ("rate (kbps)", "MEMS", "1.8-inch disk", "disk/MEMS"), rows
+        )
+    )
+    print()
+
+    # --- the duty-cycle consequence (§III.C.1) ----------------------------
+    # Refills per year scale inversely with the buffer, so matching a
+    # disk-class lifetime with a 1000x smaller buffer needs a 1000x
+    # larger duty-cycle rating.
+    workload_seconds = workload.playback_seconds_per_year
+    for name, device, model in (
+        ("MEMS", mems, mems_energy),
+        ("disk", disk, disk_energy),
+    ):
+        buffer_bits = 2 * model.break_even_buffer(RATE_BPS)
+        refills = workload_seconds * RATE_BPS / buffer_bits
+        cycles_needed = refills * PLAYBACK_YEARS_TARGET
+        print(
+            f"{name:5s}: buffer {units.format_size(buffer_bits):>9s} -> "
+            f"{refills:,.0f} refills/year -> "
+            f"{cycles_needed:.1e} duty cycles for {PLAYBACK_YEARS_TARGET:g} years"
+        )
+    print()
+    print("(the paper: ~1e8 cycles for MEMS vs the ~1e5 rating of the "
+          "1.8-inch disk — attainable because MEMS has no rubbing "
+          "surfaces and silicon springs fatigue above 1e12 cycles)")
+    print()
+
+    # --- simulated energy saving at 2x break-even -------------------------
+    rows = []
+    for name, device, model in (
+        ("MEMS", mems, mems_energy),
+        ("disk", disk, disk_energy),
+    ):
+        buffer_bits = 2 * model.break_even_buffer(RATE_BPS)
+        duration = 40 * model.cycle_time(buffer_bits, RATE_BPS)
+        bare_workload = workload.replace(best_effort_fraction=0.0)
+        shutdown = simulate_streaming(
+            device, buffer_bits, RATE_BPS, duration, bare_workload
+        )
+        always_on = simulate_always_on(
+            device, buffer_bits, RATE_BPS, duration, bare_workload
+        )
+        rows.append(
+            (
+                name,
+                units.format_size(buffer_bits),
+                units.format_duration(model.cycle_time(buffer_bits, RATE_BPS)),
+                f"{shutdown.energy_saving_against(always_on):.1%}",
+                shutdown.refill_cycles,
+            )
+        )
+    print("Simulated at 2x break-even, 1024 kbps (no best-effort)")
+    print(
+        format_table(
+            ("device", "buffer", "cycle", "energy saving", "cycles"), rows
+        )
+    )
+    print()
+    print("same policy, same rate: the disk needs megabytes of buffer and "
+          "tens-of-seconds cycles for the saving MEMS gets from kilobytes "
+          "and sub-second cycles.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Scenario: dimension the DRAM buffer of a MEMS-backed mobile recorder.
+
+The paper's motivating application (§I): an energy-efficient,
+high-capacity mobile streaming system that both plays back and records
+video.  A product team has to pick ONE buffer size at design time; this
+script walks their decision:
+
+* enumerate candidate quality levels (video bit rates),
+* for each, dimension the buffer for the house requirements
+  (7-year lifetime, 88% formatted capacity, best feasible energy goal),
+* show which requirement drives the cost at each quality level and
+  where the design becomes infeasible,
+* recommend the buffer that covers every feasible quality level, and
+  sanity-check it in simulation against the worst-case stream.
+
+Run with::
+
+    python examples/mobile_video_recorder.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+from repro import units
+from repro.analysis.tables import format_table
+
+#: Candidate recording qualities for the product.
+QUALITY_LEVELS_KBPS = {
+    "voice memo": 64,
+    "podcast audio": 128,
+    "music (AAC)": 256,
+    "video call": 512,
+    "SD video": 1024,
+    "DVD-class video": 2048,
+}
+
+#: House requirements: a 7-year product, most of the medium usable.
+LIFETIME_YEARS = 7.0
+CAPACITY_UTILISATION = 0.88
+#: Energy goals to try, most ambitious first.
+ENERGY_GOALS = (0.80, 0.70, 0.60, 0.50)
+
+
+def dimension_for_quality(
+    dimensioner: repro.BufferDimensioner, rate_bps: float
+) -> tuple[repro.DesignGoal | None, repro.BufferRequirement | None]:
+    """Best feasible goal and its requirement at one bit rate."""
+    for energy_goal in ENERGY_GOALS:
+        goal = repro.DesignGoal(
+            energy_saving=energy_goal,
+            capacity_utilisation=CAPACITY_UTILISATION,
+            lifetime_years=LIFETIME_YEARS,
+        )
+        requirement = dimensioner.dimension(goal, rate_bps)
+        if requirement.feasible:
+            return goal, requirement
+    return None, None
+
+
+def main() -> None:
+    device = repro.ibm_mems_prototype()
+    workload = repro.table1_workload()
+    dimensioner = repro.BufferDimensioner(device, workload)
+
+    rows = []
+    recommended_bits = 0.0
+    for label, kbps in QUALITY_LEVELS_KBPS.items():
+        rate = units.kbps_to_bps(kbps)
+        goal, requirement = dimension_for_quality(dimensioner, rate)
+        if requirement is None:
+            rows.append((label, kbps, "-", "-", "infeasible", "-"))
+            continue
+        rows.append(
+            (
+                label,
+                kbps,
+                f"{goal.energy_saving:.0%}",
+                units.format_size(requirement.required_buffer_bits),
+                requirement.dominant.value,
+                f"{requirement.required_buffer_kb:.1f}",
+            )
+        )
+        recommended_bits = max(
+            recommended_bits, requirement.required_buffer_bits
+        )
+
+    print("Buffer dimensioning per quality level")
+    print(
+        format_table(
+            (
+                "quality",
+                "rate (kbps)",
+                "energy goal",
+                "buffer",
+                "driven by",
+                "kB",
+            ),
+            rows,
+        )
+    )
+    print()
+    print(
+        f"recommended buffer (covers all feasible levels): "
+        f"{units.format_size(recommended_bits)}"
+    )
+
+    # Sanity-check the recommendation on the most demanding stream.
+    worst_kbps = max(QUALITY_LEVELS_KBPS.values())
+    worst_rate = units.kbps_to_bps(worst_kbps)
+    energy = repro.EnergyModel(device, workload)
+    from repro.streaming import simulate_always_on, simulate_streaming
+
+    duration = 200 * energy.cycle_time(recommended_bits, worst_rate)
+    shutdown = simulate_streaming(
+        device, recommended_bits, worst_rate, duration, workload
+    )
+    reference = simulate_always_on(
+        device, recommended_bits, worst_rate, duration, workload
+    )
+    print()
+    print(f"simulation at {worst_kbps} kbps with the recommended buffer:")
+    print(f"  underruns      : {shutdown.underruns}")
+    print(
+        f"  energy saving  : "
+        f"{shutdown.energy_saving_against(reference):.1%}"
+    )
+    print(
+        f"  springs life   : "
+        f"{shutdown.springs_lifetime_years(device, workload):.1f} years"
+    )
+
+    # What would it take to enable DVD-class recording at 80% saving?
+    explorer = repro.DesignSpaceExplorer(device, workload)
+    wall = explorer.energy_wall_rate(
+        repro.DesignGoal(energy_saving=0.80)
+    )
+    print()
+    if math.isfinite(wall):
+        print(
+            "note: an 80% energy goal walls at "
+            f"{units.format_rate(wall)} — qualities above that must "
+            "settle for a softer energy target (the paper's §IV.C "
+            "trade-off: ~10% of saving buys orders of magnitude of "
+            "buffer)."
+        )
+
+
+if __name__ == "__main__":
+    main()

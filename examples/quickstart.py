@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: the library in five minutes.
+
+Walks the public API end to end on the paper's reference device:
+
+1. build the Table I MEMS device and workload,
+2. evaluate the forward models (energy, capacity, lifetime) at one
+   operating point,
+3. invert them: ask what buffer a design goal needs,
+4. cross-check the analytic answer by *running* the streaming pipeline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro import units
+
+RATE_BPS = 1_024_000.0  # a 1024 kbps video stream
+
+
+def main() -> None:
+    # 1. The modelled device and workload (Table I of the paper).
+    device = repro.ibm_mems_prototype()
+    workload = repro.table1_workload()
+    print(f"device   : {device.name}")
+    print(f"transfer : {units.format_rate(device.transfer_rate_bps)}")
+    print(f"capacity : {units.format_size(device.capacity_bits)}")
+    print()
+
+    # 2. Forward models at a 20 kB buffer.
+    buffer_bits = units.kb_to_bits(20)
+    energy = repro.EnergyModel(device, workload)
+    capacity = repro.CapacityModel(device)
+    lifetime = repro.LifetimeModel(device, workload)
+
+    print(f"at B = {units.format_size(buffer_bits)}, rs = "
+          f"{units.format_rate(RATE_BPS)}:")
+    print(f"  break-even buffer : "
+          f"{units.format_size(energy.break_even_buffer(RATE_BPS))}")
+    print(f"  per-bit energy    : "
+          f"{units.j_per_bit_to_nj_per_bit(energy.per_bit_energy(buffer_bits, RATE_BPS)):.1f} nJ/b")
+    print(f"  energy saving     : "
+          f"{energy.energy_saving(buffer_bits, RATE_BPS):.1%}")
+    print(f"  capacity (Su = B) : {capacity.utilisation(buffer_bits):.1%}")
+    print(f"  device lifetime   : "
+          f"{lifetime.lifetime_years(buffer_bits, RATE_BPS):.1f} years "
+          f"(limited by {lifetime.limiting_component(buffer_bits, RATE_BPS)})")
+    print()
+
+    # 3. The inverse question of §IV.C: what buffer does a goal need?
+    goal = repro.DesignGoal(
+        energy_saving=0.70, capacity_utilisation=0.88, lifetime_years=7.0
+    )
+    dimensioner = repro.BufferDimensioner(device, workload)
+    requirement = dimensioner.dimension(goal, RATE_BPS)
+    print(requirement.summary())
+    for outcome in requirement.outcomes:
+        print(f"  {outcome.constraint.value:4s} needs >= "
+              f"{units.format_size(outcome.min_buffer_bits)}")
+    print()
+
+    # 4. Verify by running the discrete-event pipeline at that size.
+    from repro.streaming import simulate_always_on, simulate_streaming
+
+    buffer = requirement.required_buffer_bits
+    duration = 200 * energy.cycle_time(buffer, RATE_BPS)
+    shutdown = simulate_streaming(device, buffer, RATE_BPS, duration, workload)
+    reference = simulate_always_on(device, buffer, RATE_BPS, duration, workload)
+    measured = shutdown.energy_saving_against(reference)
+    springs = shutdown.springs_lifetime_years(device, workload)
+    print(f"simulated {shutdown.refill_cycles} refill cycles "
+          f"({units.format_duration(duration)} of playback):")
+    print(f"  measured energy saving   : {measured:.1%}  (goal: "
+          f"{goal.energy_saving:.0%})")
+    print(f"  implied springs lifetime : {springs:.1f} years  (goal: "
+          f"{goal.lifetime_years:g})")
+    print(f"  buffer underruns         : {shutdown.underruns}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro — reproduction of *Buffering Implications for the Design Space of
+Streaming MEMS Storage* (Khatib & Abelmann, DATE 2011).
+
+The library models the energy consumption, formatted capacity, and
+component lifetime of a MEMS probe-storage device as functions of its
+streaming buffer size, implements the inverse functions (design goal ->
+buffer size), and explores the design space over streaming bit rates —
+plus the substrates the paper relies on: a 1.8-inch disk comparator, a
+Micron-style DRAM buffer power model, sector/ECC formatting, and a
+discrete-event simulation of the streaming pipeline used to validate the
+closed-form models.
+
+Quickstart
+----------
+>>> import repro
+>>> device = repro.ibm_mems_prototype()
+>>> model = repro.EnergyModel(device, repro.table1_workload())
+>>> round(repro.units.bits_to_kb(model.break_even_buffer(1_024_000)), 2)
+2.23
+"""
+
+from . import units
+from .config import (
+    DRAMConfig,
+    DesignGoal,
+    MEMSDeviceConfig,
+    MechanicalDeviceConfig,
+    WorkloadConfig,
+    TABLE1_RATE_GRID_BPS,
+    disk_18inch,
+    ibm_mems_prototype,
+    micron_ddr_dram,
+    table1_workload,
+)
+from .core import (
+    BufferDimensioner,
+    BufferRequirement,
+    CapacityModel,
+    Constraint,
+    ConstraintOutcome,
+    DesignSpaceExplorer,
+    DesignSpaceResult,
+    DominanceRegion,
+    EnergyModel,
+    InverseSolver,
+    LifetimeModel,
+    ParetoFrontier,
+    ParetoPoint,
+    ProbesModel,
+    RefillCycle,
+    SpringsModel,
+    TradeoffAnalysis,
+    TradeoffPoint,
+    energy_buffer_frontier,
+)
+from .core.tradeoff import compare_energy_goals
+from .errors import (
+    BufferUnderrunError,
+    ConfigurationError,
+    InfeasibleDesignError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnitError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    # configuration
+    "MechanicalDeviceConfig",
+    "MEMSDeviceConfig",
+    "WorkloadConfig",
+    "DesignGoal",
+    "DRAMConfig",
+    "ibm_mems_prototype",
+    "disk_18inch",
+    "table1_workload",
+    "micron_ddr_dram",
+    "TABLE1_RATE_GRID_BPS",
+    # core models
+    "EnergyModel",
+    "RefillCycle",
+    "CapacityModel",
+    "LifetimeModel",
+    "SpringsModel",
+    "ProbesModel",
+    "InverseSolver",
+    "BufferDimensioner",
+    "BufferRequirement",
+    "Constraint",
+    "ConstraintOutcome",
+    "DesignSpaceExplorer",
+    "DesignSpaceResult",
+    "DominanceRegion",
+    "TradeoffAnalysis",
+    "TradeoffPoint",
+    "compare_energy_goals",
+    "ParetoFrontier",
+    "ParetoPoint",
+    "energy_buffer_frontier",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "UnitError",
+    "InfeasibleDesignError",
+    "SimulationError",
+    "BufferUnderrunError",
+    "SolverError",
+    "__version__",
+]

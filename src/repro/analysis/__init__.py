@@ -1,0 +1,29 @@
+"""Analysis harness shared by experiments, benchmarks, and the CLI.
+
+* :mod:`repro.analysis.tables` — ASCII rendering of tables and log-log
+  series (the library's "figures" are printed series, as benchmarks run
+  headless),
+* :mod:`repro.analysis.sweep` — generic one-parameter sweeps,
+* :mod:`repro.analysis.validation` — analytic-vs-simulation matrices,
+* :mod:`repro.analysis.sensitivity` — one-at-a-time sensitivity studies.
+"""
+
+from .tables import Table, format_table, render_series
+from .sweep import SweepResult, sweep_parameter
+from .validation import ValidationMatrix, validate_operating_points
+from .sensitivity import SensitivityResult, sensitivity_analysis
+from .plots import AsciiChart, plot_design_space
+
+__all__ = [
+    "Table",
+    "format_table",
+    "render_series",
+    "SweepResult",
+    "sweep_parameter",
+    "ValidationMatrix",
+    "validate_operating_points",
+    "SensitivityResult",
+    "sensitivity_analysis",
+    "AsciiChart",
+    "plot_design_space",
+]

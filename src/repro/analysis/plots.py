@@ -1,0 +1,207 @@
+"""ASCII charts: the library's "figures" for terminals and logs.
+
+Figures 2 and 3 of the paper are line charts; the benchmark harness and
+CLI run headless, so this module renders series as text — linear or
+logarithmic on either axis, multiple series distinguished by marker
+characters, with ``inf`` values (infeasible design points) clipped to
+the frame and flagged.
+
+The renderer is deliberately simple (nearest-cell rasterisation onto a
+character grid); its job is to make trends and crossovers visible in a
+terminal, not to be pretty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+#: Markers assigned to series in order.
+_MARKERS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of (x, y) points."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.name!r}: x and y lengths differ"
+            )
+        if not self.x:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ConfigurationError(
+                f"log axis cannot show non-positive value {value!r}"
+            )
+        return math.log10(value)
+    return value
+
+
+class AsciiChart:
+    """Character-grid chart of one or more series.
+
+    Parameters
+    ----------
+    width, height:
+        Plot area size in characters (excludes axes/labels).
+    log_x, log_y:
+        Logarithmic axes (Figure 3 uses log-log).
+    """
+
+    def __init__(
+        self,
+        width: int = 64,
+        height: int = 20,
+        log_x: bool = False,
+        log_y: bool = False,
+    ):
+        if width < 8 or height < 4:
+            raise ConfigurationError("chart must be at least 8x4 characters")
+        self.width = width
+        self.height = height
+        self.log_x = log_x
+        self.log_y = log_y
+        self._series: list[Series] = []
+
+    def add_series(
+        self, name: str, x: Sequence[float], y: Sequence[float]
+    ) -> None:
+        """Add a line; ``inf``/``nan`` y-values are dropped from scaling
+        and drawn clipped to the top frame."""
+        self._series.append(
+            Series(name=name, x=tuple(float(v) for v in x),
+                   y=tuple(float(v) for v in y))
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs: list[float] = []
+        ys: list[float] = []
+        for series in self._series:
+            for x_value, y_value in zip(series.x, series.y):
+                if math.isfinite(x_value):
+                    xs.append(_transform(x_value, self.log_x))
+                if math.isfinite(y_value):
+                    ys.append(_transform(y_value, self.log_y))
+        if not xs or not ys:
+            raise ConfigurationError("nothing finite to plot")
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        if x_high == x_low:
+            x_high = x_low + 1.0
+        if y_high == y_low:
+            y_high = y_low + 1.0
+        return x_low, x_high, y_low, y_high
+
+    def render(self, title: str = "", x_label: str = "", y_label: str = "") -> str:
+        """Render the chart with frame, tick labels, and legend."""
+        if not self._series:
+            raise ConfigurationError("no series added")
+        x_low, x_high, y_low, y_high = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def column_of(x_value: float) -> int | None:
+            if not math.isfinite(x_value):
+                return None
+            position = (_transform(x_value, self.log_x) - x_low) / (
+                x_high - x_low
+            )
+            return min(self.width - 1, max(0, round(position * (self.width - 1))))
+
+        def row_of(y_value: float) -> int | None:
+            if math.isnan(y_value):
+                return None
+            if math.isinf(y_value):
+                return 0 if y_value > 0 else self.height - 1
+            position = (_transform(y_value, self.log_y) - y_low) / (
+                y_high - y_low
+            )
+            row = round((1.0 - position) * (self.height - 1))
+            return min(self.height - 1, max(0, row))
+
+        for index, series in enumerate(self._series):
+            marker = _MARKERS[index % len(_MARKERS)]
+            for x_value, y_value in zip(series.x, series.y):
+                column = column_of(x_value)
+                row = row_of(y_value)
+                if column is None or row is None:
+                    continue
+                grid[row][column] = marker
+
+        def axis_value(transformed: float, log: bool) -> float:
+            return 10 ** transformed if log else transformed
+
+        lines: list[str] = []
+        if title:
+            lines.append(title)
+        if y_label:
+            lines.append(f"[y: {y_label}]")
+        top = axis_value(y_high, self.log_y)
+        bottom = axis_value(y_low, self.log_y)
+        label_width = 10
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = f"{top:.3g}"
+            elif row_index == self.height - 1:
+                label = f"{bottom:.3g}"
+            else:
+                label = ""
+            lines.append(f"{label:>{label_width}s} |" + "".join(row))
+        left = axis_value(x_low, self.log_x)
+        right = axis_value(x_high, self.log_x)
+        lines.append(" " * label_width + " +" + "-" * self.width)
+        axis_line = f"{left:.3g}"
+        right_text = f"{right:.3g}"
+        padding = self.width - len(axis_line) - len(right_text)
+        lines.append(
+            " " * (label_width + 2) + axis_line + " " * max(1, padding)
+            + right_text
+        )
+        if x_label:
+            lines.append(" " * (label_width + 2) + f"[x: {x_label}]")
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} {series.name}"
+            for i, series in enumerate(self._series)
+        )
+        lines.append(" " * (label_width + 2) + legend)
+        return "\n".join(lines)
+
+
+def plot_design_space(result, width: int = 64, height: int = 20) -> str:
+    """Render a Figure 3 panel from a
+    :class:`~repro.core.design_space.DesignSpaceResult`."""
+    from .. import units
+
+    chart = AsciiChart(width=width, height=height, log_x=True, log_y=True)
+    rates = [r / 1000 for r in result.rates_bps]
+    required = [
+        units.bits_to_kb(b) if math.isfinite(b) else math.inf
+        for b in result.required_buffer_bits
+    ]
+    energy = [
+        units.bits_to_kb(b) if math.isfinite(b) else math.inf
+        for b in result.energy_buffer_bits
+    ]
+    chart.add_series("required buffer", rates, required)
+    chart.add_series("energy-efficiency buffer", rates, energy)
+    regions = "  ".join(region.label for region in result.regions)
+    body = chart.render(
+        title=f"goal {result.goal.label()}   regions: {regions}",
+        x_label="streaming bit rate (kbps)",
+        y_label="buffer capacity (kB)",
+    )
+    return body

@@ -1,0 +1,200 @@
+"""One-at-a-time (OAT) sensitivity of the design space to its parameters.
+
+The paper's conclusions rest on a handful of Table I constants (seek time,
+standby power, sync bits, ECC ratio, best-effort tax, endurance ratings).
+:func:`sensitivity_analysis` perturbs each knob by a multiplicative factor
+and reports how three design-space landmarks move:
+
+* the break-even buffer at a reference rate,
+* the required buffer for a reference goal at that rate,
+* the energy-wall rate of the goal (``inf`` when out of range).
+
+This is the quantitative backing for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import DesignGoal, MEMSDeviceConfig, WorkloadConfig
+from ..core.design_space import DesignSpaceExplorer
+from ..core.dimensioning import BufferDimensioner
+from ..core.energy import EnergyModel
+from ..errors import ConfigurationError
+from .tables import Table
+
+#: Device knobs that OAT perturbation understands (field name -> label).
+DEVICE_KNOBS = {
+    "seek_time_s": "seek time",
+    "shutdown_time_s": "shutdown time",
+    "read_write_power_w": "R/W power",
+    "seek_power_w": "seek power",
+    "idle_power_w": "idle power",
+    "standby_power_w": "standby power",
+    "sync_bits_per_subsector": "sync bits",
+    "springs_duty_cycles": "springs rating",
+    "probe_write_cycles": "probe rating",
+}
+
+#: Workload knobs.
+WORKLOAD_KNOBS = {
+    "hours_per_day": "hours/day",
+    "write_fraction": "write fraction",
+    "best_effort_fraction": "best-effort",
+}
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of perturbing one knob by one factor."""
+
+    knob: str
+    factor: float
+    break_even_bits: float
+    required_buffer_bits: float
+    energy_wall_bps: float
+
+    def relative_to(self, baseline: "SensitivityResult") -> dict[str, float]:
+        """Ratios against the unperturbed baseline (``nan`` if undefined)."""
+
+        def ratio(new: float, old: float) -> float:
+            if not (math.isfinite(new) and math.isfinite(old)) or old == 0:
+                return float("nan")
+            return new / old
+
+        return {
+            "break_even": ratio(self.break_even_bits, baseline.break_even_bits),
+            "required_buffer": ratio(
+                self.required_buffer_bits, baseline.required_buffer_bits
+            ),
+            "energy_wall": ratio(self.energy_wall_bps, baseline.energy_wall_bps),
+        }
+
+
+def _perturb_device(
+    device: MEMSDeviceConfig, knob: str, factor: float
+) -> MEMSDeviceConfig:
+    value = getattr(device, knob)
+    if knob == "sync_bits_per_subsector":
+        new_value = max(0, int(round(value * factor)))
+    else:
+        new_value = value * factor
+    return device.replace(**{knob: new_value})
+
+
+def _perturb_workload(
+    workload: WorkloadConfig, knob: str, factor: float
+) -> WorkloadConfig:
+    value = getattr(workload, knob)
+    new_value = value * factor
+    if knob == "hours_per_day":
+        new_value = min(new_value, 24.0)
+    if knob in ("write_fraction", "best_effort_fraction"):
+        new_value = min(new_value, 0.95)
+    return workload.replace(**{knob: new_value})
+
+
+def _evaluate(
+    device: MEMSDeviceConfig,
+    workload: WorkloadConfig,
+    goal: DesignGoal,
+    rate_bps: float,
+    knob: str,
+    factor: float,
+) -> SensitivityResult:
+    energy = EnergyModel(device, workload)
+    dimensioner = BufferDimensioner(device, workload)
+    explorer = DesignSpaceExplorer(device, workload)
+    requirement = dimensioner.dimension(goal, rate_bps)
+    return SensitivityResult(
+        knob=knob,
+        factor=factor,
+        break_even_bits=energy.break_even_buffer(rate_bps),
+        required_buffer_bits=requirement.required_buffer_bits,
+        energy_wall_bps=explorer.energy_wall_rate(goal),
+    )
+
+
+def sensitivity_analysis(
+    device: MEMSDeviceConfig,
+    workload: WorkloadConfig,
+    goal: DesignGoal | None = None,
+    rate_bps: float = 1_024_000.0,
+    factors: tuple[float, ...] = (0.5, 2.0),
+    knobs: tuple[str, ...] | None = None,
+) -> tuple[SensitivityResult, list[SensitivityResult]]:
+    """OAT sensitivity of the design-space landmarks.
+
+    Returns ``(baseline, perturbed)`` where each perturbed entry is one
+    (knob, factor) combination.  Unknown knob names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    goal = goal if goal is not None else DesignGoal()
+    if knobs is None:
+        knobs = tuple(DEVICE_KNOBS) + tuple(WORKLOAD_KNOBS)
+    for knob in knobs:
+        if knob not in DEVICE_KNOBS and knob not in WORKLOAD_KNOBS:
+            raise ConfigurationError(f"unknown sensitivity knob {knob!r}")
+    baseline = _evaluate(device, workload, goal, rate_bps, "baseline", 1.0)
+    results = []
+    for knob in knobs:
+        for factor in factors:
+            if knob in DEVICE_KNOBS:
+                try:
+                    perturbed_device = _perturb_device(device, knob, factor)
+                    perturbed_workload = workload
+                except ConfigurationError:
+                    continue  # perturbation left the physical envelope
+            else:
+                perturbed_device = device
+                try:
+                    perturbed_workload = _perturb_workload(
+                        workload, knob, factor
+                    )
+                except ConfigurationError:
+                    continue
+            results.append(
+                _evaluate(
+                    perturbed_device,
+                    perturbed_workload,
+                    goal,
+                    rate_bps,
+                    knob,
+                    factor,
+                )
+            )
+    return baseline, results
+
+
+def sensitivity_table(
+    baseline: SensitivityResult, results: list[SensitivityResult]
+) -> Table:
+    """Render a sensitivity study as a table of ratios to baseline."""
+    rows = []
+    for result in results:
+        ratios = result.relative_to(baseline)
+        rows.append(
+            (
+                result.knob,
+                result.factor,
+                ratios["break_even"],
+                ratios["required_buffer"],
+                ratios["energy_wall"],
+            )
+        )
+    return Table(
+        title="One-at-a-time sensitivity (ratios to baseline)",
+        headers=(
+            "knob",
+            "factor",
+            "break-even x",
+            "required buffer x",
+            "energy wall x",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "required buffer at the reference goal and rate",
+            "nan = undefined (e.g. wall out of range in both runs)",
+        ),
+    )

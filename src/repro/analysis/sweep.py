@@ -1,0 +1,83 @@
+"""Generic one-parameter sweeps.
+
+A tiny harness shared by the sensitivity module and the ablation
+benchmarks: vary one knob, collect one or more scalar metrics, keep the
+result queryable.  Metrics that raise
+:class:`~repro.errors.InfeasibleDesignError` record ``inf`` — the sweep
+keeps going (infeasibility is a *result* in this design space, not an
+error).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..errors import InfeasibleDesignError
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of :func:`sweep_parameter`."""
+
+    parameter: str
+    values: tuple[Any, ...]
+    metrics: dict[str, tuple[float, ...]]
+
+    def metric(self, name: str) -> tuple[float, ...]:
+        """One metric's series across the sweep."""
+        return self.metrics[name]
+
+    def finite_mask(self, name: str) -> tuple[bool, ...]:
+        """Which sweep points produced a finite value for ``name``."""
+        return tuple(math.isfinite(v) for v in self.metrics[name])
+
+    def argmin(self, name: str) -> Any:
+        """Parameter value minimising ``name`` (finite points only)."""
+        best_value, best_metric = None, math.inf
+        for value, metric in zip(self.values, self.metrics[name]):
+            if math.isfinite(metric) and metric < best_metric:
+                best_value, best_metric = value, metric
+        if best_value is None:
+            raise ValueError(f"metric {name!r} is nowhere finite")
+        return best_value
+
+    def argmax(self, name: str) -> Any:
+        """Parameter value maximising ``name`` (finite points only)."""
+        best_value, best_metric = None, -math.inf
+        for value, metric in zip(self.values, self.metrics[name]):
+            if math.isfinite(metric) and metric > best_metric:
+                best_value, best_metric = value, metric
+        if best_value is None:
+            raise ValueError(f"metric {name!r} is nowhere finite")
+        return best_value
+
+
+def sweep_parameter(
+    parameter: str,
+    values: Sequence[Any],
+    metrics: dict[str, Callable[[Any], float]],
+) -> SweepResult:
+    """Evaluate each metric at each parameter value.
+
+    ``metrics`` maps a metric name to a callable of the parameter value.
+    A callable raising :class:`~repro.errors.InfeasibleDesignError`
+    records ``inf`` for that point.
+    """
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    if not metrics:
+        raise ValueError("sweep needs at least one metric")
+    collected: dict[str, list[float]] = {name: [] for name in metrics}
+    for value in values:
+        for name, func in metrics.items():
+            try:
+                collected[name].append(float(func(value)))
+            except InfeasibleDesignError:
+                collected[name].append(math.inf)
+    return SweepResult(
+        parameter=parameter,
+        values=tuple(values),
+        metrics={name: tuple(series) for name, series in collected.items()},
+    )

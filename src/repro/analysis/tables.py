@@ -1,0 +1,101 @@
+"""ASCII tables and series renderers.
+
+Every experiment in this library prints its artefact the way the paper
+lays it out: Table I as a settings table, Figures 2-3 as aligned numeric
+series.  The helpers here keep that rendering in one place so experiment
+modules contain only *data*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Table:
+    """A titled table of rows, renderable as aligned ASCII."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+    notes: tuple[str, ...] = field(default=())
+
+    def render(self) -> str:
+        """Aligned ASCII rendering with title and footnotes."""
+        body = format_table(self.headers, self.rows)
+        parts = [self.title, "=" * len(self.title), body]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    max_rows: int | None = None,
+) -> str:
+    """Render one or more y-series against an x-axis as a table.
+
+    ``max_rows`` thins long sweeps evenly (keeping both endpoints) so a
+    48-point-per-decade sweep prints as a readable excerpt.
+    """
+    count = len(x_values)
+    for name, values in series.items():
+        if len(values) != count:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x has {count}"
+            )
+    indices = list(range(count))
+    if max_rows is not None and count > max_rows > 1:
+        step = (count - 1) / (max_rows - 1)
+        indices = sorted({round(i * step) for i in range(max_rows)})
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x_values[i], *(values[i] for values in series.values())]
+        for i in indices
+    ]
+    return format_table(headers, rows)

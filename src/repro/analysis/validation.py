@@ -1,0 +1,119 @@
+"""Analytic-vs-simulation validation matrices.
+
+Runs the executable pipeline of :mod:`repro.streaming` across a grid of
+operating points and compares the measured per-bit energy and cycle
+frequency against Equation (1).  This is the library's standing evidence
+that the closed forms and the simulated system describe the same machine
+(the methodological substitution documented in DESIGN.md §4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..config import MechanicalDeviceConfig, WorkloadConfig
+from ..core.energy import EnergyModel
+from ..streaming.pipeline import simulate_streaming
+from ..streaming.stats import ModelComparison, compare_with_model
+from .tables import Table
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One operating point's comparison outcome."""
+
+    buffer_bits: float
+    stream_rate_bps: float
+    comparison: ModelComparison
+
+    @property
+    def ok(self) -> bool:
+        """Within the standard 1% agreement tolerance."""
+        return self.comparison.agrees(0.01)
+
+
+@dataclass(frozen=True)
+class ValidationMatrix:
+    """All operating points of a validation run."""
+
+    points: tuple[ValidationPoint, ...]
+
+    @property
+    def all_agree(self) -> bool:
+        """True when every point is inside the tolerance."""
+        return all(point.ok for point in self.points)
+
+    @property
+    def worst_energy_error(self) -> float:
+        """Largest relative per-bit-energy error across the matrix."""
+        return max(p.comparison.energy_error for p in self.points)
+
+    @property
+    def worst_cycle_error(self) -> float:
+        """Largest relative cycle-frequency error across the matrix."""
+        return max(p.comparison.cycle_error for p in self.points)
+
+    def as_table(self) -> Table:
+        """Render the matrix as a :class:`~repro.analysis.tables.Table`."""
+        rows = []
+        for point in self.points:
+            rows.append(
+                (
+                    units.format_size(point.buffer_bits),
+                    units.format_rate(point.stream_rate_bps),
+                    point.comparison.simulated_per_bit_j * 1e9,
+                    point.comparison.predicted_per_bit_j * 1e9,
+                    point.comparison.energy_error,
+                    point.comparison.cycle_error,
+                    "yes" if point.ok else "NO",
+                )
+            )
+        return Table(
+            title="Analytic model vs discrete-event simulation",
+            headers=(
+                "buffer",
+                "rate",
+                "sim nJ/b",
+                "model nJ/b",
+                "energy err",
+                "cycle err",
+                "agree",
+            ),
+            rows=tuple(rows),
+            notes=(
+                "per-bit energy in the paper's convention (cycle energy / B)",
+                "agreement tolerance: 1% relative",
+            ),
+        )
+
+
+def validate_operating_points(
+    device: MechanicalDeviceConfig,
+    workload: WorkloadConfig,
+    buffer_sizes_bits: tuple[float, ...],
+    stream_rates_bps: tuple[float, ...],
+    cycles_per_point: int = 150,
+) -> ValidationMatrix:
+    """Simulate and compare every (buffer, rate) combination.
+
+    Each point runs long enough for ``cycles_per_point`` refill cycles so
+    start-up edge effects stay well below the tolerance.
+    """
+    model = EnergyModel(device, workload)
+    points = []
+    for buffer_bits in buffer_sizes_bits:
+        for rate in stream_rates_bps:
+            duration = cycles_per_point * model.cycle_time(buffer_bits, rate)
+            report = simulate_streaming(
+                device, buffer_bits, rate, duration, workload=workload
+            )
+            comparison = compare_with_model(report, device, workload, rate)
+            points.append(
+                ValidationPoint(
+                    buffer_bits=buffer_bits,
+                    stream_rate_bps=rate,
+                    comparison=comparison,
+                )
+            )
+    return ValidationMatrix(points=tuple(points))

@@ -1,0 +1,241 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``repro list`` — show all registered experiments,
+* ``repro run <id> [...]`` — regenerate one or more paper artefacts,
+* ``repro run all`` — regenerate everything,
+* ``repro dimension --rate 1024 --energy 0.8 --capacity 0.88 --lifetime 7``
+  — answer one §IV.C design question directly,
+* ``repro simulate --rate 1024 --buffer-kb 20 --duration 60`` — run the
+  DES pipeline on one operating point and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import units
+from .config import DesignGoal, ibm_mems_prototype, table1_workload
+from .core.dimensioning import BufferDimensioner
+from .errors import ReproError
+from .experiments import list_experiments, run_experiment
+from .streaming.pipeline import simulate_always_on, simulate_streaming
+from .streaming.stats import compare_with_model
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Buffering Implications for the Design Space "
+            "of Streaming MEMS Storage' (DATE 2011)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more experiments by id (or 'all')"
+    )
+    run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    run_parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the rendered results to FILE",
+    )
+
+    dim_parser = subparsers.add_parser(
+        "dimension", help="answer a §IV.C design question"
+    )
+    dim_parser.add_argument(
+        "--rate", type=float, required=True, help="streaming rate in kbps"
+    )
+    dim_parser.add_argument(
+        "--energy", type=float, default=0.80,
+        help="energy-saving goal as a fraction (default 0.80)",
+    )
+    dim_parser.add_argument(
+        "--capacity", type=float, default=0.88,
+        help="capacity-utilisation goal as a fraction (default 0.88)",
+    )
+    dim_parser.add_argument(
+        "--lifetime", type=float, default=7.0,
+        help="lifetime goal in years (default 7)",
+    )
+    dim_parser.add_argument(
+        "--springs", type=float, default=1e8,
+        help="springs duty-cycle rating (default 1e8)",
+    )
+    dim_parser.add_argument(
+        "--probe-cycles", type=float, default=100.0,
+        help="probe write-cycle rating (default 100)",
+    )
+
+    plot_parser = subparsers.add_parser(
+        "plot", help="ASCII-plot a Figure 3 style design-space panel"
+    )
+    plot_parser.add_argument(
+        "--energy", type=float, default=0.80,
+        help="energy-saving goal as a fraction (default 0.80)",
+    )
+    plot_parser.add_argument(
+        "--capacity", type=float, default=0.88,
+        help="capacity-utilisation goal as a fraction (default 0.88)",
+    )
+    plot_parser.add_argument(
+        "--lifetime", type=float, default=7.0,
+        help="lifetime goal in years (default 7)",
+    )
+    plot_parser.add_argument(
+        "--springs", type=float, default=1e8,
+        help="springs duty-cycle rating (default 1e8)",
+    )
+    plot_parser.add_argument(
+        "--probe-cycles", type=float, default=100.0,
+        help="probe write-cycle rating (default 100)",
+    )
+    plot_parser.add_argument(
+        "--width", type=int, default=72, help="chart width in characters"
+    )
+    plot_parser.add_argument(
+        "--height", type=int, default=22, help="chart height in characters"
+    )
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run the DES streaming pipeline"
+    )
+    sim_parser.add_argument(
+        "--rate", type=float, required=True, help="streaming rate in kbps"
+    )
+    sim_parser.add_argument(
+        "--buffer-kb", type=float, required=True, help="buffer size in kB"
+    )
+    sim_parser.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated seconds (default 60)",
+    )
+    sim_parser.add_argument(
+        "--always-on", action="store_true",
+        help="simulate the always-on reference instead of shutdown policy",
+    )
+    return parser
+
+
+def _command_list() -> int:
+    for name, description in list_experiments():
+        print(f"{name:18s} {description}")
+    return 0
+
+
+def _command_run(
+    experiment_ids: Sequence[str], output: str | None = None
+) -> int:
+    ids = list(experiment_ids)
+    if ids == ["all"]:
+        ids = [name for name, _ in list_experiments()]
+    rendered = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        text = result.render()
+        print(text)
+        rendered.append(text)
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(rendered))
+        print(f"(wrote {output})")
+    return 0
+
+
+def _command_dimension(args: argparse.Namespace) -> int:
+    device = ibm_mems_prototype(
+        springs_duty_cycles=args.springs,
+        probe_write_cycles=args.probe_cycles,
+    )
+    workload = table1_workload()
+    goal = DesignGoal(
+        energy_saving=args.energy,
+        capacity_utilisation=args.capacity,
+        lifetime_years=args.lifetime,
+    )
+    dimensioner = BufferDimensioner(device, workload)
+    requirement = dimensioner.dimension(goal, args.rate * 1000.0)
+    print(requirement.summary())
+    for outcome in requirement.outcomes:
+        size = (
+            units.format_size(outcome.min_buffer_bits)
+            if outcome.feasible
+            else "infeasible"
+        )
+        print(f"  {outcome.constraint.value:4s} needs >= {size}")
+    return 0 if requirement.feasible else 1
+
+
+def _command_plot(args: argparse.Namespace) -> int:
+    from .analysis.plots import plot_design_space
+    from .core.design_space import DesignSpaceExplorer
+
+    device = ibm_mems_prototype(
+        springs_duty_cycles=args.springs,
+        probe_write_cycles=args.probe_cycles,
+    )
+    workload = table1_workload()
+    goal = DesignGoal(
+        energy_saving=args.energy,
+        capacity_utilisation=args.capacity,
+        lifetime_years=args.lifetime,
+    )
+    explorer = DesignSpaceExplorer(device, workload, points_per_decade=24)
+    result = explorer.sweep(goal)
+    print(plot_design_space(result, width=args.width, height=args.height))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    device = ibm_mems_prototype()
+    workload = table1_workload()
+    rate = args.rate * 1000.0
+    buffer_bits = units.kb_to_bits(args.buffer_kb)
+    if args.always_on:
+        report = simulate_always_on(
+            device, buffer_bits, rate, args.duration, workload
+        )
+        print(report.summary())
+        return 0
+    report = simulate_streaming(
+        device, buffer_bits, rate, args.duration, workload
+    )
+    print(report.summary())
+    comparison = compare_with_model(report, device, workload, rate)
+    print(
+        f"model agreement   : energy {comparison.energy_error:.2%}, "
+        f"cycles {comparison.cycle_error:.2%}"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args.experiments, args.output)
+        if args.command == "dimension":
+            return _command_dimension(args)
+        if args.command == "plot":
+            return _command_plot(args)
+        if args.command == "simulate":
+            return _command_simulate(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Buffer dimensioning: combine all constraints into one design answer.
+
+§IV.C of the paper poses the design question: *what buffer size achieves a
+goal of energy saving E, capacity utilisation C, and lifetime L?*  The
+answer is either a buffer size — the maximum of the per-constraint minimal
+buffers — or a statement that the design point is infeasible (the "X"
+ranges of Figure 3).
+
+:class:`BufferDimensioner` answers the question for one operating point and
+reports *which* constraint dictated the answer; the design-space explorer
+sweeps it over streaming rates to regenerate Figure 3.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from .. import units
+from ..config import DesignGoal, MEMSDeviceConfig, WorkloadConfig
+from ..errors import InfeasibleDesignError
+from .inverse import InverseSolver
+
+
+class Constraint(enum.Enum):
+    """The requirements that can dictate the streaming buffer size.
+
+    Values match the region labels of Figure 3 where applicable.
+    """
+
+    ENERGY = "E"
+    CAPACITY = "C"
+    SPRINGS = "Lsp"
+    PROBES = "Lpb"
+    LATENCY = "lat"
+
+    @property
+    def key(self) -> str:
+        """Dictionary key used by :class:`~repro.core.inverse.InverseSolver`."""
+        return _CONSTRAINT_KEYS[self]
+
+
+_CONSTRAINT_KEYS = {
+    Constraint.ENERGY: "energy",
+    Constraint.CAPACITY: "capacity",
+    Constraint.SPRINGS: "springs",
+    Constraint.PROBES: "probes",
+    Constraint.LATENCY: "latency",
+}
+
+
+@dataclass(frozen=True)
+class ConstraintOutcome:
+    """Minimal buffer demanded by one constraint at one operating point."""
+
+    constraint: Constraint
+    min_buffer_bits: float
+
+    @property
+    def feasible(self) -> bool:
+        """False when no finite buffer satisfies the constraint."""
+        return math.isfinite(self.min_buffer_bits)
+
+
+@dataclass(frozen=True)
+class BufferRequirement:
+    """The answer to a §IV.C design question at one streaming rate."""
+
+    goal: DesignGoal
+    stream_rate_bps: float
+    outcomes: tuple[ConstraintOutcome, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """True when every constraint admits a finite buffer."""
+        return all(outcome.feasible for outcome in self.outcomes)
+
+    @property
+    def infeasible_constraints(self) -> tuple[Constraint, ...]:
+        """Constraints no buffer can satisfy at this operating point."""
+        return tuple(o.constraint for o in self.outcomes if not o.feasible)
+
+    @property
+    def required_buffer_bits(self) -> float:
+        """Minimal buffer meeting *all* constraints (``inf`` if infeasible)."""
+        return max(o.min_buffer_bits for o in self.outcomes)
+
+    @property
+    def dominant(self) -> Constraint:
+        """The constraint that dictates the buffer size.
+
+        For an infeasible point, the (first) infeasible constraint — the
+        wall responsible for the "X" marking.
+        """
+        infeasible = self.infeasible_constraints
+        if infeasible:
+            return infeasible[0]
+        return max(self.outcomes, key=lambda o: o.min_buffer_bits).constraint
+
+    def buffer_for(self, constraint: Constraint) -> float:
+        """Minimal buffer (bits) demanded by one specific constraint."""
+        for outcome in self.outcomes:
+            if outcome.constraint is constraint:
+                return outcome.min_buffer_bits
+        raise KeyError(constraint)
+
+    @property
+    def required_buffer_kb(self) -> float:
+        """Required buffer in decimal kilobytes (Figure 3's y-axis)."""
+        return units.bits_to_kb(self.required_buffer_bits)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        rate = units.format_rate(self.stream_rate_bps)
+        if not self.feasible:
+            walls = ", ".join(c.value for c in self.infeasible_constraints)
+            return (
+                f"{self.goal.label()} @ {rate}: INFEASIBLE "
+                f"(constraint(s): {walls})"
+            )
+        return (
+            f"{self.goal.label()} @ {rate}: "
+            f"{units.format_size(self.required_buffer_bits)} "
+            f"(dictated by {self.dominant.value})"
+        )
+
+
+class BufferDimensioner:
+    """Answers §IV.C design questions for one device/workload pair.
+
+    Parameters
+    ----------
+    device:
+        MEMS device under study.
+    workload:
+        Streaming workload (Table I defaults when omitted).
+    include_latency_floor:
+        Whether to include the latency floor (buffer must survive
+        seek + shutdown + best-effort) as a fifth constraint.  The paper
+        folds this into "dimensioning the buffer" (§IV.A); it never
+        dominates for the Table I device but is kept for generality.
+    """
+
+    def __init__(
+        self,
+        device: MEMSDeviceConfig,
+        workload: WorkloadConfig | None = None,
+        include_latency_floor: bool = True,
+    ):
+        self.device = device
+        self.workload = workload if workload is not None else WorkloadConfig()
+        self.solver = InverseSolver(device, self.workload)
+        self.include_latency_floor = include_latency_floor
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        """Constraints considered by this dimensioner."""
+        base = (
+            Constraint.ENERGY,
+            Constraint.CAPACITY,
+            Constraint.SPRINGS,
+            Constraint.PROBES,
+        )
+        if self.include_latency_floor:
+            return base + (Constraint.LATENCY,)
+        return base
+
+    def dimension(
+        self, goal: DesignGoal, stream_rate_bps: float
+    ) -> BufferRequirement:
+        """Compute the buffer requirement for ``goal`` at one stream rate."""
+        buffers = self.solver.buffers_for_goal(goal, stream_rate_bps)
+        outcomes = tuple(
+            ConstraintOutcome(constraint, buffers[constraint.key])
+            for constraint in self.constraints
+        )
+        return BufferRequirement(
+            goal=goal, stream_rate_bps=stream_rate_bps, outcomes=outcomes
+        )
+
+    def require(self, goal: DesignGoal, stream_rate_bps: float) -> float:
+        """Required buffer in bits; raises if the goal is infeasible.
+
+        Raises
+        ------
+        InfeasibleDesignError
+            With the responsible constraint recorded, matching the paper's
+            "statement of infeasible design point".
+        """
+        requirement = self.dimension(goal, stream_rate_bps)
+        if not requirement.feasible:
+            walls = requirement.infeasible_constraints
+            raise InfeasibleDesignError(
+                f"design goal {goal.label()} is infeasible at "
+                f"{units.format_rate(stream_rate_bps)}: "
+                + ", ".join(c.value for c in walls),
+                constraint=walls[0].key,
+            )
+        return requirement.required_buffer_bits
+
+    def energy_efficiency_buffer(
+        self, goal: DesignGoal, stream_rate_bps: float
+    ) -> float:
+        """The "energy-efficiency buffer" series of Figure 3 (bits).
+
+        The buffer the *energy* constraint alone would demand —
+        ``inf`` where the energy goal is unreachable.
+        """
+        try:
+            return self.solver.buffer_for_energy_saving(
+                goal.energy_saving, stream_rate_bps
+            )
+        except InfeasibleDesignError:
+            return math.inf

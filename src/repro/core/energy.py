@@ -1,0 +1,371 @@
+"""Energy model of a buffered streaming storage device (§II-III.A).
+
+The streaming architecture of Figure 1 staggers device activity into
+*refill cycles*: every ``Tm`` seconds the device seeks, refills the DRAM
+buffer at the net rate ``rm - rs``, optionally serves batched best-effort
+requests, then shuts down and sits in standby while the application drains
+the buffer at ``rs``.
+
+For a buffer of ``B`` bits the paper derives (Equation 1):
+
+    Em(B) = toh/B * (Poh - Psb)  +  tRW/B * (PRW - Psb)  +  Tm/B * Psb
+
+with ``tRW = B / (rm - rs)`` and ``Tm = B/(rm - rs) * rm/rs``.  The first
+term — the shutdown overhead — is the only one that depends on the buffer
+size; the other two are per-bit constants of the operating point.
+
+Best-effort traffic (Table I: 5% of each cycle) is modelled as extra
+device-active time ``t_be = f_be * Tm`` at read/write power, replacing
+standby time.  Setting ``best_effort_fraction = 0`` in the workload
+recovers the literal Equation (1).
+
+The *break-even buffer* (§III.A.1) is the smallest buffer for which
+shutting down costs no more than staying idle between refills:
+
+    B_be = rs * (Eoh - Psb * toh) / (Pidle - Psb).
+
+Energy *saving* ``E(B)`` — the quantity a design goal constrains — is
+measured against an always-on device that reads/writes during refills and
+idles otherwise (see DESIGN.md §4.3 for the convention).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import MechanicalDeviceConfig, WorkloadConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RefillCycle:
+    """Timing and energy breakdown of one refill cycle (Figure 1b).
+
+    All times in seconds, energies in joules.  Produced by
+    :meth:`EnergyModel.cycle`; the discrete-event simulation is validated
+    against these numbers.
+    """
+
+    buffer_bits: float
+    stream_rate_bps: float
+    cycle_time_s: float
+    seek_time_s: float
+    refill_time_s: float
+    best_effort_time_s: float
+    shutdown_time_s: float
+    standby_time_s: float
+    seek_energy_j: float
+    refill_energy_j: float
+    best_effort_energy_j: float
+    shutdown_energy_j: float
+    standby_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total device energy over the cycle (joules)."""
+        return (
+            self.seek_energy_j
+            + self.refill_energy_j
+            + self.best_effort_energy_j
+            + self.shutdown_energy_j
+            + self.standby_energy_j
+        )
+
+    @property
+    def per_bit_energy_j(self) -> float:
+        """Per-bit energy ``Em(B)`` over the cycle (J/bit)."""
+        return self.total_energy_j / self.buffer_bits
+
+    @property
+    def active_time_s(self) -> float:
+        """Time the medium is moving (seek + refill + best-effort)."""
+        return self.seek_time_s + self.refill_time_s + self.best_effort_time_s
+
+
+class EnergyModel:
+    """Equation (1) and its surroundings for one device/workload pair.
+
+    Parameters
+    ----------
+    device:
+        The mechanical device (MEMS or the disk comparator).
+    workload:
+        Streaming workload; only ``best_effort_fraction`` matters here.
+        Defaults to a zero-best-effort workload, i.e. the literal paper
+        equations.
+    """
+
+    def __init__(
+        self,
+        device: MechanicalDeviceConfig,
+        workload: WorkloadConfig | None = None,
+    ):
+        self.device = device
+        self.workload = (
+            workload
+            if workload is not None
+            else WorkloadConfig(best_effort_fraction=0.0)
+        )
+
+    # -- validation helpers -------------------------------------------------
+
+    def _check_rate(self, stream_rate_bps: float) -> None:
+        if not 0 < stream_rate_bps < self.device.transfer_rate_bps:
+            raise ConfigurationError(
+                f"stream rate must lie in (0, rm={self.device.transfer_rate_bps:g}) "
+                f"bit/s, got {stream_rate_bps!r}"
+            )
+
+    def _check_buffer(self, buffer_bits: float) -> None:
+        if buffer_bits <= 0:
+            raise ConfigurationError(f"buffer must be > 0 bits, got {buffer_bits!r}")
+
+    # -- cycle timing ---------------------------------------------------------
+
+    def refill_time(self, buffer_bits: float, stream_rate_bps: float) -> float:
+        """Refill duration ``tRW = B / (rm - rs)`` in seconds."""
+        self._check_buffer(buffer_bits)
+        self._check_rate(stream_rate_bps)
+        return buffer_bits / (self.device.transfer_rate_bps - stream_rate_bps)
+
+    def cycle_time(self, buffer_bits: float, stream_rate_bps: float) -> float:
+        """Refill cycle period ``Tm = B/(rm - rs) * rm/rs`` in seconds."""
+        rm = self.device.transfer_rate_bps
+        return (
+            self.refill_time(buffer_bits, stream_rate_bps) * rm / stream_rate_bps
+        )
+
+    def best_effort_time(self, buffer_bits: float, stream_rate_bps: float) -> float:
+        """Per-cycle best-effort service time ``f_be * Tm`` in seconds."""
+        return self.workload.best_effort_fraction * self.cycle_time(
+            buffer_bits, stream_rate_bps
+        )
+
+    def standby_time(self, buffer_bits: float, stream_rate_bps: float) -> float:
+        """Per-cycle standby time (seconds); negative below the latency floor."""
+        return (
+            self.cycle_time(buffer_bits, stream_rate_bps)
+            - self.refill_time(buffer_bits, stream_rate_bps)
+            - self.best_effort_time(buffer_bits, stream_rate_bps)
+            - self.device.overhead_time_s
+        )
+
+    def latency_floor(self, stream_rate_bps: float) -> float:
+        """Smallest buffer (bits) whose drain covers overhead + best-effort.
+
+        Below this size the buffer empties before the device has finished
+        seeking, shutting down, and serving best-effort requests — the
+        stream would glitch regardless of energy considerations.  Derived
+        from ``standby_time >= 0``.
+        """
+        self._check_rate(stream_rate_bps)
+        rm = self.device.transfer_rate_bps
+        be_share = self.workload.best_effort_fraction * rm / (rm - stream_rate_bps)
+        if be_share >= 1.0:
+            raise ConfigurationError(
+                "best-effort fraction leaves no drain time at this rate "
+                f"(rs={stream_rate_bps:g} bit/s of rm={rm:g} bit/s)"
+            )
+        return self.device.overhead_time_s * stream_rate_bps / (1.0 - be_share)
+
+    # -- Equation (1) -------------------------------------------------------
+
+    def per_bit_energy(self, buffer_bits: float, stream_rate_bps: float) -> float:
+        """Per-bit device energy ``Em(B)`` in J/bit (Equation 1 + best-effort)."""
+        return self.cycle(buffer_bits, stream_rate_bps).per_bit_energy_j
+
+    def cycle(self, buffer_bits: float, stream_rate_bps: float) -> RefillCycle:
+        """Full timing/energy breakdown of one refill cycle."""
+        dev = self.device
+        t_rw = self.refill_time(buffer_bits, stream_rate_bps)
+        t_m = self.cycle_time(buffer_bits, stream_rate_bps)
+        t_be = self.workload.best_effort_fraction * t_m
+        t_sb = t_m - t_rw - t_be - dev.overhead_time_s
+        return RefillCycle(
+            buffer_bits=buffer_bits,
+            stream_rate_bps=stream_rate_bps,
+            cycle_time_s=t_m,
+            seek_time_s=dev.seek_time_s,
+            refill_time_s=t_rw,
+            best_effort_time_s=t_be,
+            shutdown_time_s=dev.shutdown_time_s,
+            standby_time_s=t_sb,
+            seek_energy_j=dev.seek_power_w * dev.seek_time_s,
+            refill_energy_j=dev.read_write_power_w * t_rw,
+            best_effort_energy_j=dev.read_write_power_w * t_be,
+            shutdown_energy_j=dev.shutdown_power_w * dev.shutdown_time_s,
+            standby_energy_j=dev.standby_power_w * t_sb,
+        )
+
+    def per_bit_energy_terms(
+        self, buffer_bits: float, stream_rate_bps: float
+    ) -> tuple[float, float, float]:
+        """The three terms of Equation (1) in J/bit.
+
+        Returns ``(overhead, transfer, standby)`` where *overhead* is the
+        only buffer-dependent term, *transfer* covers refill + best-effort
+        at RW power above standby, and *standby* is the baseline
+        ``Tm/B * Psb``.
+        """
+        dev = self.device
+        self._check_buffer(buffer_bits)
+        t_rw = self.refill_time(buffer_bits, stream_rate_bps)
+        t_m = self.cycle_time(buffer_bits, stream_rate_bps)
+        t_be = self.workload.best_effort_fraction * t_m
+        overhead = (
+            dev.overhead_time_s
+            / buffer_bits
+            * (dev.overhead_power_w - dev.standby_power_w)
+        )
+        transfer = (
+            (t_rw + t_be)
+            / buffer_bits
+            * (dev.read_write_power_w - dev.standby_power_w)
+        )
+        standby = t_m / buffer_bits * dev.standby_power_w
+        return overhead, transfer, standby
+
+    def asymptotic_per_bit_energy(self, stream_rate_bps: float) -> float:
+        """Limit of ``Em(B)`` as the buffer grows without bound (J/bit).
+
+        The overhead term vanishes; the transfer and standby terms are
+        per-bit constants of the operating point.
+        """
+        self._check_rate(stream_rate_bps)
+        dev = self.device
+        rm = dev.transfer_rate_bps
+        net = rm - stream_rate_bps
+        cycle_per_bit = rm / (stream_rate_bps * net)  # Tm / B
+        transfer = (1.0 / net) * (dev.read_write_power_w - dev.standby_power_w)
+        best_effort = (
+            self.workload.best_effort_fraction
+            * cycle_per_bit
+            * (dev.read_write_power_w - dev.standby_power_w)
+        )
+        standby = cycle_per_bit * dev.standby_power_w
+        return transfer + best_effort + standby
+
+    # -- always-on reference and saving ---------------------------------------
+
+    def always_on_per_bit_energy(self, stream_rate_bps: float) -> float:
+        """Per-bit energy of an always-on device at this rate (J/bit).
+
+        The reference device transfers during refills and idles the rest of
+        the cycle; it never pays seek/shutdown overhead, so its per-bit
+        energy ``PRW/(rm - rs) + Pidle/rs`` is independent of any buffer.
+        """
+        self._check_rate(stream_rate_bps)
+        dev = self.device
+        net = dev.transfer_rate_bps - stream_rate_bps
+        return dev.read_write_power_w / net + dev.idle_power_w / stream_rate_bps
+
+    def energy_saving(self, buffer_bits: float, stream_rate_bps: float) -> float:
+        """Energy saving ``E(B) = 1 - Em(B) / E_on`` (fraction, may be < 0)."""
+        return 1.0 - (
+            self.per_bit_energy(buffer_bits, stream_rate_bps)
+            / self.always_on_per_bit_energy(stream_rate_bps)
+        )
+
+    def max_energy_saving(self, stream_rate_bps: float) -> float:
+        """Supremum of the energy saving at this rate (buffer -> infinity)."""
+        return 1.0 - (
+            self.asymptotic_per_bit_energy(stream_rate_bps)
+            / self.always_on_per_bit_energy(stream_rate_bps)
+        )
+
+    # -- break-even buffer (§III.A.1) ----------------------------------------
+
+    def break_even_buffer(self, stream_rate_bps: float) -> float:
+        """Break-even buffer ``B_be`` in bits.
+
+        The buffer for which one shutdown cycle consumes exactly as much as
+        idling between refills: equate ``Eoh + Psb * (B/rs - toh)`` with
+        ``Pidle * B/rs`` and solve for ``B``.  Independent of best-effort
+        traffic by construction — it is a property of the bare device.
+
+        For MEMS (Table I) this spans ~0.07-8.9 kB over 32-4096 kbps; for
+        the 1.8-inch disk comparator, ~0.07-9.3 MB — the paper's three
+        orders of magnitude.
+        """
+        self._check_rate(stream_rate_bps)
+        dev = self.device
+        surplus = dev.overhead_energy_j - dev.standby_power_w * dev.overhead_time_s
+        if surplus <= 0:
+            # Shutting down is free; any positive buffer breaks even.
+            return 0.0
+        return (
+            stream_rate_bps * surplus / (dev.idle_power_w - dev.standby_power_w)
+        )
+
+    def break_even_range(
+        self, rate_min_bps: float, rate_max_bps: float
+    ) -> tuple[float, float]:
+        """Break-even buffers (bits) at the two ends of a rate range.
+
+        ``B_be`` is linear in the rate, so the endpoints bound the range.
+        """
+        if not 0 < rate_min_bps <= rate_max_bps:
+            raise ConfigurationError("rate range must be positive and ordered")
+        return (
+            self.break_even_buffer(rate_min_bps),
+            self.break_even_buffer(rate_max_bps),
+        )
+
+    # -- misc -----------------------------------------------------------------
+
+    def refills_per_year(
+        self, buffer_bits: float, stream_rate_bps: float
+    ) -> float:
+        """Number of refill cycles per year, ``T * rs / B`` (Equations 5-6)."""
+        self._check_buffer(buffer_bits)
+        self._check_rate(stream_rate_bps)
+        return (
+            self.workload.playback_seconds_per_year
+            * stream_rate_bps
+            / buffer_bits
+        )
+
+    def duty_cycle(self, buffer_bits: float, stream_rate_bps: float) -> float:
+        """Fraction of the cycle the medium is in motion."""
+        cycle = self.cycle(buffer_bits, stream_rate_bps)
+        return cycle.active_time_s / cycle.cycle_time_s
+
+    def is_energy_positive(
+        self, buffer_bits: float, stream_rate_bps: float
+    ) -> bool:
+        """True when shutting down with this buffer beats staying always-on."""
+        return self.energy_saving(buffer_bits, stream_rate_bps) > 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnergyModel(device={self.device.name!r}, "
+            f"be={self.workload.best_effort_fraction:g})"
+        )
+
+
+def per_bit_energy_closed_form(
+    device: MechanicalDeviceConfig,
+    buffer_bits: float,
+    stream_rate_bps: float,
+) -> float:
+    """Literal Equation (1) without best-effort, as printed in the paper.
+
+    Kept as a standalone function so tests can cross-check the class
+    implementation term by term.
+    """
+    if buffer_bits <= 0:
+        raise ConfigurationError("buffer must be > 0 bits")
+    if not 0 < stream_rate_bps < device.transfer_rate_bps:
+        raise ConfigurationError("stream rate must lie in (0, rm)")
+    rm = device.transfer_rate_bps
+    t_rw = buffer_bits / (rm - stream_rate_bps)
+    t_m = t_rw * rm / stream_rate_bps
+    toh = device.overhead_time_s
+    p_oh = device.overhead_power_w
+    p_sb = device.standby_power_w
+    return (
+        toh / buffer_bits * (p_oh - p_sb)
+        + t_rw / buffer_bits * (device.read_write_power_w - p_sb)
+        + t_m / buffer_bits * p_sb
+    )

@@ -1,0 +1,147 @@
+"""Energy-saving versus buffer-size Pareto frontier (§IV.C discussion).
+
+The paper closes §IV.C with a system-level argument: between a 70% and
+an 80% energy goal the *device* energy differs modestly, but the buffer
+differs by orders of magnitude, "so that 70% might well be preferable".
+This module computes the full curve that argument samples twice: for a
+fixed rate and fixed capacity/lifetime requirements, the minimal buffer
+as a function of the energy-saving target — with the knee the designer
+should sit below.
+
+The frontier has a characteristic shape:
+
+* a *flat floor* where capacity/lifetime dominate (more saving is free),
+* a *rise* once the energy constraint takes over,
+* a *vertical asymptote* at the operating point's maximum saving.
+
+:func:`knee_point` finds where the marginal buffer cost of one more
+percentage point of saving explodes past a threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DesignGoal, MEMSDeviceConfig, WorkloadConfig
+from ..errors import ConfigurationError
+from .dimensioning import BufferDimensioner, Constraint
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier sample: energy target -> minimal buffer."""
+
+    energy_saving: float
+    buffer_bits: float
+    dominant: Constraint
+
+    @property
+    def feasible(self) -> bool:
+        """False past the operating point's maximum saving."""
+        return math.isfinite(self.buffer_bits)
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """The §IV.C energy-for-buffer frontier at one operating point."""
+
+    stream_rate_bps: float
+    capacity_utilisation: float
+    lifetime_years: float
+    points: tuple[ParetoPoint, ...]
+    max_saving: float
+
+    @property
+    def floor_bits(self) -> float:
+        """The flat floor: the buffer the non-energy constraints demand."""
+        finite = [p.buffer_bits for p in self.points if p.feasible]
+        if not finite:
+            return math.nan
+        return min(finite)
+
+    def buffer_for(self, energy_saving: float) -> float:
+        """Interpolated minimal buffer at one saving level (bits)."""
+        feasible = [(p.energy_saving, p.buffer_bits) for p in self.points
+                    if p.feasible]
+        if not feasible:
+            return math.inf
+        savings, buffers = zip(*feasible)
+        if energy_saving > max(savings):
+            return math.inf
+        return float(np.interp(energy_saving, savings, buffers))
+
+    def knee_point(self, cost_factor: float = 3.0) -> ParetoPoint:
+        """Last point before the frontier's cost explodes.
+
+        Scans the feasible points in order of increasing saving and
+        returns the final one whose buffer is still within
+        ``cost_factor`` of the floor — the paper's "70% might well be
+        preferable" operating point, computed rather than eyeballed.
+        """
+        if cost_factor <= 1.0:
+            raise ConfigurationError("cost_factor must exceed 1")
+        floor = self.floor_bits
+        knee = None
+        for point in self.points:
+            if point.feasible and point.buffer_bits <= cost_factor * floor:
+                knee = point
+        if knee is None:
+            raise ConfigurationError(
+                "no feasible point within the cost factor; the floor "
+                "itself is energy-bound"
+            )
+        return knee
+
+
+def energy_buffer_frontier(
+    device: MEMSDeviceConfig,
+    workload: WorkloadConfig | None = None,
+    stream_rate_bps: float = 1_024_000.0,
+    capacity_utilisation: float = 0.88,
+    lifetime_years: float = 7.0,
+    points: int = 81,
+) -> ParetoFrontier:
+    """Sweep the energy target from 0 to the feasibility wall.
+
+    Capacity and lifetime requirements are held at the given values, so
+    every sample answers "what buffer does *this much* energy saving
+    cost, all else equal?".
+    """
+    if points < 2:
+        raise ConfigurationError("need at least 2 sweep points")
+    workload = workload if workload is not None else WorkloadConfig()
+    dimensioner = BufferDimensioner(device, workload)
+    max_saving = dimensioner.solver.energy.max_energy_saving(stream_rate_bps)
+    # Sample densely near the wall, where the action is.
+    targets = np.concatenate(
+        [
+            np.linspace(0.0, max(0.0, max_saving - 0.02), points // 2),
+            max_saving - np.geomspace(0.02, 1e-4, points - points // 2),
+        ]
+    )
+    targets = np.unique(np.clip(targets, 0.0, 0.999999))
+    frontier_points = []
+    for target in targets:
+        goal = DesignGoal(
+            energy_saving=float(target),
+            capacity_utilisation=capacity_utilisation,
+            lifetime_years=lifetime_years,
+        )
+        requirement = dimensioner.dimension(goal, stream_rate_bps)
+        frontier_points.append(
+            ParetoPoint(
+                energy_saving=float(target),
+                buffer_bits=requirement.required_buffer_bits,
+                dominant=requirement.dominant,
+            )
+        )
+    return ParetoFrontier(
+        stream_rate_bps=stream_rate_bps,
+        capacity_utilisation=capacity_utilisation,
+        lifetime_years=lifetime_years,
+        points=tuple(frontier_points),
+        max_saving=max_saving,
+    )

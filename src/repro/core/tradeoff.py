@@ -1,0 +1,152 @@
+"""The headline trade-off: modest energy concessions, huge buffer savings.
+
+The paper's abstract claims that *"trading off 10% of the optimal energy
+saving of a MEMS device reduces its buffer capacity by up to three orders
+of magnitude"* — compare Figure 3a (E = 80%) against Figure 3b (E = 70%):
+near the 80%-wall the energy constraint demands a buffer thousands of
+times larger than what capacity and lifetime need.
+
+:class:`TradeoffAnalysis` quantifies this: for two design goals differing
+in the energy target it sweeps the rate range, forms the per-rate ratio of
+required buffers, and reports where the ratio peaks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from ..config import DesignGoal, MEMSDeviceConfig, WorkloadConfig
+from .design_space import DesignSpaceExplorer, log_rate_grid
+from .dimensioning import BufferDimensioner
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """Buffer requirements of two goals at one streaming rate."""
+
+    stream_rate_bps: float
+    buffer_high_bits: float
+    buffer_low_bits: float
+
+    @property
+    def ratio(self) -> float:
+        """Buffer shrink factor won by relaxing the energy goal."""
+        if math.isinf(self.buffer_high_bits):
+            return math.inf
+        return self.buffer_high_bits / self.buffer_low_bits
+
+    @property
+    def orders_of_magnitude(self) -> float:
+        """``log10`` of the shrink factor."""
+        ratio = self.ratio
+        return math.log10(ratio) if math.isfinite(ratio) else math.inf
+
+
+@dataclass(frozen=True)
+class TradeoffAnalysis:
+    """Result of :func:`compare_energy_goals` over a rate sweep."""
+
+    goal_high: DesignGoal
+    goal_low: DesignGoal
+    points: tuple[TradeoffPoint, ...]
+
+    @property
+    def finite_points(self) -> tuple[TradeoffPoint, ...]:
+        """Points where both goals are feasible."""
+        return tuple(
+            p
+            for p in self.points
+            if math.isfinite(p.buffer_high_bits)
+            and math.isfinite(p.buffer_low_bits)
+        )
+
+    @property
+    def max_ratio(self) -> float:
+        """Largest buffer shrink factor where both goals are feasible."""
+        finite = self.finite_points
+        if not finite:
+            return float("nan")
+        return max(p.ratio for p in finite)
+
+    @property
+    def max_orders_of_magnitude(self) -> float:
+        """``log10`` of :attr:`max_ratio`."""
+        ratio = self.max_ratio
+        return math.log10(ratio) if ratio > 0 else float("nan")
+
+    @property
+    def rate_of_max_ratio_bps(self) -> float:
+        """Streaming rate at which the shrink factor peaks."""
+        finite = self.finite_points
+        if not finite:
+            return float("nan")
+        return max(finite, key=lambda p: p.ratio).stream_rate_bps
+
+    def summary(self) -> str:
+        """Human-readable statement of the headline claim."""
+        return (
+            f"relaxing {self.goal_high.energy_saving:.0%} -> "
+            f"{self.goal_low.energy_saving:.0%} energy saving shrinks the "
+            f"required buffer by up to {self.max_ratio:,.0f}x "
+            f"({self.max_orders_of_magnitude:.1f} orders of magnitude), "
+            f"peaking near {units.format_rate(self.rate_of_max_ratio_bps)}"
+        )
+
+
+def compare_energy_goals(
+    device: MEMSDeviceConfig,
+    workload: WorkloadConfig | None = None,
+    goal_high: DesignGoal | None = None,
+    goal_low: DesignGoal | None = None,
+    points_per_decade: int = 64,
+) -> TradeoffAnalysis:
+    """Quantify the buffer saved by relaxing the energy goal.
+
+    Defaults to the paper's pairing: (E=80%, C=88%, L=7) against
+    (E=70%, C=88%, L=7) over the Table I rate range.  The per-rate ratio
+    uses each goal's *required* buffer (max over all constraints), exactly
+    the two curves a reader compares between Figures 3a and 3b.
+    """
+    workload = workload if workload is not None else WorkloadConfig()
+    goal_high = goal_high if goal_high is not None else DesignGoal(
+        energy_saving=0.80
+    )
+    goal_low = goal_low if goal_low is not None else DesignGoal(
+        energy_saving=0.70
+    )
+    dimensioner = BufferDimensioner(device, workload)
+    grid = log_rate_grid(
+        workload.stream_rate_min_bps,
+        workload.stream_rate_max_bps,
+        points_per_decade,
+    )
+    # Sample densely just below the high goal's energy wall, where the
+    # ratio peaks (the wall is where the 80% buffer diverges).
+    explorer = DesignSpaceExplorer(device, workload)
+    wall = explorer.energy_wall_rate(goal_high)
+    if math.isfinite(wall):
+        shoulder = wall * (1.0 - np.geomspace(1e-4, 0.2, 24))
+        in_range = shoulder[
+            (shoulder > workload.stream_rate_min_bps)
+            & (shoulder < workload.stream_rate_max_bps)
+        ]
+        grid = np.unique(np.concatenate([grid, in_range]))
+
+    points = []
+    for rate in grid:
+        high = dimensioner.dimension(goal_high, float(rate))
+        low = dimensioner.dimension(goal_low, float(rate))
+        points.append(
+            TradeoffPoint(
+                stream_rate_bps=float(rate),
+                buffer_high_bits=high.required_buffer_bits,
+                buffer_low_bits=low.required_buffer_bits,
+            )
+        )
+    return TradeoffAnalysis(
+        goal_high=goal_high, goal_low=goal_low, points=tuple(points)
+    )

@@ -1,0 +1,36 @@
+"""Device substrates: power-state machines, geometry, seek models, and the
+DRAM/disk comparators used by the paper's evaluation.
+
+* :mod:`repro.devices.states` — explicit power-state machine with energy
+  accounting (shared by analytics and the discrete-event simulation),
+* :mod:`repro.devices.geometry` — probe-array scan geometry,
+* :mod:`repro.devices.seek` — seek-time models (constant / distance-based),
+* :mod:`repro.devices.mems` — behavioural MEMS device,
+* :mod:`repro.devices.disk` — behavioural 1.8-inch disk comparator,
+* :mod:`repro.devices.dram` — Micron TN-46-03-style DRAM power model.
+"""
+
+from .states import PowerState, PowerStateMachine, StateVisit
+from .geometry import ProbeArrayGeometry
+from .seek import ConstantSeekModel, DistanceSeekModel, SeekModel
+from .mems import MEMSDevice
+from .disk import DiskDrive
+from .dram import DRAMPowerModel, DRAMEnergyBreakdown
+from .scaling import ROADMAP, TechnologyPoint, scale_table1_device
+
+__all__ = [
+    "PowerState",
+    "PowerStateMachine",
+    "StateVisit",
+    "ProbeArrayGeometry",
+    "SeekModel",
+    "ConstantSeekModel",
+    "DistanceSeekModel",
+    "MEMSDevice",
+    "DiskDrive",
+    "DRAMPowerModel",
+    "DRAMEnergyBreakdown",
+    "TechnologyPoint",
+    "scale_table1_device",
+    "ROADMAP",
+]

@@ -1,0 +1,122 @@
+"""DRAM buffer power model in the style of Micron TN-46-03 [9].
+
+§IV.A of the paper: "We include energy to retain and to access data from
+the DRAM.  The DRAM model is taken from Micron.  We found that DRAM energy
+consumption is negligible due to its tiny size, thanks to the small
+overheads of MEMS storage."
+
+The technical note's methodology computes device power from background
+current, activate/precharge current, read/write burst current, and refresh
+current.  :class:`DRAMPowerModel` applies the same decomposition at the
+per-refill-cycle granularity the streaming architecture needs:
+
+* **retention** — background + refresh power for the buffer's capacity,
+  paid for the *whole* cycle;
+* **access** — activate energy for every touched row plus per-bit burst
+  energy, paid twice per cycle (the buffer is written during the refill
+  and read back by the decoder as it drains).
+
+The model exposes both per-cycle joules and a per-streamed-bit figure so
+the experiments can place DRAM energy next to Equation (1) on Figure 2a's
+axis and confirm the "negligible" verdict quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import units
+from ..config import DRAMConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DRAMEnergyBreakdown:
+    """Per-refill-cycle DRAM energy decomposition (joules)."""
+
+    retention_j: float
+    activate_j: float
+    burst_j: float
+    cycle_time_s: float
+    buffer_bits: float
+
+    @property
+    def total_j(self) -> float:
+        """Total DRAM energy over the cycle."""
+        return self.retention_j + self.activate_j + self.burst_j
+
+    @property
+    def per_bit_j(self) -> float:
+        """DRAM energy per streamed bit (J/bit) — comparable to Em(B)."""
+        return self.total_j / self.buffer_bits
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average DRAM power over the cycle (watts)."""
+        return self.total_j / self.cycle_time_s
+
+
+class DRAMPowerModel:
+    """Energy of a DRAM streaming buffer over refill cycles."""
+
+    def __init__(self, config: DRAMConfig | None = None):
+        self.config = config if config is not None else DRAMConfig()
+
+    def retention_power_w(self, buffer_bits: float) -> float:
+        """Standby + refresh power to retain ``buffer_bits`` (watts)."""
+        if buffer_bits < 0:
+            raise ConfigurationError("buffer must be >= 0 bits")
+        refresh = self.config.refresh_power_w_per_gb * units.bits_to_gb(
+            buffer_bits
+        )
+        return self.config.standby_power_w + refresh
+
+    def access_energy_j(self, n_bits: float, write: bool) -> float:
+        """Energy to burst ``n_bits`` in or out of the device (joules).
+
+        Charges one activate per touched row plus the per-bit burst energy.
+        """
+        if n_bits < 0:
+            raise ConfigurationError("n_bits must be >= 0")
+        if n_bits == 0:
+            return 0.0
+        rows = math.ceil(n_bits / self.config.row_size_bits)
+        per_bit = (
+            self.config.write_energy_j_per_bit
+            if write
+            else self.config.read_energy_j_per_bit
+        )
+        return rows * self.config.activate_energy_j + n_bits * per_bit
+
+    def cycle_energy(
+        self, buffer_bits: float, cycle_time_s: float
+    ) -> DRAMEnergyBreakdown:
+        """Full DRAM energy breakdown for one refill cycle.
+
+        The buffer is filled once (write burst) and drained once (read
+        burst) per cycle, and retained throughout.
+        """
+        if buffer_bits <= 0:
+            raise ConfigurationError("buffer must be > 0 bits")
+        if cycle_time_s <= 0:
+            raise ConfigurationError("cycle time must be > 0")
+        write = self.access_energy_j(buffer_bits, write=True)
+        read = self.access_energy_j(buffer_bits, write=False)
+        activate = (
+            math.ceil(buffer_bits / self.config.row_size_bits)
+            * self.config.activate_energy_j
+            * 2
+        )
+        burst = write + read - activate
+        return DRAMEnergyBreakdown(
+            retention_j=self.retention_power_w(buffer_bits) * cycle_time_s,
+            activate_j=activate,
+            burst_j=burst,
+            cycle_time_s=cycle_time_s,
+            buffer_bits=buffer_bits,
+        )
+
+    def per_bit_energy(self, buffer_bits: float, cycle_time_s: float) -> float:
+        """DRAM energy per streamed bit (J/bit) for one refill cycle."""
+        return self.cycle_energy(buffer_bits, cycle_time_s).per_bit_j

@@ -1,0 +1,179 @@
+"""Behavioural MEMS device: the executable counterpart of Table I.
+
+:class:`MEMSDevice` binds the static :class:`~repro.config.MEMSDeviceConfig`
+to a power-state machine, a seek model, and wear counters.  The streaming
+pipeline of :mod:`repro.streaming` drives it through refill cycles; its
+transcript (energy per state, seek counts, bits written) is what the
+analytic models of :mod:`repro.core` are validated against.
+
+The device is deliberately synchronous — methods advance its private clock
+and return durations — so the discrete-event processes can interleave it
+with buffer drain bookkeeping at event granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MEMSDeviceConfig
+from ..errors import SimulationError
+from .geometry import ProbeArrayGeometry
+from .seek import ConstantSeekModel, SeekModel
+from .states import PowerState, PowerStateMachine
+
+
+@dataclass(frozen=True)
+class WearCounters:
+    """Cumulative mechanical wear of a device instance."""
+
+    spring_cycles: int
+    bits_written: float
+
+    def springs_fraction_used(self, rating: float) -> float:
+        """Fraction of the springs' duty-cycle rating consumed."""
+        return self.spring_cycles / rating
+
+    def probes_fraction_used(self, capacity_bits: float, rating: float) -> float:
+        """Fraction of the probes' device-overwrite budget consumed."""
+        return self.bits_written / (capacity_bits * rating)
+
+
+class MEMSDevice:
+    """Executable MEMS storage device.
+
+    Parameters
+    ----------
+    config:
+        Static device description (Table I preset by default behaviour of
+        callers).
+    seek_model:
+        Seek-time model; defaults to the Table I constant 2 ms.
+    geometry:
+        Probe-array geometry (only needed by distance-based seek models
+        and geometry-aware reports).
+    record_visits:
+        Forwarded to the power-state machine.
+    """
+
+    def __init__(
+        self,
+        config: MEMSDeviceConfig,
+        seek_model: SeekModel | None = None,
+        geometry: ProbeArrayGeometry | None = None,
+        record_visits: bool = False,
+    ):
+        self.config = config
+        self.seek_model = (
+            seek_model
+            if seek_model is not None
+            else ConstantSeekModel(config.seek_time_s)
+        )
+        self.geometry = (
+            geometry
+            if geometry is not None
+            else ProbeArrayGeometry(
+                rows=config.probe_rows,
+                cols=config.probe_cols,
+                field_x_um=config.probe_field_x_um,
+                field_y_um=config.probe_field_y_um,
+            )
+        )
+        self.power = PowerStateMachine(
+            config,
+            initial_state=PowerState.STANDBY,
+            record_visits=record_visits,
+        )
+        self._bits_written = 0.0
+
+    # -- cycle phases -----------------------------------------------------------
+
+    def standby(self, duration_s: float) -> float:
+        """Remain parked for ``duration_s`` seconds; returns energy (J)."""
+        self._require_state(PowerState.STANDBY)
+        return self.power.advance(duration_s)
+
+    def seek(self, distance_um: float | None = None) -> float:
+        """Wake and position for the next refill; returns the seek time (s).
+
+        With no distance the model's worst case is charged — the streaming
+        refill pattern of the paper, where consecutive refills land on
+        far-apart sectors and the springs flex "for virtually their full
+        range" (§III.C.1).
+        """
+        if self.power.state is PowerState.STANDBY:
+            self.power.transition(PowerState.SEEK)
+        elif self.power.state in (PowerState.READ_WRITE, PowerState.IDLE):
+            self.power.transition(PowerState.SEEK)
+        else:
+            raise SimulationError(
+                f"cannot seek from state {self.power.state}"
+            )
+        if distance_um is None:
+            duration = self.seek_model.worst_case_seek_time()
+        else:
+            duration = self.seek_model.seek_time(distance_um)
+        self.power.advance(duration)
+        return duration
+
+    def transfer(self, n_bits: float, write_fraction: float = 0.0) -> float:
+        """Read/write ``n_bits`` at the media rate; returns the duration (s).
+
+        ``write_fraction`` of the bits counts against probe wear.
+        """
+        if n_bits < 0:
+            raise SimulationError(f"cannot transfer {n_bits!r} bits")
+        if not 0 <= write_fraction <= 1:
+            raise SimulationError("write_fraction must lie in [0, 1]")
+        if self.power.state is not PowerState.READ_WRITE:
+            self.power.transition(PowerState.READ_WRITE)
+        duration = n_bits / self.config.transfer_rate_bps
+        self.power.advance(duration)
+        self._bits_written += (
+            n_bits * write_fraction * self.config.probe_wear_factor
+        )
+        return duration
+
+    def serve_best_effort(self, duration_s: float) -> float:
+        """Serve best-effort requests at RW power for ``duration_s``."""
+        if self.power.state is not PowerState.READ_WRITE:
+            self.power.transition(PowerState.READ_WRITE)
+        return self.power.advance(duration_s)
+
+    def idle(self, duration_s: float) -> float:
+        """Stay spun-up but inactive (always-on reference policy)."""
+        if self.power.state is not PowerState.IDLE:
+            self.power.transition(PowerState.IDLE)
+        return self.power.advance(duration_s)
+
+    def shut_down(self) -> float:
+        """Park the sled and drop to standby; returns the transition time."""
+        self.power.transition(PowerState.SHUTDOWN)
+        self.power.advance(self.config.shutdown_time_s)
+        self.power.transition(PowerState.STANDBY)
+        return self.config.shutdown_time_s
+
+    # -- introspection --------------------------------------------------------------
+
+    def _require_state(self, state: PowerState) -> None:
+        if self.power.state is not state:
+            raise SimulationError(
+                f"expected device in {state}, found {self.power.state}"
+            )
+
+    @property
+    def wear(self) -> WearCounters:
+        """Spring flexes and (wear-weighted) bits written so far."""
+        return WearCounters(
+            spring_cycles=self.power.seek_count,
+            bits_written=self._bits_written,
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total device energy since construction (joules)."""
+        return self.power.total_energy_j
+
+    @property
+    def now(self) -> float:
+        """Device-local clock (seconds)."""
+        return self.power.now

@@ -1,0 +1,156 @@
+"""Technology scaling: derive consistent future MEMS device configs.
+
+The paper's conclusion — "enhancement in probes lifetime is essentially
+needed" — invites the question of how the buffer design space shifts as
+the technology scales: more parallel probes, faster per-probe channels,
+denser media, tougher tips.  Scaling one Table I number in isolation
+produces inconsistent devices (the config validator rejects a transfer
+rate that disagrees with ``probes x per-probe rate``); this module
+derives whole consistent configs from a small set of technology knobs:
+
+* the probe array (rows, columns, fraction active),
+* the per-probe channel rate,
+* the areal density and field size (capacity follows from geometry),
+* endurance ratings,
+* power scaling — actuation power grows with the actuated mass and the
+  per-probe channel electronics with the active-probe count; the
+  defaults keep the Table I point exactly fixed (scale factor 1 -> the
+  IBM prototype).
+
+:func:`scale_table1_device` maps technology factors onto the Table I
+anchor; :class:`TechnologyPoint` names a full coordinate so sweeps read
+naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..config import MEMSDeviceConfig, ibm_mems_prototype
+from ..errors import ConfigurationError
+from .geometry import ProbeArrayGeometry
+
+#: Areal density that makes the Table I geometry hold exactly 120 GB:
+#: 9.6e11 bits over 4096 fields of 100 x 100 µm.
+TABLE1_IMPLIED_DENSITY_TB_IN2 = 15.1209375
+
+
+@dataclass(frozen=True)
+class TechnologyPoint:
+    """A named coordinate in MEMS technology space.
+
+    Every field is a multiplier relative to the Table I prototype; 1.0
+    everywhere reproduces it exactly.
+    """
+
+    name: str = "Table I prototype"
+    probe_count_factor: float = 1.0
+    per_probe_rate_factor: float = 1.0
+    density_factor: float = 1.0
+    probe_endurance_factor: float = 1.0
+    springs_endurance_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for label in (
+            "probe_count_factor",
+            "per_probe_rate_factor",
+            "density_factor",
+            "probe_endurance_factor",
+            "springs_endurance_factor",
+        ):
+            if getattr(self, label) <= 0:
+                raise ConfigurationError(f"{label} must be > 0")
+
+
+def scale_table1_device(point: TechnologyPoint) -> MEMSDeviceConfig:
+    """Derive a consistent device config for a technology point.
+
+    Scaling rules (all anchored at the Table I values):
+
+    * the probe array grows by splitting the factor evenly over rows
+      and columns (rounded), with the active fraction held at 1/4;
+    * the transfer rate follows ``active probes x per-probe rate``;
+    * capacity follows the geometry at the scaled density;
+    * read/write and idle power scale with the active-probe count
+      (channel electronics dominate); seek/shutdown power with the
+      array area (actuated mass); standby power is a controller floor
+      and stays fixed;
+    * per-probe rate changes shrink the sync window proportionally —
+      the 3 sync bits are a fixed 30 µs of processing at 100 kbps, so a
+      faster channel needs proportionally more bits for the same time.
+    """
+    base = ibm_mems_prototype()
+    rows = max(1, round(base.probe_rows * point.probe_count_factor ** 0.5))
+    cols = max(1, round(base.probe_cols * point.probe_count_factor ** 0.5))
+    total = rows * cols
+    active = max(1, total // 4)
+    per_probe_rate = base.per_probe_rate_bps * point.per_probe_rate_factor
+
+    geometry = ProbeArrayGeometry(
+        rows=rows,
+        cols=cols,
+        field_x_um=base.probe_field_x_um,
+        field_y_um=base.probe_field_y_um,
+        areal_density_tb_per_in2=(
+            TABLE1_IMPLIED_DENSITY_TB_IN2 * point.density_factor
+        ),
+    )
+    capacity_bits = geometry.total_area_m2 * geometry.bits_per_m2
+
+    probe_scale = active / base.active_probes
+    area_scale = total / base.total_probes
+    sync_bits = max(
+        1, round(base.sync_bits_per_subsector * point.per_probe_rate_factor)
+    )
+
+    return MEMSDeviceConfig(
+        name=f"scaled MEMS ({point.name})",
+        transfer_rate_bps=active * per_probe_rate,
+        seek_time_s=base.seek_time_s,
+        shutdown_time_s=base.shutdown_time_s,
+        read_write_power_w=base.read_write_power_w * probe_scale,
+        seek_power_w=base.seek_power_w * area_scale,
+        shutdown_power_w=base.shutdown_power_w * area_scale,
+        idle_power_w=base.idle_power_w * probe_scale,
+        standby_power_w=base.standby_power_w,
+        capacity_bits=capacity_bits,
+        probe_rows=rows,
+        probe_cols=cols,
+        active_probes=active,
+        probe_field_x_um=base.probe_field_x_um,
+        probe_field_y_um=base.probe_field_y_um,
+        per_probe_rate_bps=per_probe_rate,
+        sync_bits_per_subsector=sync_bits,
+        ecc_numerator=base.ecc_numerator,
+        ecc_denominator=base.ecc_denominator,
+        springs_duty_cycles=(
+            base.springs_duty_cycles * point.springs_endurance_factor
+        ),
+        probe_write_cycles=(
+            base.probe_write_cycles * point.probe_endurance_factor
+        ),
+        probe_wear_factor=base.probe_wear_factor,
+    )
+
+
+#: A few named future-technology points for sweeps and examples.
+ROADMAP: tuple[TechnologyPoint, ...] = (
+    TechnologyPoint(name="Table I prototype"),
+    TechnologyPoint(
+        name="tougher tips (2x endurance)", probe_endurance_factor=2.0
+    ),
+    TechnologyPoint(
+        name="silicon springs", springs_endurance_factor=1e4
+    ),
+    TechnologyPoint(
+        name="fast channels (4x per-probe rate)",
+        per_probe_rate_factor=4.0,
+    ),
+    TechnologyPoint(
+        name="dense media (2x density)", density_factor=2.0
+    ),
+    TechnologyPoint(
+        name="large array (4x probes)", probe_count_factor=4.0
+    ),
+)

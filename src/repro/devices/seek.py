@@ -1,0 +1,125 @@
+"""Seek-time models for the MEMS positioner.
+
+Table I abstracts positioning into a single constant: "Fast/Slow seek time
+2 ms".  :class:`ConstantSeekModel` implements exactly that and is the
+default everywhere.  :class:`DistanceSeekModel` is the substrate behind
+the abstraction: a second-order positioner limited by acceleration and a
+settle window, the standard model for nanopositioner sleds such as the
+vibration-resistant design of Lantz et al. [1].  It lets ablations ask how
+sensitive the paper's conclusions are to the constant-seek simplification.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .geometry import ProbeArrayGeometry
+
+
+class SeekModel(ABC):
+    """Interface: displacement (µm) -> seek time (s)."""
+
+    @abstractmethod
+    def seek_time(self, distance_um: float) -> float:
+        """Seconds to reposition the sled by ``distance_um``."""
+
+    @abstractmethod
+    def worst_case_seek_time(self) -> float:
+        """Upper bound over all displacements the model serves."""
+
+
+@dataclass(frozen=True)
+class ConstantSeekModel(SeekModel):
+    """Every seek takes the same time (Table I: 2 ms)."""
+
+    seek_time_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.seek_time_s < 0:
+            raise ConfigurationError("seek time must be >= 0")
+
+    def seek_time(self, distance_um: float) -> float:
+        if distance_um < 0:
+            raise ConfigurationError("seek distance must be >= 0")
+        return self.seek_time_s
+
+    def worst_case_seek_time(self) -> float:
+        return self.seek_time_s
+
+
+@dataclass(frozen=True)
+class DistanceSeekModel(SeekModel):
+    """Bang-bang second-order positioner with a settle window.
+
+    The sled accelerates at ``acceleration_m_s2`` for half the distance and
+    decelerates for the other half (velocity never saturates over the
+    ~141 µm full stroke of a 100 x 100 µm field), then waits
+    ``settle_time_s`` for residual oscillation to decay:
+
+        t(d) = 2 * sqrt(d / a) + t_settle
+
+    Defaults are calibrated so the *full-stroke* seek of the Table I
+    geometry lands on the paper's 2 ms: with a 1 ms settle window, a
+    141.4 µm stroke covered in the remaining 1 ms requires
+    ``a = 4 * d / t^2 ~ 566 m/s^2`` — ordinary for electromagnetic
+    nanopositioner sleds (the moving mass is milligrams).
+    """
+
+    acceleration_m_s2: float = 565.7
+    settle_time_s: float = 0.001
+    max_stroke_um: float = math.hypot(100.0, 100.0)
+
+    def __post_init__(self) -> None:
+        if self.acceleration_m_s2 <= 0:
+            raise ConfigurationError("acceleration must be > 0")
+        if self.settle_time_s < 0:
+            raise ConfigurationError("settle time must be >= 0")
+        if self.max_stroke_um <= 0:
+            raise ConfigurationError("max stroke must be > 0")
+
+    def seek_time(self, distance_um: float) -> float:
+        if distance_um < 0:
+            raise ConfigurationError("seek distance must be >= 0")
+        if distance_um > self.max_stroke_um * (1 + 1e-9):
+            raise ConfigurationError(
+                f"seek of {distance_um:g} µm exceeds the maximum stroke "
+                f"of {self.max_stroke_um:g} µm"
+            )
+        if distance_um == 0:
+            return self.settle_time_s
+        distance_m = distance_um * 1e-6
+        return 2.0 * math.sqrt(distance_m / self.acceleration_m_s2) + (
+            self.settle_time_s
+        )
+
+    def worst_case_seek_time(self) -> float:
+        return self.seek_time(self.max_stroke_um)
+
+    @classmethod
+    def calibrated_to(
+        cls,
+        geometry: ProbeArrayGeometry,
+        full_stroke_seek_s: float = 0.002,
+        settle_time_s: float = 0.001,
+    ) -> "DistanceSeekModel":
+        """Build a model whose full-stroke seek matches a target time.
+
+        Used to tie the distance-based substrate back to the Table I
+        constant: ``calibrated_to(geometry, 2 ms)`` makes the worst case
+        equal the paper's seek time, with shorter seeks cheaper.
+        """
+        travel = full_stroke_seek_s - settle_time_s
+        if travel <= 0:
+            raise ConfigurationError(
+                "full-stroke seek must exceed the settle window"
+            )
+        stroke_m = geometry.full_stroke_um * 1e-6
+        acceleration = 4.0 * stroke_m / travel**2
+        return cls(
+            acceleration_m_s2=acceleration,
+            settle_time_s=settle_time_s,
+            max_stroke_um=geometry.full_stroke_um,
+        )

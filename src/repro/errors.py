@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch everything the library raises with one except-clause while still being
+able to distinguish configuration mistakes from infeasible design goals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A device, workload, or goal configuration is physically meaningless.
+
+    Raised during validation, e.g. for negative powers, a streaming rate
+    that exceeds the device transfer rate, or a zero-sized probe array.
+    """
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity was supplied in a nonsensical unit or magnitude."""
+
+
+class InfeasibleDesignError(ReproError):
+    """No buffer size can satisfy the requested design goal.
+
+    Corresponds to the "X" regions of Figure 3 in the paper: a statement of
+    an infeasible design point.  The offending constraint is recorded so the
+    caller can report *why* the goal is unreachable.
+    """
+
+    def __init__(self, message: str, constraint: str | None = None):
+        super().__init__(message)
+        #: Short name of the violated constraint (``"energy"``,
+        #: ``"capacity"``, ``"springs"``, ``"probes"`` or ``None``).
+        self.constraint = constraint
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class BufferUnderrunError(SimulationError):
+    """The streaming buffer ran empty while the application was consuming.
+
+    In a real player this is a glitch; in the simulation it signals that the
+    buffer was dimensioned below the latency floor.
+    """
+
+    def __init__(self, message: str, time: float | None = None):
+        super().__init__(message)
+        #: Simulation time (seconds) at which the underrun occurred.
+        self.time = time
+
+
+class SolverError(ReproError, ArithmeticError):
+    """A numeric inverse solver failed to bracket or converge on a root."""

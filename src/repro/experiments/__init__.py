@@ -1,0 +1,21 @@
+"""Experiment registry: every table and figure of the paper, regenerable.
+
+Each experiment module exposes a ``run(...) -> ExperimentResult`` callable
+returning printable tables/series plus machine-checkable headline numbers;
+the registry maps stable experiment ids (``table1``, ``fig2a``, ...) to
+those callables for the CLI and the benchmark harness.
+
+See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from .base import ExperimentResult
+from .registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

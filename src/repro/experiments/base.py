@@ -1,0 +1,49 @@
+"""Common experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analysis.tables import Table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable id (``"fig2a"``, ``"table1"``, ...).
+    title:
+        Human-readable title, typically naming the paper artefact.
+    tables:
+        Printable tables/series (the regenerated artefact).
+    headline:
+        Scalar findings by name — the numbers the benchmark harness
+        asserts on (e.g. ``{"break_even_min_kb": 0.070}``).
+    notes:
+        Free-form remarks (conventions, calibration pointers).
+    """
+
+    experiment_id: str
+    title: str
+    tables: tuple[Table, ...]
+    headline: dict[str, Any] = field(default_factory=dict)
+    notes: tuple[str, ...] = field(default=())
+
+    def render(self) -> str:
+        """Render the whole experiment as printable text."""
+        parts = [f"### {self.title} [{self.experiment_id}]", ""]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        if self.headline:
+            parts.append("headline numbers:")
+            for key, value in self.headline.items():
+                parts.append(f"  {key} = {value}")
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,83 @@
+"""Experiment ``breakeven``: §III.A.1 break-even buffer ranges.
+
+Paper: "For streaming rates in the range 32-4096 kbps, the break-even
+buffer ranges from 0.07 kB to 8.87 kB.  In contrast, the break-even buffer
+of a 1.8-inch disk drive for the same streaming range is 0.08-9.29 MB, a
+difference of three orders of magnitude."
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import units
+from ..config import (
+    MechanicalDeviceConfig,
+    MEMSDeviceConfig,
+    TABLE1_RATE_GRID_BPS,
+    WorkloadConfig,
+    disk_18inch,
+    ibm_mems_prototype,
+    table1_workload,
+)
+from ..core.energy import EnergyModel
+from ..analysis.tables import Table
+from .base import ExperimentResult
+
+
+def run(
+    device: MEMSDeviceConfig | None = None,
+    disk: MechanicalDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+) -> ExperimentResult:
+    """Compare MEMS and disk break-even buffers over 32-4096 kbps."""
+    device = device if device is not None else ibm_mems_prototype()
+    disk = disk if disk is not None else disk_18inch()
+    workload = workload if workload is not None else table1_workload()
+
+    mems_model = EnergyModel(device, workload)
+    disk_model = EnergyModel(disk, workload)
+
+    rows = []
+    for rate in TABLE1_RATE_GRID_BPS:
+        mems_be = mems_model.break_even_buffer(rate)
+        disk_be = disk_model.break_even_buffer(rate)
+        rows.append(
+            (
+                rate / 1000,
+                units.bits_to_kb(mems_be),
+                units.bits_to_mb(disk_be),
+                disk_be / mems_be,
+            )
+        )
+    table = Table(
+        title="Break-even streaming buffer: MEMS vs 1.8-inch disk",
+        headers=("rate (kbps)", "MEMS (kB)", "disk (MB)", "disk/MEMS"),
+        rows=tuple(rows),
+        notes=(
+            "paper: MEMS 0.07-8.87 kB, disk 0.08-9.29 MB over 32-4096 kbps",
+        ),
+    )
+
+    rate_min = workload.stream_rate_min_bps
+    rate_max = workload.stream_rate_max_bps
+    mems_lo, mems_hi = mems_model.break_even_range(rate_min, rate_max)
+    disk_lo, disk_hi = disk_model.break_even_range(rate_min, rate_max)
+    orders = math.log10(disk_hi / mems_hi)
+
+    return ExperimentResult(
+        experiment_id="breakeven",
+        title="§III.A.1 break-even buffers (MEMS vs disk)",
+        tables=(table,),
+        headline={
+            "mems_break_even_min_kb": units.bits_to_kb(mems_lo),
+            "mems_break_even_max_kb": units.bits_to_kb(mems_hi),
+            "disk_break_even_min_mb": units.bits_to_mb(disk_lo),
+            "disk_break_even_max_mb": units.bits_to_mb(disk_hi),
+            "orders_of_magnitude": orders,
+        },
+        notes=(
+            "break-even is a bare-device property: best-effort traffic "
+            "does not enter it (DESIGN.md §4.1)",
+        ),
+    )

@@ -1,0 +1,82 @@
+"""Experiment ``dram-negligible``: §IV.A's DRAM energy verdict.
+
+"We include energy to retain and to access data from the DRAM. [...] We
+found that DRAM energy consumption is negligible due to its tiny size,
+thanks to the small overheads of MEMS storage."  The experiment compares
+the DRAM's per-bit energy against the device's across the Figure 2a
+buffer range and reports the worst-case share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import units
+from ..config import (
+    DRAMConfig,
+    MEMSDeviceConfig,
+    WorkloadConfig,
+    ibm_mems_prototype,
+    micron_ddr_dram,
+    table1_workload,
+)
+from ..core.energy import EnergyModel
+from ..devices.dram import DRAMPowerModel
+from ..analysis.tables import Table
+from .base import ExperimentResult
+
+RATE_BPS = 1_024_000.0
+
+
+def run(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    dram: DRAMConfig | None = None,
+) -> ExperimentResult:
+    """DRAM vs device per-bit energy over the Figure 2a buffer range."""
+    device = device if device is not None else ibm_mems_prototype()
+    workload = workload if workload is not None else table1_workload()
+    dram_model = DRAMPowerModel(dram if dram is not None else micron_ddr_dram())
+    energy = EnergyModel(device, workload)
+
+    b_be = energy.break_even_buffer(RATE_BPS)
+    buffers = np.linspace(b_be, 20 * b_be, 20)
+    rows = []
+    shares = []
+    for buffer_bits in buffers:
+        cycle_time = energy.cycle_time(float(buffer_bits), RATE_BPS)
+        device_nj = units.j_per_bit_to_nj_per_bit(
+            energy.per_bit_energy(float(buffer_bits), RATE_BPS)
+        )
+        breakdown = dram_model.cycle_energy(float(buffer_bits), cycle_time)
+        dram_nj = units.j_per_bit_to_nj_per_bit(breakdown.per_bit_j)
+        share = dram_nj / (device_nj + dram_nj)
+        shares.append(share)
+        rows.append(
+            (
+                units.bits_to_kb(float(buffer_bits)),
+                device_nj,
+                dram_nj,
+                share,
+            )
+        )
+    table = Table(
+        title="DRAM vs MEMS per-bit energy (1024 kbps)",
+        headers=(
+            "buffer (kB)",
+            "device (nJ/b)",
+            "DRAM (nJ/b)",
+            "DRAM share",
+        ),
+        rows=tuple(rows),
+        notes=("DRAM model per Micron TN-46-03 decomposition",),
+    )
+    return ExperimentResult(
+        experiment_id="dram-negligible",
+        title="§IV.A: DRAM buffer energy is present but negligible",
+        tables=(table,),
+        headline={
+            "max_dram_share": max(shares),
+            "dram_nj_at_20x": rows[-1][2],
+        },
+    )

@@ -1,0 +1,175 @@
+"""Experiments ``fig2a`` and ``fig2b``: buffering influence at 1024 kbps.
+
+Figure 2a plots the per-bit energy consumption (Equation 1) and the
+capacity utilisation against the buffer size, scaled 1-20x the break-even
+buffer; Figure 2b plots the springs (1e8 rating) and probes (100 cycles)
+lifetimes over the same range.  The experiments regenerate both series and
+check the paper's reading of them:
+
+* energy shows diminishing returns beyond ~20 kB,
+* capacity saturates beyond ~7 kB,
+* springs at 1e8 limit the device to ~4 years in the plotted range and
+  need ~90 kB for 7 years,
+* probes lifetime follows the capacity trend (saturates quickly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import units
+from ..config import MEMSDeviceConfig, WorkloadConfig, ibm_mems_prototype, table1_workload
+from ..core.capacity import CapacityModel
+from ..core.energy import EnergyModel
+from ..core.lifetime import LifetimeModel
+from ..devices.dram import DRAMPowerModel
+from ..analysis.tables import Table
+from .base import ExperimentResult
+
+#: The figure's operating point.
+FIG2_RATE_BPS = 1_024_000.0
+#: Buffer scaling range: 1-20x the break-even buffer.
+FIG2_SCALE_MIN = 1.0
+FIG2_SCALE_MAX = 20.0
+
+
+def _buffer_grid(model: EnergyModel, points: int) -> np.ndarray:
+    b_be = model.break_even_buffer(FIG2_RATE_BPS)
+    return np.linspace(
+        FIG2_SCALE_MIN * b_be, FIG2_SCALE_MAX * b_be, points
+    )
+
+
+def run_fig2a(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    points: int = 39,
+) -> ExperimentResult:
+    """Figure 2a: per-bit energy and capacity vs buffer size."""
+    device = device if device is not None else ibm_mems_prototype()
+    workload = workload if workload is not None else table1_workload()
+    energy = EnergyModel(device, workload)
+    capacity = CapacityModel(device)
+    dram = DRAMPowerModel()
+
+    buffers = _buffer_grid(energy, points)
+    energy_nj = [
+        units.j_per_bit_to_nj_per_bit(
+            energy.per_bit_energy(float(b), FIG2_RATE_BPS)
+        )
+        for b in buffers
+    ]
+    dram_nj = [
+        units.j_per_bit_to_nj_per_bit(
+            dram.per_bit_energy(
+                float(b), energy.cycle_time(float(b), FIG2_RATE_BPS)
+            )
+        )
+        for b in buffers
+    ]
+    capacity_gb = [
+        units.bits_to_gb(device.capacity_bits)
+        * capacity.best_utilisation(float(b))
+        for b in buffers
+    ]
+    buffers_kb = [units.bits_to_kb(float(b)) for b in buffers]
+
+    series = Table(
+        title="Figure 2a: per-bit energy and capacity vs buffer (1024 kbps)",
+        headers=("buffer (kB)", "energy (nJ/b)", "DRAM (nJ/b)", "capacity (GB)"),
+        rows=tuple(
+            (b, e, d, c)
+            for b, e, d, c in zip(buffers_kb, energy_nj, dram_nj, capacity_gb)
+        ),
+        notes=(
+            "buffer range: 1-20x the break-even buffer, as in the paper",
+            "DRAM energy included as in §IV.A (present but negligible)",
+        ),
+    )
+
+    # Headline checks: diminishing returns beyond 20 kB, capacity
+    # saturation beyond 7 kB.
+    e_20kb = units.j_per_bit_to_nj_per_bit(
+        energy.per_bit_energy(units.kb_to_bits(20), FIG2_RATE_BPS)
+    )
+    e_40kb = units.j_per_bit_to_nj_per_bit(
+        energy.per_bit_energy(units.kb_to_bits(40), FIG2_RATE_BPS)
+    )
+    u_7kb = capacity.best_utilisation(units.kb_to_bits(7))
+    return ExperimentResult(
+        experiment_id="fig2a",
+        title="Figure 2a: energy & capacity vs buffer",
+        tables=(series,),
+        headline={
+            "break_even_kb": units.bits_to_kb(
+                energy.break_even_buffer(FIG2_RATE_BPS)
+            ),
+            "energy_at_break_even_nj": energy_nj[0],
+            "energy_at_20x_nj": energy_nj[-1],
+            "energy_at_20kb_nj": e_20kb,
+            "energy_at_40kb_nj": e_40kb,
+            "dram_max_nj": max(dram_nj),
+            "utilisation_at_7kb": u_7kb,
+            "utilisation_supremum": capacity.utilisation_supremum,
+            "capacity_at_max_buffer_gb": capacity_gb[-1],
+        },
+    )
+
+
+def run_fig2b(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    points: int = 39,
+) -> ExperimentResult:
+    """Figure 2b: springs (1e8) and probes (100 cycles) lifetime vs buffer."""
+    device = device if device is not None else ibm_mems_prototype(
+        springs_duty_cycles=1e8, probe_write_cycles=100
+    )
+    workload = workload if workload is not None else table1_workload()
+    energy = EnergyModel(device, workload)
+    lifetime = LifetimeModel(device, workload)
+
+    buffers = _buffer_grid(energy, points)
+    springs = [
+        lifetime.springs.lifetime_years(float(b), FIG2_RATE_BPS)
+        for b in buffers
+    ]
+    probes = [
+        lifetime.probes.lifetime_years(float(b), FIG2_RATE_BPS)
+        for b in buffers
+    ]
+    buffers_kb = [units.bits_to_kb(float(b)) for b in buffers]
+
+    series = Table(
+        title="Figure 2b: springs and probes lifetime vs buffer (1024 kbps)",
+        headers=("buffer (kB)", "springs (years)", "probes (years)"),
+        rows=tuple(
+            (b, s, p) for b, s, p in zip(buffers_kb, springs, probes)
+        ),
+        notes=(
+            f"springs rating {device.springs_duty_cycles:g}, probe "
+            f"write cycles {device.probe_write_cycles:g}, write fraction "
+            f"{workload.write_fraction:.0%}",
+        ),
+    )
+
+    b_7yr = lifetime.springs.min_buffer_for_lifetime(7.0, FIG2_RATE_BPS)
+    return ExperimentResult(
+        experiment_id="fig2b",
+        title="Figure 2b: lifetime vs buffer",
+        tables=(series,),
+        headline={
+            "springs_at_range_end_years": springs[-1],
+            "probes_ceiling_years": lifetime.probes.lifetime_ceiling_years(
+                FIG2_RATE_BPS
+            ),
+            "buffer_for_7yr_springs_kb": units.bits_to_kb(b_7yr),
+            "springs_at_90kb_years": lifetime.springs.lifetime_years(
+                units.kb_to_bits(90), FIG2_RATE_BPS
+            ),
+        },
+        notes=(
+            "paper: springs at 1e8 limit lifetime to ~4 years in the "
+            "plotted range; ~90 kB is required for a 7-year lifetime",
+        ),
+    )

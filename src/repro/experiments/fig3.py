@@ -1,0 +1,202 @@
+"""Experiments ``fig3a``/``fig3b``/``fig3c``: buffer dimensioning (§IV.C).
+
+Each panel sweeps the required buffer over 32-4096 kbps for a design goal:
+
+* 3a — goal (E=80%, C=88%, L=7), probes 100 cycles, springs 1e8:
+  capacity dominates to ~300 kbps, energy takes over and diverges,
+  the goal turns infeasible slightly above 1000 kbps ("X").
+* 3b — goal (70%, 88%, 7), same ratings: capacity then springs dominate,
+  energy never does; the probes wall ends feasibility (dashed line),
+  with a thin probes-dominated spike just before it.
+* 3c — goal (70%, 88%, 7), probes 200 cycles, springs 1e12: capacity
+  prevails, then energy; lifetime disappears from the figure.
+
+``fig3-c85`` regenerates the §IV.C prose variant with C=85% (no paper
+figure): the capacity-dominated range shrinks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import units
+from ..config import (
+    DesignGoal,
+    MEMSDeviceConfig,
+    WorkloadConfig,
+    ibm_mems_prototype,
+    table1_workload,
+)
+from ..core.design_space import DesignSpaceExplorer, DesignSpaceResult
+from ..analysis.tables import Table
+from .base import ExperimentResult
+
+
+def _panel(
+    experiment_id: str,
+    title: str,
+    goal: DesignGoal,
+    springs_duty_cycles: float,
+    probe_write_cycles: float,
+    device: MEMSDeviceConfig | None,
+    workload: WorkloadConfig | None,
+    points_per_decade: int,
+) -> ExperimentResult:
+    if device is None:
+        device = ibm_mems_prototype(
+            springs_duty_cycles=springs_duty_cycles,
+            probe_write_cycles=probe_write_cycles,
+        )
+    workload = workload if workload is not None else table1_workload()
+    explorer = DesignSpaceExplorer(
+        device, workload, points_per_decade=points_per_decade
+    )
+    result = explorer.sweep(goal)
+    table = _result_table(title, result)
+    regions_table = Table(
+        title="Dominance regions",
+        headers=("label", "from (kbps)", "to (kbps)"),
+        rows=tuple(
+            (
+                region.label,
+                region.rate_low_bps / 1000,
+                region.rate_high_bps / 1000,
+            )
+            for region in result.regions
+        ),
+    )
+    energy_wall = explorer.energy_wall_rate(goal)
+    probes_wall = explorer.probes_wall_rate(goal)
+    headline = {
+        "region_sequence": result.region_sequence(),
+        "energy_wall_kbps": (
+            energy_wall / 1000 if math.isfinite(energy_wall) else math.inf
+        ),
+        "probes_wall_kbps": (
+            probes_wall / 1000 if math.isfinite(probes_wall) else math.inf
+        ),
+        "max_feasible_rate_kbps": result.max_feasible_rate_bps / 1000,
+        "buffer_at_min_rate_kb": units.bits_to_kb(
+            result.required_buffer_bits[0]
+        ),
+    }
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        tables=(table, regions_table),
+        headline=headline,
+        notes=(
+            f"goal {goal.label()}, springs {device.springs_duty_cycles:g}, "
+            f"probes {device.probe_write_cycles:g} cycles",
+        ),
+    )
+
+
+def _result_table(title: str, result: DesignSpaceResult) -> Table:
+    rows = []
+    for point in result.points:
+        requirement = point.requirement
+        rows.append(
+            (
+                point.stream_rate_bps / 1000,
+                (
+                    units.bits_to_kb(requirement.required_buffer_bits)
+                    if requirement.feasible
+                    else float("inf")
+                ),
+                (
+                    units.bits_to_kb(point.energy_buffer_bits)
+                    if math.isfinite(point.energy_buffer_bits)
+                    else float("inf")
+                ),
+                requirement.dominant.value if requirement.feasible else "X",
+            )
+        )
+    return Table(
+        title=title,
+        headers=(
+            "rate (kbps)",
+            "required buffer (kB)",
+            "energy-efficiency buffer (kB)",
+            "dictated by",
+        ),
+        rows=tuple(rows),
+        notes=("inf = infeasible at this rate",),
+    )
+
+
+def run_fig3a(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    points_per_decade: int = 24,
+) -> ExperimentResult:
+    """Figure 3a: goal (E=80%, C=88%, L=7), Dpb=100, Dsp=1e8."""
+    return _panel(
+        "fig3a",
+        "Figure 3a: buffer vs rate, goal (E=80%, C=88%, L=7)",
+        DesignGoal(energy_saving=0.80, capacity_utilisation=0.88,
+                   lifetime_years=7.0),
+        1e8,
+        100.0,
+        device,
+        workload,
+        points_per_decade,
+    )
+
+
+def run_fig3b(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    points_per_decade: int = 24,
+) -> ExperimentResult:
+    """Figure 3b: goal (E=70%, C=88%, L=7), Dpb=100, Dsp=1e8."""
+    return _panel(
+        "fig3b",
+        "Figure 3b: buffer vs rate, goal (E=70%, C=88%, L=7)",
+        DesignGoal(energy_saving=0.70, capacity_utilisation=0.88,
+                   lifetime_years=7.0),
+        1e8,
+        100.0,
+        device,
+        workload,
+        points_per_decade,
+    )
+
+
+def run_fig3c(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    points_per_decade: int = 24,
+) -> ExperimentResult:
+    """Figure 3c: goal (E=70%, C=88%, L=7), Dpb=200, Dsp=1e12."""
+    return _panel(
+        "fig3c",
+        "Figure 3c: buffer vs rate, improved endurance (Dpb=200, Dsp=1e12)",
+        DesignGoal(energy_saving=0.70, capacity_utilisation=0.88,
+                   lifetime_years=7.0),
+        1e12,
+        200.0,
+        device,
+        workload,
+        points_per_decade,
+    )
+
+
+def run_fig3_c85(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    points_per_decade: int = 24,
+) -> ExperimentResult:
+    """§IV.C prose variant: C=85% shrinks the capacity-dominated range."""
+    result = _panel(
+        "fig3-c85",
+        "§IV.C variant: goal (E=80%, C=85%, L=7)",
+        DesignGoal(energy_saving=0.80, capacity_utilisation=0.85,
+                   lifetime_years=7.0),
+        1e8,
+        100.0,
+        device,
+        workload,
+        points_per_decade,
+    )
+    return result

@@ -1,0 +1,79 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from . import (
+    breakeven,
+    capacity_example,
+    dram_exp,
+    fig2,
+    fig3,
+    table1,
+    tradeoff10,
+    validation_exp,
+    wear_exp,
+)
+from .base import ExperimentResult
+
+#: Experiment id -> (runner, one-line description).
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "table1": (table1.run, "Table I settings and derived quantities"),
+    "breakeven": (
+        breakeven.run,
+        "§III.A.1 break-even buffers: MEMS vs 1.8-inch disk",
+    ),
+    "capacity-example": (
+        capacity_example.run,
+        "§III.B capacity utilisation example (88%, ~106 of 120 GB)",
+    ),
+    "fig2a": (fig2.run_fig2a, "Figure 2a: energy & capacity vs buffer"),
+    "fig2b": (fig2.run_fig2b, "Figure 2b: lifetime vs buffer"),
+    "fig3a": (fig3.run_fig3a, "Figure 3a: goal (80%, 88%, 7)"),
+    "fig3b": (fig3.run_fig3b, "Figure 3b: goal (70%, 88%, 7)"),
+    "fig3c": (fig3.run_fig3c, "Figure 3c: improved endurance"),
+    "fig3-c85": (fig3.run_fig3_c85, "§IV.C prose variant with C=85%"),
+    "tradeoff10": (
+        tradeoff10.run,
+        "Abstract claim: 10% energy vs 3 orders of magnitude of buffer",
+    ),
+    "sim-validate": (
+        validation_exp.run,
+        "Analytic model vs discrete-event simulation",
+    ),
+    "dram-negligible": (
+        dram_exp.run,
+        "§IV.A DRAM energy share",
+    ),
+    "wear-balance": (
+        wear_exp.run,
+        "§III.C.2 write-balance assumption under skewed workloads",
+    ),
+}
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """All registered ``(id, description)`` pairs, sorted by id."""
+    return sorted(
+        (name, description)
+        for name, (_, description) in EXPERIMENTS.items()
+    )
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment's runner by id."""
+    try:
+        runner, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by id with optional overrides."""
+    return get_experiment(experiment_id)(**kwargs)

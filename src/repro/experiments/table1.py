@@ -1,0 +1,102 @@
+"""Experiment ``table1``: echo Table I and the quantities it implies.
+
+Beyond restating the settings, the experiment derives the figures the rest
+of the paper silently computes from them: the aggregate transfer rate
+``rm``, the shutdown overhead ``toh``/``Eoh``, the playback seconds per
+year ``T``, and the geometry-implied areal density for the stated 120 GB.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..config import MEMSDeviceConfig, WorkloadConfig, ibm_mems_prototype, table1_workload
+from ..devices.geometry import ProbeArrayGeometry
+from ..analysis.tables import Table
+from .base import ExperimentResult
+
+
+def run(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+) -> ExperimentResult:
+    """Regenerate Table I plus derived quantities."""
+    device = device if device is not None else ibm_mems_prototype()
+    workload = workload if workload is not None else table1_workload()
+
+    settings = Table(
+        title="Table I: settings of the modelled MEMS storage device",
+        headers=("parameter", "setting", "unit"),
+        rows=(
+            ("Probe-array size", f"{device.probe_rows} x {device.probe_cols}", "probe"),
+            ("Active probes", device.active_probes, "probe"),
+            (
+                "Probe-field area",
+                f"{device.probe_field_x_um:g} x {device.probe_field_y_um:g}",
+                "um^2",
+            ),
+            ("Capacity", units.bits_to_gb(device.capacity_bits), "GB"),
+            ("Per-probe data rate", device.per_probe_rate_bps / 1000, "kbps"),
+            ("Fast/Slow seek time", device.seek_time_s * 1000, "ms"),
+            ("Shutdown time", device.shutdown_time_s * 1000, "ms"),
+            ("I/O overhead time", 2.0, "ms"),
+            ("Read/Write power", device.read_write_power_w * 1000, "mW"),
+            ("Fast/Slow Seek power", device.seek_power_w * 1000, "mW"),
+            ("Standby power", device.standby_power_w * 1000, "mW"),
+            ("Idle power", device.idle_power_w * 1000, "mW"),
+            ("Shutdown power", device.shutdown_power_w * 1000, "mW"),
+            ("Probe write cycles", device.probe_write_cycles, "cycles"),
+            ("Springs duty cycles", device.springs_duty_cycles, "cycles"),
+            ("Hours per day", workload.hours_per_day, "hours"),
+            ("Writes percentage", workload.write_fraction * 100, "%"),
+            ("Best-effort fraction", workload.best_effort_fraction * 100, "%"),
+            (
+                "Stream bit rate",
+                f"{workload.stream_rate_min_bps / 1000:g} - "
+                f"{workload.stream_rate_max_bps / 1000:g}",
+                "kbps",
+            ),
+        ),
+    )
+
+    geometry = ProbeArrayGeometry(
+        rows=device.probe_rows,
+        cols=device.probe_cols,
+        field_x_um=device.probe_field_x_um,
+        field_y_um=device.probe_field_y_um,
+    )
+    implied_density = geometry.density_for_capacity(device.capacity_bits)
+    derived = Table(
+        title="Derived quantities",
+        headers=("quantity", "value", "unit"),
+        rows=(
+            ("Transfer rate rm", device.transfer_rate_bps / 1e6, "Mbit/s"),
+            ("Overhead time toh", device.overhead_time_s * 1000, "ms"),
+            ("Overhead energy Eoh", device.overhead_energy_j * 1000, "mJ"),
+            ("Overhead power Poh", device.overhead_power_w * 1000, "mW"),
+            (
+                "Playback seconds/year T",
+                workload.playback_seconds_per_year,
+                "s",
+            ),
+            ("Medium footprint", geometry.footprint_mm2, "mm^2"),
+            ("Implied areal density", implied_density, "Tb/in^2"),
+        ),
+        notes=(
+            "areal density implied by 120 GB over the probe fields; the "
+            "paper's introduction quotes > 1 Tb/in^2 for MEMS storage",
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table I settings and derived quantities",
+        tables=(settings, derived),
+        headline={
+            "transfer_rate_mbps": device.transfer_rate_bps / 1e6,
+            "overhead_time_ms": device.overhead_time_s * 1000,
+            "overhead_energy_mj": device.overhead_energy_j * 1000,
+            "playback_seconds_per_year": workload.playback_seconds_per_year,
+            "footprint_mm2": geometry.footprint_mm2,
+            "implied_density_tb_in2": implied_density,
+        },
+    )

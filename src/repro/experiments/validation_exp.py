@@ -1,0 +1,44 @@
+"""Experiment ``sim-validate``: analytic model vs executable pipeline.
+
+Not a paper artefact but the library's methodological backbone: the
+discrete-event simulation of the Figure 1b cycle must agree with
+Equation (1) before the analytic sweeps mean anything (DESIGN.md §4.8).
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..config import MEMSDeviceConfig, WorkloadConfig, ibm_mems_prototype, table1_workload
+from ..analysis.validation import validate_operating_points
+from .base import ExperimentResult
+
+
+def run(
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    cycles_per_point: int = 150,
+) -> ExperimentResult:
+    """Validate the DES pipeline against Equation (1) on a 3x3 grid."""
+    device = device if device is not None else ibm_mems_prototype()
+    workload = workload if workload is not None else table1_workload()
+    matrix = validate_operating_points(
+        device,
+        workload,
+        buffer_sizes_bits=(
+            units.kb_to_bits(5),
+            units.kb_to_bits(20),
+            units.kb_to_bits(90),
+        ),
+        stream_rates_bps=(128_000.0, 1_024_000.0, 4_096_000.0),
+        cycles_per_point=cycles_per_point,
+    )
+    return ExperimentResult(
+        experiment_id="sim-validate",
+        title="Model-vs-simulation validation matrix",
+        tables=(matrix.as_table(),),
+        headline={
+            "all_agree": matrix.all_agree,
+            "worst_energy_error": matrix.worst_energy_error,
+            "worst_cycle_error": matrix.worst_cycle_error,
+        },
+    )

@@ -1,0 +1,39 @@
+"""On-media formatting: ECC sizing, sector/subsector layout, device layout.
+
+This package implements the storage-format substrate behind §III.B of the
+paper: how user data is striped over ``K`` probes, how much error-correction
+and synchronisation overhead each sector pays, and what fraction of the raw
+medium therefore stores user bits (Equations (2)-(4)).
+"""
+
+from .ecc import ECCScheme, FractionalECC, ReedSolomonECC, NoECC
+from .sector import SectorFormat, SectorLayout
+from .layout import DeviceLayout
+from .wear_leveling import (
+    DirectPlacement,
+    LeastWornPlacement,
+    PlacementPolicy,
+    RotatingPlacement,
+    SectorWearMap,
+    WearSimulationResult,
+    simulate_wear,
+    zipf_write_workload,
+)
+
+__all__ = [
+    "ECCScheme",
+    "FractionalECC",
+    "ReedSolomonECC",
+    "NoECC",
+    "SectorFormat",
+    "SectorLayout",
+    "DeviceLayout",
+    "SectorWearMap",
+    "PlacementPolicy",
+    "DirectPlacement",
+    "RotatingPlacement",
+    "LeastWornPlacement",
+    "WearSimulationResult",
+    "simulate_wear",
+    "zipf_write_workload",
+]

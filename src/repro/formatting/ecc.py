@@ -1,0 +1,141 @@
+"""Error-correction-code (ECC) sizing schemes.
+
+A storage device stores ECC bits next to user data in every sector
+(§III.B.1 of the paper).  The paper models ECC as a fixed fraction of the
+user data — one-eighth, in line with the IBM MEMS device — via
+
+    S_ECC = ceil(Su / 8).
+
+:class:`FractionalECC` implements exactly that.  :class:`ReedSolomonECC` is
+an extension: it sizes parity from a Reed-Solomon code's parameters rather
+than a fixed ratio, which lets ablation studies ask how the capacity story
+changes under a concrete code.  Both satisfy the :class:`ECCScheme`
+interface consumed by :mod:`repro.formatting.sector`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class ECCScheme(ABC):
+    """Interface: map a user-data size to the ECC bits stored beside it."""
+
+    @abstractmethod
+    def ecc_bits(self, user_bits: int) -> int:
+        """Number of ECC bits stored for ``user_bits`` of user data."""
+
+    @abstractmethod
+    def overhead_ratio(self) -> float:
+        """Asymptotic ECC overhead as a fraction of user data.
+
+        Used by the closed-form capacity envelope: for large sectors,
+        ``ecc_bits(Su) -> overhead_ratio() * Su``.
+        """
+
+    def stored_bits(self, user_bits: int) -> int:
+        """Total payload bits (user + ECC) stored for ``user_bits``."""
+        return user_bits + self.ecc_bits(user_bits)
+
+
+@dataclass(frozen=True)
+class NoECC(ECCScheme):
+    """Degenerate scheme storing no ECC at all (baseline for ablations)."""
+
+    def ecc_bits(self, user_bits: int) -> int:
+        if user_bits < 0:
+            raise ConfigurationError("user_bits must be >= 0")
+        return 0
+
+    def overhead_ratio(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FractionalECC(ECCScheme):
+    """ECC sized as a fixed fraction of the user data (the paper's model).
+
+    ``ecc_bits(Su) = ceil(Su * numerator / denominator)``.
+
+    The paper uses 1/8 for MEMS (IBM device) and cites 1/10 for disk
+    drives [3].
+    """
+
+    numerator: int = 1
+    denominator: int = 8
+
+    def __post_init__(self) -> None:
+        if self.numerator < 0 or self.denominator <= 0:
+            raise ConfigurationError(
+                f"ECC fraction must be non-negative with a positive "
+                f"denominator, got {self.numerator}/{self.denominator}"
+            )
+
+    def ecc_bits(self, user_bits: int) -> int:
+        if user_bits < 0:
+            raise ConfigurationError("user_bits must be >= 0")
+        return -((-user_bits * self.numerator) // self.denominator)  # ceil
+
+    def overhead_ratio(self) -> float:
+        return self.numerator / self.denominator
+
+
+@dataclass(frozen=True)
+class ReedSolomonECC(ECCScheme):
+    """Parity sized from Reed-Solomon code parameters (extension).
+
+    User data is split into codewords of ``data_symbols`` symbols of
+    ``symbol_bits`` bits each; every codeword carries ``2 * correctable``
+    parity symbols (an RS(n, k) code corrects ``t = (n - k) / 2`` symbol
+    errors).  The codeword length must respect ``n <= 2**symbol_bits - 1``.
+
+    With the defaults (8-bit symbols, 16 correctable errors per 223-symbol
+    data block — RS(255, 223), the CCSDS standard code), the overhead is
+    ~14.3%, close to the paper's one-eighth model.
+    """
+
+    symbol_bits: int = 8
+    data_symbols: int = 223
+    correctable: int = 16
+
+    def __post_init__(self) -> None:
+        if self.symbol_bits <= 0:
+            raise ConfigurationError("symbol_bits must be > 0")
+        if self.data_symbols <= 0:
+            raise ConfigurationError("data_symbols must be > 0")
+        if self.correctable < 0:
+            raise ConfigurationError("correctable must be >= 0")
+        n = self.data_symbols + self.parity_symbols_per_codeword
+        if n > 2 ** self.symbol_bits - 1:
+            raise ConfigurationError(
+                f"codeword length {n} exceeds the RS bound "
+                f"{2 ** self.symbol_bits - 1} for {self.symbol_bits}-bit symbols"
+            )
+
+    @property
+    def parity_symbols_per_codeword(self) -> int:
+        """Parity symbols per codeword (``2t``)."""
+        return 2 * self.correctable
+
+    def codewords(self, user_bits: int) -> int:
+        """Number of codewords needed to cover ``user_bits`` of user data."""
+        if user_bits < 0:
+            raise ConfigurationError("user_bits must be >= 0")
+        if user_bits == 0:
+            return 0
+        data_bits_per_codeword = self.symbol_bits * self.data_symbols
+        return math.ceil(user_bits / data_bits_per_codeword)
+
+    def ecc_bits(self, user_bits: int) -> int:
+        return (
+            self.codewords(user_bits)
+            * self.parity_symbols_per_codeword
+            * self.symbol_bits
+        )
+
+    def overhead_ratio(self) -> float:
+        return self.parity_symbols_per_codeword / self.data_symbols

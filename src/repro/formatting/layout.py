@@ -1,0 +1,136 @@
+"""Whole-device formatting: from raw capacity to user capacity.
+
+§III.B of the paper quotes a single worked example: with the Table I
+device formatted at its best utilisation, "approximately 106 GB out of
+120 GB" of user capacity remain (~88%).  :class:`DeviceLayout` generalises
+that arithmetic: given a raw medium and a sector layout, it reports sector
+counts, per-category bit budgets (user / ECC / sync / padding) and the
+formatted user capacity for any chosen sector size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import units
+from ..config import MEMSDeviceConfig
+from ..errors import ConfigurationError
+from .ecc import FractionalECC
+from .sector import SectorFormat, SectorLayout
+
+
+@dataclass(frozen=True)
+class FormattedCapacity:
+    """Bit budget of a device formatted with a fixed sector size."""
+
+    raw_bits: float
+    sector: SectorFormat
+    sector_count: int
+
+    @property
+    def user_bits(self) -> float:
+        """Bits available to user data after formatting."""
+        return self.sector_count * self.sector.user_bits
+
+    @property
+    def ecc_bits(self) -> float:
+        """Bits consumed by error-correction codes."""
+        return self.sector_count * self.sector.ecc_bits
+
+    @property
+    def sync_bits(self) -> float:
+        """Bits consumed by subsector synchronisation fields."""
+        return self.sector_count * self.sector.sync_bits_total
+
+    @property
+    def padding_bits(self) -> float:
+        """Bits lost to stripe rounding inside sectors."""
+        return self.sector_count * self.sector.padding_bits
+
+    @property
+    def unallocated_bits(self) -> float:
+        """Raw bits left over after the last whole sector."""
+        return self.raw_bits - self.sector_count * self.sector.sector_bits
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the raw medium holding user data."""
+        return self.user_bits / self.raw_bits
+
+    @property
+    def user_gb(self) -> float:
+        """Formatted user capacity in decimal gigabytes."""
+        return units.bits_to_gb(self.user_bits)
+
+
+class DeviceLayout:
+    """Formatting calculator for a MEMS device.
+
+    Binds a :class:`~repro.config.MEMSDeviceConfig` to the
+    :class:`~repro.formatting.sector.SectorLayout` implied by its striping
+    and ECC parameters.
+    """
+
+    def __init__(self, device: MEMSDeviceConfig, layout: SectorLayout | None = None):
+        self.device = device
+        if layout is None:
+            layout = SectorLayout(
+                stripe_width=device.active_probes,
+                sync_bits_per_subsector=device.sync_bits_per_subsector,
+                ecc=FractionalECC(device.ecc_numerator, device.ecc_denominator),
+            )
+        elif layout.stripe_width != device.active_probes:
+            raise ConfigurationError(
+                "sector layout stripe width must match the device's active "
+                f"probes ({device.active_probes}), got {layout.stripe_width}"
+            )
+        self.layout = layout
+
+    def format_with_sector(self, user_bits: int) -> FormattedCapacity:
+        """Format the whole device with sectors of ``user_bits`` user data."""
+        sector = self.layout.format_sector(user_bits)
+        count = int(self.device.capacity_bits // sector.sector_bits)
+        if count == 0:
+            raise ConfigurationError(
+                f"sector of {sector.sector_bits} bits does not fit the "
+                f"device capacity of {self.device.capacity_bits:g} bits"
+            )
+        return FormattedCapacity(
+            raw_bits=self.device.capacity_bits,
+            sector=sector,
+            sector_count=count,
+        )
+
+    def user_capacity_bits(self, user_bits_per_sector: int) -> float:
+        """Formatted user capacity (bits) for a given sector size."""
+        return self.format_with_sector(user_bits_per_sector).user_bits
+
+    def best_utilisation_at_most(self, max_user_bits: int) -> FormattedCapacity:
+        """Best formatting with sectors of at most ``max_user_bits``.
+
+        The utilisation saw-tooth means the largest admissible sector is not
+        always the best one; this scans the saw-tooth peaks (payload sizes
+        that are exact multiples of the stripe width) up to the cap.
+        """
+        if max_user_bits <= 0:
+            raise ConfigurationError("max_user_bits must be > 0")
+        best: FormattedCapacity | None = None
+        # Saw-tooth peaks sit just below payload multiples of the stripe
+        # width; additionally consider the cap itself.
+        candidates = {max_user_bits}
+        k = self.layout.stripe_width
+        payload_cap = max_user_bits + self.layout.ecc.ecc_bits(max_user_bits)
+        # Peak utilisation grows (essentially) monotonically with the column
+        # count, so only the peaks near the cap can win; a 64-column window
+        # absorbs the +/- 1-bit jitter from the ECC ceiling.
+        first_column = max(1, payload_cap // k - 64)
+        for columns in range(first_column, payload_cap // k + 1):
+            su = self.layout._max_user_bits_with_payload(columns * k)
+            if 0 < su <= max_user_bits:
+                candidates.add(su)
+        for su in candidates:
+            formatted = self.format_with_sector(su)
+            if best is None or formatted.utilisation > best.utilisation:
+                best = formatted
+        assert best is not None
+        return best

@@ -1,0 +1,250 @@
+"""Sector and subsector layout: Equations (2)-(4) of the paper.
+
+A sector holding ``Su`` user bits is striped across ``K`` active probes.
+Each probe stores one *subsector* of
+
+    s = ceil((Su + S_ECC) / K) + sync_bits            (Equation 2)
+
+bits, where the trailing synchronisation bits keep the read-channel clock
+running between subsectors (§III.B.2; the paper assumes 3 bits ~ a 30 µs
+processing window at 100 kbps per probe).  The effective sector size on the
+medium is
+
+    S = K * s                                         (Equation 3)
+
+and the capacity utilisation is
+
+    u(Su) = Su / S.                                   (Equation 4)
+
+Because of the two ceilings, ``u`` is a saw-tooth in ``Su``: it climbs while
+the last subsector fills and drops one bit-per-probe each time the striping
+spills into a new column.  :class:`SectorLayout` exposes both the exact
+integer math and the smooth envelope used for closed-form reasoning, plus
+the exact *inverse* (minimal ``Su`` reaching a utilisation target) on which
+the design-space exploration of §IV.C rests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, InfeasibleDesignError
+from .ecc import ECCScheme, FractionalECC
+
+
+@dataclass(frozen=True)
+class SectorFormat:
+    """The fully resolved layout of one formatted sector.
+
+    Produced by :meth:`SectorLayout.format_sector`; all sizes in bits.
+    """
+
+    user_bits: int
+    ecc_bits: int
+    subsector_bits: int
+    sector_bits: int
+    stripe_width: int
+    sync_bits_per_subsector: int
+
+    @property
+    def payload_bits(self) -> int:
+        """User + ECC bits (what striping distributes over the probes)."""
+        return self.user_bits + self.ecc_bits
+
+    @property
+    def sync_bits_total(self) -> int:
+        """Synchronisation bits across the whole sector."""
+        return self.stripe_width * self.sync_bits_per_subsector
+
+    @property
+    def padding_bits(self) -> int:
+        """Bits lost to rounding the stripe up to whole subsector columns."""
+        return self.sector_bits - self.payload_bits - self.sync_bits_total
+
+    @property
+    def utilisation(self) -> float:
+        """Capacity utilisation ``u = Su / S`` (Equation 4)."""
+        return self.user_bits / self.sector_bits
+
+
+class SectorLayout:
+    """Striping calculator for a probe-storage device.
+
+    Parameters
+    ----------
+    stripe_width:
+        Number of active probes ``K`` a sector is striped across.
+    sync_bits_per_subsector:
+        Synchronisation bits after each subsector (paper: 3).
+    ecc:
+        ECC sizing scheme; defaults to the paper's one-eighth
+        :class:`~repro.formatting.ecc.FractionalECC`.
+    """
+
+    def __init__(
+        self,
+        stripe_width: int = 1024,
+        sync_bits_per_subsector: int = 3,
+        ecc: ECCScheme | None = None,
+    ):
+        if stripe_width <= 0:
+            raise ConfigurationError("stripe_width must be > 0")
+        if sync_bits_per_subsector < 0:
+            raise ConfigurationError("sync_bits_per_subsector must be >= 0")
+        self.stripe_width = stripe_width
+        self.sync_bits_per_subsector = sync_bits_per_subsector
+        self.ecc = ecc if ecc is not None else FractionalECC()
+
+    # -- forward direction: Equations (2)-(4) -------------------------------
+
+    def subsector_bits(self, user_bits: int) -> int:
+        """Subsector size ``s`` for a sector of ``user_bits`` (Equation 2)."""
+        if user_bits <= 0:
+            raise ConfigurationError("user_bits must be > 0")
+        payload = user_bits + self.ecc.ecc_bits(user_bits)
+        return math.ceil(payload / self.stripe_width) + self.sync_bits_per_subsector
+
+    def sector_bits(self, user_bits: int) -> int:
+        """Effective stored sector size ``S = K * s`` (Equation 3)."""
+        return self.stripe_width * self.subsector_bits(user_bits)
+
+    def utilisation(self, user_bits: int) -> float:
+        """Capacity utilisation ``u(Su) = Su / S`` (Equation 4)."""
+        return user_bits / self.sector_bits(user_bits)
+
+    def format_sector(self, user_bits: int) -> SectorFormat:
+        """Resolve the complete layout for a sector of ``user_bits``."""
+        ecc_bits = self.ecc.ecc_bits(user_bits)
+        subsector = self.subsector_bits(user_bits)
+        return SectorFormat(
+            user_bits=user_bits,
+            ecc_bits=ecc_bits,
+            subsector_bits=subsector,
+            sector_bits=self.stripe_width * subsector,
+            stripe_width=self.stripe_width,
+            sync_bits_per_subsector=self.sync_bits_per_subsector,
+        )
+
+    # -- envelope (smooth, ceil-free) ---------------------------------------
+
+    def utilisation_envelope(self, user_bits: float) -> float:
+        """Smooth upper-envelope approximation of ``u(Su)``.
+
+        Drops both ceilings: ``u ~= Su / (Su * (1 + e) + c * K)`` with
+        ``e`` the ECC overhead ratio and ``c`` the sync bits per subsector.
+        Exact at the saw-tooth peaks when ``(Su + S_ECC)`` is a multiple of
+        ``K``; an upper bound elsewhere.
+        """
+        if user_bits <= 0:
+            raise ConfigurationError("user_bits must be > 0")
+        payload = user_bits * (1.0 + self.ecc.overhead_ratio())
+        return user_bits / (
+            payload + self.sync_bits_per_subsector * self.stripe_width
+        )
+
+    @property
+    def utilisation_supremum(self) -> float:
+        """Least upper bound of ``u(Su)`` as sectors grow without bound.
+
+        Equals ``1 / (1 + e)`` — e.g. 8/9 ~ 88.9% for one-eighth ECC.  No
+        finite sector reaches it, but every target strictly below it is
+        attainable.
+        """
+        return 1.0 / (1.0 + self.ecc.overhead_ratio())
+
+    def best_user_bits_at_most(self, max_user_bits: int) -> int:
+        """Sector size ``Su <= max_user_bits`` with the best utilisation.
+
+        The saw-tooth means the largest admissible ``Su`` is not always
+        the best one; the winner is the nearest peak (a payload size that
+        exactly fills its stripe columns) at or below the cap.  Peaks
+        grow essentially monotonically, so only a small window below the
+        cap needs scanning.
+        """
+        if max_user_bits <= 0:
+            raise ConfigurationError("max_user_bits must be > 0")
+        candidates = {max_user_bits}
+        payload_cap = max_user_bits + self.ecc.ecc_bits(max_user_bits)
+        top_column = payload_cap // self.stripe_width
+        for columns in range(max(1, top_column - 64), top_column + 1):
+            su = self._max_user_bits_with_payload(
+                columns * self.stripe_width
+            )
+            if 0 < su <= max_user_bits:
+                candidates.add(su)
+        return max(candidates, key=self.utilisation)
+
+    # -- inverse direction: minimal Su for a utilisation target -------------
+
+    def min_user_bits_for_utilisation(self, target: float) -> int:
+        """Smallest ``Su`` (bits) whose utilisation reaches ``target``.
+
+        This is the inverse function of Equation (4) used in §IV.C: the
+        capacity constraint ``C`` of a design goal translates into a minimal
+        sector size, hence (via ``B >= Su``) a minimal streaming buffer.
+
+        The saw-tooth is handled exactly: we iterate over subsector sizes
+        ``s`` in increasing order; within a fixed ``s`` the utilisation
+        ``Su / (K * s)`` grows linearly with ``Su`` up to the largest
+        payload that still fits, so the first ``s`` admitting the target
+        yields the global minimiser.
+
+        Raises
+        ------
+        InfeasibleDesignError
+            If ``target`` is not strictly below :attr:`utilisation_supremum`
+            (or not reachable by any finite sector).
+        """
+        if not 0 < target <= 1:
+            raise ConfigurationError(f"target must lie in (0, 1], got {target!r}")
+        supremum = self.utilisation_supremum
+        if target >= supremum:
+            raise InfeasibleDesignError(
+                f"utilisation target {target:.4f} is not below the formatting "
+                f"supremum {supremum:.4f} (ECC overhead "
+                f"{self.ecc.overhead_ratio():.4f})",
+                constraint="capacity",
+            )
+
+        c = self.sync_bits_per_subsector
+        k = self.stripe_width
+        # Smooth-envelope estimate of the required subsector size; the exact
+        # answer can only be >= this (ceilings never help), so start there.
+        denominator = 1.0 - target * (1.0 + self.ecc.overhead_ratio())
+        if c == 0:
+            s_start = 1
+        else:
+            s_start = max(1 + c, math.floor(c / denominator))
+        # The envelope also bounds how far we may have to look: utilisation
+        # within a subsector class s is at most (1 - c/s)/(1 + e) + slack of
+        # one payload column, so a proportional safety margin suffices.
+        s_limit = max(s_start * 4 + 64, 1024)
+
+        for s in range(max(s_start, c + 1), s_limit + 1):
+            payload_capacity = k * (s - c)
+            su_max = self._max_user_bits_with_payload(payload_capacity)
+            if su_max <= 0:
+                continue
+            su_needed = math.ceil(target * k * s)
+            if su_needed <= su_max:
+                return su_needed
+        raise InfeasibleDesignError(  # pragma: no cover - defensive
+            f"no subsector size up to {s_limit} reaches utilisation "
+            f"{target:.4f}; supremum is {supremum:.4f}",
+            constraint="capacity",
+        )
+
+    def _max_user_bits_with_payload(self, payload_capacity: int) -> int:
+        """Largest ``Su`` with ``Su + ecc_bits(Su) <= payload_capacity``."""
+        if payload_capacity <= 0:
+            return 0
+        ratio = self.ecc.overhead_ratio()
+        guess = int(payload_capacity / (1.0 + ratio)) + 2
+        su = guess
+        while su > 0 and su + self.ecc.ecc_bits(su) > payload_capacity:
+            su -= 1
+        # Guard against an under-estimate of the guess (non-linear schemes).
+        while (su + 1) + self.ecc.ecc_bits(su + 1) <= payload_capacity:
+            su += 1
+        return su

@@ -1,0 +1,43 @@
+"""A small discrete-event simulation (DES) kernel.
+
+The paper's evaluation is analytical, but reproducing it credibly calls
+for an executable counterpart of the Figure 1b pipeline to validate the
+closed forms against.  simpy is not available in this environment, so this
+package provides a compatible-in-spirit kernel:
+
+* :class:`~repro.sim.engine.Environment` — event loop and virtual clock,
+* :class:`~repro.sim.engine.Event` / ``Timeout`` / ``Process`` —
+  generator-based processes that ``yield`` events,
+* :class:`~repro.sim.engine.AnyOf` / ``AllOf`` — condition events,
+* :class:`~repro.sim.resources.Container` — fluid level resource (the
+  streaming buffer),
+* :class:`~repro.sim.resources.Store` — FIFO object store,
+* :class:`~repro.sim.monitor.TimeSeriesMonitor` — piecewise-constant and
+  piecewise-linear signal recording with exact time integrals.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from .resources import Container, Store
+from .monitor import TimeSeriesMonitor, CounterMonitor
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Container",
+    "Store",
+    "TimeSeriesMonitor",
+    "CounterMonitor",
+]

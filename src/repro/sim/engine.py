@@ -1,0 +1,381 @@
+"""Discrete-event simulation kernel: environment, events, processes.
+
+The design follows the classic simpy architecture: an
+:class:`Environment` owns a priority queue of scheduled :class:`Event`\\ s;
+a :class:`Process` wraps a Python generator that ``yield``\\ s events and is
+resumed with the event's value when it fires.  Determinism guarantees:
+
+* events scheduled for the same time fire in scheduling order (FIFO,
+  tie-broken by a monotonically increasing sequence number);
+* callbacks run exactly once; triggering a triggered event raises;
+* a failed event whose exception nobody consumes re-raises out of
+  :meth:`Environment.run` (errors never pass silently — a process must
+  either catch the failure or crash the simulation).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import SimulationError
+
+#: Sentinel distinguishing "no value yet" from "value is None".
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts.
+
+    The interrupting cause is available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    An event starts *pending*, becomes *triggered* when given a value (or
+    an exception), and is *processed* once the environment has run its
+    callbacks.  Events are yielded from process generators; the process is
+    resumed with :attr:`value` when the event fires.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        #: True once some consumer has taken responsibility for a failure.
+        self.defused = False
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if self._ok is None:
+            raise SimulationError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("event is not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another event (callback plumbing)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        # A timeout is born triggered: its value is known upfront, and
+        # ``_value is not _PENDING`` makes the base ``triggered`` true.
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    Wraps a generator.  Each ``yield``\\ ed event suspends the process until
+    the event fires; failed events are *thrown into* the generator so the
+    process can handle (and thereby defuse) them.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process target must be a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Bootstrap: resume the process at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+            self._target = None
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        # Interrupts are owned by this process; never escalate them.
+        wakeup.defused = True
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule(wakeup, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(next_target, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_target!r}"
+            )
+        if next_target.processed:
+            # Already fired: resume immediately at the current time.
+            relay = Event(self.env)
+            relay._ok = next_target._ok
+            relay._value = next_target._value
+            if not next_target._ok:
+                next_target.defused = True
+            relay.callbacks.append(self._resume)
+            self.env._schedule(relay)
+        else:
+            next_target.callbacks.append(self._resume)
+        self._target = next_target
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = tuple(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError(
+                    "all events of a condition must share one environment"
+                )
+        self._unfired = sum(1 for e in self._events if not e.processed)
+        for event in self._events:
+            if event.processed:
+                self._observe(event, immediate=True)
+            else:
+                event.callbacks.append(self._observe)
+        if not self.triggered:
+            self._check_now()
+
+    def _observe(self, event: Event, immediate: bool = False) -> None:
+        if not event._ok:
+            event.defused = True
+            if not self.triggered:
+                self.fail(event._value)
+            return
+        if not immediate:
+            self._unfired -= 1
+        if not self.triggered:
+            self._check_now()
+
+    def _values(self) -> dict[Event, Any]:
+        # Only *processed* events have actually fired: a Timeout is born
+        # triggered (its value is known upfront) but must not appear in a
+        # condition's results until its scheduled moment arrives.
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+    def _check_now(self) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has fired."""
+
+    def _check_now(self) -> None:
+        if self._unfired == 0:
+            self.succeed(self._values())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    def _check_now(self) -> None:
+        if not self._events or self._unfired < len(self._events) or any(
+            e.processed for e in self._events
+        ):
+            self.succeed(self._values())
+
+
+class Environment:
+    """Event loop: virtual clock plus a deterministic event calendar."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any constituent fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all constituents have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = 1
+    ) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._sequence), event),
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        time, _, _, event = heapq.heappop(self._queue)
+        if time < self._now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        * ``until`` is ``None`` — run until no events remain;
+        * ``until`` is a number — run until the clock reaches it;
+        * ``until`` is an :class:`Event` — run until it fires, returning
+          its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop.defused = True
+            raise stop._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon!r}: clock is at {self._now!r}"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,141 @@
+"""Signal recording for simulations: exact integrals, extrema, averages.
+
+:class:`TimeSeriesMonitor` records a signal sampled at event times and
+integrates it exactly between samples under either a piecewise-constant
+(step) or piecewise-linear (fluid) interpolation — the streaming buffer
+level is linear between events, device power is a step function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One recorded (time, value) pair."""
+
+    time: float
+    value: float
+
+
+class TimeSeriesMonitor:
+    """Records a scalar signal over simulation time.
+
+    Parameters
+    ----------
+    name:
+        Signal name used in reports.
+    linear:
+        Integrate assuming linear interpolation between samples (fluid
+        levels); otherwise assume the value holds until the next sample
+        (step signals such as power).
+    keep_samples:
+        Retain the full sample list (memory grows with events); the
+        summary statistics are maintained either way.
+    """
+
+    def __init__(
+        self, name: str, linear: bool = False, keep_samples: bool = True
+    ):
+        self.name = name
+        self.linear = linear
+        self._keep = keep_samples
+        self._samples: list[Sample] = []
+        self._last: Sample | None = None
+        self._integral = 0.0
+        self._minimum = float("inf")
+        self._maximum = float("-inf")
+        self._count = 0
+        self._start: float | None = None
+
+    def record(self, time: float, value: float) -> None:
+        """Record ``value`` at ``time`` (times must not decrease)."""
+        if self._last is not None and time < self._last.time - 1e-12:
+            raise SimulationError(
+                f"monitor {self.name!r}: time went backwards "
+                f"({self._last.time!r} -> {time!r})"
+            )
+        if self._last is not None:
+            dt = max(0.0, time - self._last.time)
+            if self.linear:
+                self._integral += 0.5 * (self._last.value + value) * dt
+            else:
+                self._integral += self._last.value * dt
+        else:
+            self._start = time
+        sample = Sample(time, value)
+        self._last = sample
+        if self._keep:
+            self._samples.append(sample)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+        self._count += 1
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def samples(self) -> tuple[Sample, ...]:
+        """All recorded samples (empty when ``keep_samples=False``)."""
+        return tuple(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self._count
+
+    @property
+    def minimum(self) -> float:
+        """Smallest recorded value."""
+        if self._count == 0:
+            raise SimulationError(f"monitor {self.name!r} has no samples")
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        if self._count == 0:
+            raise SimulationError(f"monitor {self.name!r} has no samples")
+        return self._maximum
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the samples."""
+        if self._last is None or self._start is None:
+            return 0.0
+        return self._last.time - self._start
+
+    def integral(self) -> float:
+        """Exact time integral of the signal over the recorded span."""
+        return self._integral
+
+    def time_average(self) -> float:
+        """Time-weighted mean of the signal."""
+        if self.duration == 0:
+            raise SimulationError(
+                f"monitor {self.name!r} spans zero time; no average exists"
+            )
+        return self._integral / self.duration
+
+
+class CounterMonitor:
+    """Counts named occurrences (refills, underruns, seeks, ...)."""
+
+    def __init__(self):
+        self._counts: dict[str, int] = {}
+
+    def increment(self, key: str, by: int = 1) -> None:
+        """Add ``by`` to the count of ``key``."""
+        if by < 0:
+            raise SimulationError("counters only move forward")
+        self._counts[key] = self._counts.get(key, 0) + by
+
+    def count(self, key: str) -> int:
+        """Current count of ``key`` (0 if never incremented)."""
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)

@@ -1,0 +1,154 @@
+"""Shared resources for the DES kernel: fluid containers and object stores.
+
+:class:`Container` models a continuous level (the streaming buffer's fill
+in bits); :class:`Store` is a FIFO of discrete items (e.g. best-effort
+requests).  Both hand out events that fire when the request can be served,
+with strict FIFO fairness within each queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..errors import SimulationError
+from .engine import Environment, Event
+
+
+class Container:
+    """A continuous-level resource with blocking put/get.
+
+    Puts block while the level would exceed ``capacity``; gets block while
+    the level would go negative.  Levels are floats — the streaming
+    pipeline treats the buffer as a fluid, as the analytic model does.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        initial: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise SimulationError("capacity must be > 0")
+        if not 0 <= initial <= capacity:
+            raise SimulationError("initial level must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = initial
+        self._puts: deque[tuple[Event, float]] = deque()
+        self._gets: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount in the container."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Request to add ``amount``; the event fires when it fits."""
+        if amount < 0:
+            raise SimulationError(f"cannot put a negative amount {amount!r}")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"a put of {amount!r} can never fit capacity {self.capacity!r}"
+            )
+        event = self.env.event()
+        self._puts.append((event, amount))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Request to remove ``amount``; the event fires when available."""
+        if amount < 0:
+            raise SimulationError(f"cannot get a negative amount {amount!r}")
+        event = self.env.event()
+        self._gets.append((event, amount))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts:
+                event, amount = self._puts[0]
+                if self._level + amount <= self.capacity + 1e-12:
+                    self._puts.popleft()
+                    self._level = min(self._level + amount, self.capacity)
+                    event.succeed(amount)
+                    progressed = True
+            if self._gets:
+                event, amount = self._gets[0]
+                if self._level >= amount - 1e-12:
+                    self._gets.popleft()
+                    self._level = max(self._level - amount, 0.0)
+                    event.succeed(amount)
+                    progressed = True
+
+    # -- non-blocking fluid adjustments -----------------------------------------
+
+    def drain(self, amount: float) -> float:
+        """Remove up to ``amount`` immediately; returns what was removed.
+
+        Used by fluid consumers that integrate a rate over elapsed time
+        rather than blocking on discrete chunks.
+        """
+        if amount < 0:
+            raise SimulationError(f"cannot drain a negative amount {amount!r}")
+        taken = min(amount, self._level)
+        self._level -= taken
+        self._dispatch()
+        return taken
+
+    def fill(self, amount: float) -> float:
+        """Add up to ``amount`` immediately; returns what was added."""
+        if amount < 0:
+            raise SimulationError(f"cannot fill a negative amount {amount!r}")
+        added = min(amount, self.capacity - self._level)
+        self._level += added
+        self._dispatch()
+        return added
+
+
+class Store:
+    """FIFO store of arbitrary items with blocking put/get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be > 0")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._puts: deque[tuple[Event, Any]] = deque()
+        self._gets: deque[Event] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Request to append ``item``; fires when there is room."""
+        event = self.env.event()
+        self._puts.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Request the oldest item; fires when one is available."""
+        event = self.env.event()
+        self._gets.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and len(self.items) < self.capacity:
+                event, item = self._puts.popleft()
+                self.items.append(item)
+                event.succeed(item)
+                progressed = True
+            if self._gets and self.items:
+                event = self._gets.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,89 @@
+"""ASCII-chart tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.plots import AsciiChart, plot_design_space
+from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
+from repro.core.design_space import DesignSpaceExplorer
+from repro.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_renders_frame_and_legend(self):
+        chart = AsciiChart(width=32, height=8)
+        chart.add_series("line", [0, 1, 2], [0, 1, 2])
+        text = chart.render(title="t", x_label="x", y_label="y")
+        assert text.startswith("t\n")
+        assert "[y: y]" in text
+        assert "[x: x]" in text
+        assert "* line" in text
+
+    def test_marker_positions_linear(self):
+        chart = AsciiChart(width=11, height=5)
+        chart.add_series("diag", [0, 10], [0, 10])
+        lines = chart.render().splitlines()
+        plot_rows = [line.split("|", 1)[1] for line in lines if "|" in line]
+        # Max lands top-right, min bottom-left.
+        assert plot_rows[0][-1] == "*"
+        assert plot_rows[-1][0] == "*"
+
+    def test_log_axes(self):
+        chart = AsciiChart(width=16, height=6, log_x=True, log_y=True)
+        chart.add_series("decade", [1, 10, 100], [1, 10, 100])
+        text = chart.render()
+        assert "100" in text  # axis extremes rendered in linear units
+        assert "1" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = AsciiChart(width=16, height=6)
+        chart.add_series("a", [0, 1], [0, 1])
+        chart.add_series("b", [0, 1], [1, 0])
+        text = chart.render()
+        assert "* a" in text and "o b" in text
+
+    def test_infinite_values_clip_to_frame(self):
+        chart = AsciiChart(width=16, height=6)
+        chart.add_series("wall", [0, 1, 2], [1.0, 2.0, math.inf])
+        lines = chart.render().splitlines()
+        top_row = next(line for line in lines if "|" in line)
+        assert "*" in top_row.split("|", 1)[1]
+
+    def test_rejects_empty_and_tiny(self):
+        with pytest.raises(ConfigurationError):
+            AsciiChart(width=4, height=2)
+        chart = AsciiChart()
+        with pytest.raises(ConfigurationError):
+            chart.render()
+
+    def test_rejects_nonpositive_on_log_axis(self):
+        chart = AsciiChart(log_y=True)
+        chart.add_series("bad", [1, 2], [0.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            chart.render()
+
+    def test_mismatched_series_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ConfigurationError):
+            chart.add_series("bad", [1, 2], [1])
+
+    def test_constant_series_renders(self):
+        chart = AsciiChart(width=16, height=6)
+        chart.add_series("flat", [0, 1, 2], [5, 5, 5])
+        assert "*" in chart.render()
+
+
+class TestPlotDesignSpace:
+    def test_fig3a_panel_renders(self):
+        explorer = DesignSpaceExplorer(
+            ibm_mems_prototype(), table1_workload(), points_per_decade=8
+        )
+        result = explorer.sweep(DesignGoal(energy_saving=0.80))
+        text = plot_design_space(result, width=48, height=12)
+        assert "regions: C  E  X" in text
+        assert "required buffer" in text
+        assert "energy-efficiency buffer" in text
+        assert "buffer capacity (kB)" in text

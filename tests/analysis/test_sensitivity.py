@@ -1,0 +1,109 @@
+"""Sensitivity-analysis tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    sensitivity_analysis,
+    sensitivity_table,
+)
+from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return sensitivity_analysis(
+        ibm_mems_prototype(),
+        table1_workload(),
+        goal=DesignGoal(energy_saving=0.70),
+        knobs=("seek_time_s", "standby_power_w", "sync_bits_per_subsector",
+               "springs_duty_cycles", "best_effort_fraction"),
+        factors=(0.5, 2.0),
+    )
+
+
+class TestSensitivity:
+    def test_baseline_is_unperturbed(self, study):
+        baseline, _ = study
+        assert baseline.knob == "baseline"
+        assert baseline.factor == 1.0
+        assert math.isfinite(baseline.break_even_bits)
+
+    def test_one_result_per_knob_factor(self, study):
+        _, results = study
+        assert len(results) == 10
+
+    def test_seek_time_scales_break_even(self, study):
+        baseline, results = study
+        doubled = next(
+            r for r in results
+            if r.knob == "seek_time_s" and r.factor == 2.0
+        )
+        # toh doubles the overhead energy surplus -> larger break-even.
+        assert doubled.break_even_bits > baseline.break_even_bits
+
+    def test_springs_rating_halves_required_buffer(self, study):
+        baseline, results = study
+        doubled = next(
+            r for r in results
+            if r.knob == "springs_duty_cycles" and r.factor == 2.0
+        )
+        # The 70% goal at 1024 kbps is springs-dominated, so doubling the
+        # rating halves the required buffer.
+        assert doubled.required_buffer_bits == pytest.approx(
+            baseline.required_buffer_bits / 2, rel=0.01
+        )
+
+    def test_sync_bits_move_required_buffer_when_capacity_bound(self):
+        baseline, results = sensitivity_analysis(
+            ibm_mems_prototype(),
+            table1_workload(),
+            goal=DesignGoal(energy_saving=0.5),
+            rate_bps=64_000.0,  # capacity-dominated operating point
+            knobs=("sync_bits_per_subsector",),
+            factors=(2.0,),
+        )
+        doubled = results[0]
+        assert doubled.required_buffer_bits > baseline.required_buffer_bits
+
+    def test_best_effort_moves_energy_wall(self, study):
+        baseline, results = study
+        halved = next(
+            r for r in results
+            if r.knob == "best_effort_fraction" and r.factor == 0.5
+        )
+        # Less best-effort tax -> the 70% wall (if any) moves right; both
+        # may be inf, in which case the ratio is undefined.
+        ratios = halved.relative_to(baseline)
+        wall_ratio = ratios["energy_wall"]
+        assert math.isnan(wall_ratio) or wall_ratio >= 1.0
+
+    def test_relative_to_self_is_unity(self, study):
+        baseline, _ = study
+        ratios = baseline.relative_to(baseline)
+        assert ratios["break_even"] == pytest.approx(1.0)
+        assert ratios["required_buffer"] == pytest.approx(1.0)
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(
+                ibm_mems_prototype(),
+                table1_workload(),
+                knobs=("warp_drive",),
+            )
+
+    def test_table_rendering(self, study):
+        baseline, results = study
+        table = sensitivity_table(baseline, results)
+        assert len(table.rows) == len(results)
+        assert "knob" in table.headers
+
+    def test_default_knobs_run(self):
+        baseline, results = sensitivity_analysis(
+            ibm_mems_prototype(), table1_workload(), factors=(2.0,)
+        )
+        assert len(results) >= 10

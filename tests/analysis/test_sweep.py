@@ -1,0 +1,56 @@
+"""Parameter-sweep harness tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.sweep import sweep_parameter
+from repro.errors import InfeasibleDesignError
+
+
+class TestSweep:
+    def test_collects_metrics(self):
+        result = sweep_parameter(
+            "x",
+            [1, 2, 3],
+            {"square": lambda x: x * x, "double": lambda x: 2 * x},
+        )
+        assert result.metric("square") == (1.0, 4.0, 9.0)
+        assert result.metric("double") == (2.0, 4.0, 6.0)
+        assert result.parameter == "x"
+
+    def test_infeasible_recorded_as_inf(self):
+        def sometimes(x):
+            if x > 2:
+                raise InfeasibleDesignError("too big")
+            return float(x)
+
+        result = sweep_parameter("x", [1, 2, 3], {"m": sometimes})
+        assert result.metric("m") == (1.0, 2.0, math.inf)
+        assert result.finite_mask("m") == (True, True, False)
+
+    def test_argmin_argmax_ignore_inf(self):
+        def metric(x):
+            if x == 0:
+                raise InfeasibleDesignError("nope")
+            return 1.0 / x
+
+        result = sweep_parameter("x", [0, 1, 2, 4], {"m": metric})
+        assert result.argmin("m") == 4
+        assert result.argmax("m") == 1
+
+    def test_argmin_all_infeasible_raises(self):
+        def metric(_):
+            raise InfeasibleDesignError("never")
+
+        result = sweep_parameter("x", [1], {"m": metric})
+        with pytest.raises(ValueError):
+            result.argmin("m")
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_parameter("x", [], {"m": float})
+        with pytest.raises(ValueError):
+            sweep_parameter("x", [1], {})

@@ -1,0 +1,78 @@
+"""Table/series rendering tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import Table, format_table, render_series
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(
+            ("name", "value"), [("alpha", 1.0), ("b", 123456.0)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.00012345,), (1234567.0,)])
+        assert "0.000123" in text
+        assert "1.23e+06" in text
+
+    def test_non_finite_cells(self):
+        text = format_table(("x",), [(float("inf"),), (float("nan"),)])
+        assert "inf" in text
+        assert "-" in text
+
+    def test_zero(self):
+        assert "0" in format_table(("x",), [(0.0,)])
+
+
+class TestTable:
+    def test_render_includes_title_and_notes(self):
+        table = Table(
+            title="My table",
+            headers=("a",),
+            rows=((1,),),
+            notes=("something",),
+        )
+        text = table.render()
+        assert text.startswith("My table\n========")
+        assert "note: something" in text
+
+    def test_column_extraction(self):
+        table = Table(
+            title="t", headers=("a", "b"), rows=((1, 2), (3, 4))
+        )
+        assert table.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+
+class TestRenderSeries:
+    def test_full_series(self):
+        text = render_series(
+            "x", [1.0, 2.0, 3.0], {"y": [10.0, 20.0, 30.0]}
+        )
+        assert text.count("\n") == 4  # header + rule + 3 rows
+
+    def test_thinning_keeps_endpoints(self):
+        x = list(range(100))
+        text = render_series(
+            "x", x, {"y": [float(v) for v in x]}, max_rows=5
+        )
+        lines = text.splitlines()
+        assert len(lines) == 7  # header + rule + 5 rows
+        assert lines[2].strip().startswith("0")
+        assert "99" in lines[-1]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1.0, 2.0], {"y": [1.0]})

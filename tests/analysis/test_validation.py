@@ -1,0 +1,35 @@
+"""Validation-matrix tests (small grids to keep runtime bounded)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.analysis.validation import validate_operating_points
+
+
+@pytest.fixture(scope="module")
+def matrix(device, workload):
+    return validate_operating_points(
+        device,
+        workload,
+        buffer_sizes_bits=(units.kb_to_bits(10), units.kb_to_bits(40)),
+        stream_rates_bps=(256_000.0, 2_048_000.0),
+        cycles_per_point=80,
+    )
+
+
+class TestMatrix:
+    def test_grid_size(self, matrix):
+        assert len(matrix.points) == 4
+
+    def test_all_points_agree(self, matrix):
+        assert matrix.all_agree
+        assert matrix.worst_energy_error < 0.01
+        assert matrix.worst_cycle_error < 0.01
+
+    def test_table_rendering(self, matrix):
+        table = matrix.as_table()
+        assert len(table.rows) == 4
+        assert "agree" in table.headers
+        assert all(row[-1] == "yes" for row in table.rows)

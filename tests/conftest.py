@@ -1,0 +1,69 @@
+"""Shared fixtures: the Table I device, workload, and derived models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    disk_18inch,
+    ibm_mems_prototype,
+    micron_ddr_dram,
+    table1_workload,
+)
+from repro.core.capacity import CapacityModel
+from repro.core.energy import EnergyModel
+from repro.core.lifetime import LifetimeModel
+
+
+@pytest.fixture(scope="session")
+def device():
+    """The Table I MEMS device (springs 1e8, probes 100 cycles)."""
+    return ibm_mems_prototype()
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The Table I workload (8 h/day, 40% writes, 5% best-effort)."""
+    return table1_workload()
+
+
+@pytest.fixture(scope="session")
+def disk():
+    """The 1.8-inch disk comparator."""
+    return disk_18inch()
+
+
+@pytest.fixture(scope="session")
+def dram():
+    """The Micron DDR DRAM buffer preset."""
+    return micron_ddr_dram()
+
+
+@pytest.fixture(scope="session")
+def energy_model(device, workload):
+    """Energy model bound to the Table I device and workload."""
+    return EnergyModel(device, workload)
+
+
+@pytest.fixture(scope="session")
+def energy_model_no_be(device):
+    """Energy model without best-effort traffic (the literal Equation 1)."""
+    from repro.config import WorkloadConfig
+
+    return EnergyModel(device, WorkloadConfig(best_effort_fraction=0.0))
+
+
+@pytest.fixture(scope="session")
+def capacity_model(device):
+    """Capacity model for the Table I device."""
+    return CapacityModel(device)
+
+
+@pytest.fixture(scope="session")
+def lifetime_model(device, workload):
+    """Lifetime model for the Table I device and workload."""
+    return LifetimeModel(device, workload)
+
+
+#: The figure's reference operating point (1024 kbps).
+RATE_1024 = 1_024_000.0

@@ -1,0 +1,102 @@
+"""Capacity-model tests (buffer-centric wrapper of Equations 2-4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import ibm_mems_prototype
+from repro.core.capacity import CapacityModel
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.formatting.ecc import NoECC
+from repro.formatting.sector import SectorLayout
+
+
+class TestForward:
+    def test_matches_sector_layout(self, capacity_model):
+        for su in (4096, 8192, 100_000):
+            assert capacity_model.utilisation(su) == (
+                capacity_model.layout.utilisation(su)
+            )
+            assert capacity_model.sector_bits(su) == (
+                capacity_model.layout.sector_bits(su)
+            )
+
+    def test_fractional_buffer_floors(self, capacity_model):
+        assert capacity_model.sector_bits(8192.7) == (
+            capacity_model.sector_bits(8192)
+        )
+
+    def test_rejects_sub_bit_buffer(self, capacity_model):
+        with pytest.raises(ConfigurationError):
+            capacity_model.utilisation(0.5)
+
+    def test_supremum(self, capacity_model):
+        assert capacity_model.utilisation_supremum == pytest.approx(8 / 9)
+
+    def test_best_utilisation_at_least_pointwise(self, capacity_model):
+        for kb in (2, 7, 20):
+            b = units.kb_to_bits(kb)
+            assert capacity_model.best_utilisation(b) >= (
+                capacity_model.utilisation(b) - 1e-12
+            )
+
+    def test_user_capacity_at_88(self, capacity_model):
+        b = capacity_model.min_buffer_for_utilisation(0.88)
+        gb = units.bits_to_gb(capacity_model.user_capacity_bits(b))
+        # Paper: ~106 GB out of 120 GB.
+        assert gb == pytest.approx(105.6, rel=0.005)
+
+
+class TestInverse:
+    def test_paper_88_percent_buffer(self, capacity_model):
+        b = capacity_model.min_buffer_for_utilisation(0.88)
+        assert units.bits_to_kb(b) == pytest.approx(33.8, rel=0.005)
+
+    def test_85_percent_around_7kb(self, capacity_model):
+        # §IV.B: "beyond 7 kB the capacity increase saturates"; the 85%
+        # format needs ~7.5 kB.
+        b = capacity_model.min_buffer_for_utilisation(0.85)
+        assert 6 <= units.bits_to_kb(b) <= 9
+
+    def test_feasibility(self, capacity_model):
+        assert capacity_model.feasible(0.88)
+        assert not capacity_model.feasible(0.89)
+
+    def test_infeasible_raises_with_constraint(self, capacity_model):
+        with pytest.raises(InfeasibleDesignError) as excinfo:
+            capacity_model.min_buffer_for_utilisation(0.9)
+        assert excinfo.value.constraint == "capacity"
+
+    @given(st.floats(min_value=0.3, max_value=0.88))
+    @settings(max_examples=50)
+    def test_round_trip(self, target):
+        model = CapacityModel(ibm_mems_prototype())
+        b = model.min_buffer_for_utilisation(target)
+        assert model.utilisation(b) >= target
+
+
+class TestCustomLayout:
+    def test_no_ecc_layout(self):
+        device = ibm_mems_prototype()
+        layout = SectorLayout(
+            stripe_width=device.active_probes,
+            sync_bits_per_subsector=3,
+            ecc=NoECC(),
+        )
+        model = CapacityModel(device, layout)
+        assert model.utilisation_supremum == 1.0
+        # Without ECC the 88% format needs far less buffer.
+        assert model.min_buffer_for_utilisation(0.88) < (
+            CapacityModel(device).min_buffer_for_utilisation(0.88)
+        )
+
+    def test_more_sync_bits_need_bigger_buffer(self):
+        device = ibm_mems_prototype()
+        heavier = CapacityModel(device.replace(sync_bits_per_subsector=6))
+        default = CapacityModel(device)
+        assert heavier.min_buffer_for_utilisation(0.85) > (
+            default.min_buffer_for_utilisation(0.85)
+        )

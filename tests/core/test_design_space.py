@@ -1,0 +1,212 @@
+"""Design-space exploration tests: the Figure 3 machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
+from repro.core.design_space import (
+    DesignSpaceExplorer,
+    log_rate_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(
+        ibm_mems_prototype(), table1_workload(), points_per_decade=16
+    )
+
+
+GOAL_80 = DesignGoal(energy_saving=0.80)
+GOAL_70 = DesignGoal(energy_saving=0.70)
+
+
+class TestRateGrid:
+    def test_endpoints_included(self):
+        grid = log_rate_grid(32_000, 4_096_000)
+        assert grid[0] == pytest.approx(32_000)
+        assert grid[-1] == pytest.approx(4_096_000)
+
+    def test_log_spacing(self):
+        grid = log_rate_grid(1_000, 1_000_000, points_per_decade=10)
+        ratios = grid[1:] / grid[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            log_rate_grid(1_000, 1_000)
+
+
+class TestSweepFig3a:
+    """Figure 3a: goal (80%, 88%, 7), Dpb=100, Dsp=1e8."""
+
+    @pytest.fixture(scope="class")
+    def result(self, explorer):
+        return explorer.sweep(GOAL_80)
+
+    def test_region_sequence(self, result):
+        assert result.region_sequence() == ["C", "E", "X"]
+
+    def test_capacity_region_reaches_300kbps(self, result):
+        region = result.regions[0]
+        # Paper: "the capacity dominates for up to 300 kbps".
+        assert 200_000 <= region.rate_high_bps <= 700_000
+
+    def test_infeasible_above_energy_wall(self, result, explorer):
+        wall = explorer.energy_wall_rate(GOAL_80)
+        # Paper: "slightly above 1000 kbps".
+        assert 1_000_000 <= wall <= 1_500_000
+        x_region = result.regions[-1]
+        assert not x_region.feasible
+        assert x_region.rate_low_bps == pytest.approx(wall, rel=0.05)
+
+    def test_required_buffer_flat_then_rising(self, result):
+        buffers = result.required_buffer_bits
+        feasible = result.feasible_mask
+        # Flat capacity plateau at the low end.
+        assert buffers[0] == pytest.approx(buffers[1], rel=0.01)
+        # Divergence towards the wall: last feasible point far above plateau.
+        last_feasible = buffers[feasible][-1]
+        assert last_feasible > 10 * buffers[0]
+
+    def test_max_feasible_rate(self, result, explorer):
+        assert result.max_feasible_rate_bps <= explorer.energy_wall_rate(
+            GOAL_80
+        )
+
+    def test_region_lookup(self, result):
+        assert result.region_for_rate(64_000).label == "C"
+        assert result.region_for_rate(4_000_000).label == "X"
+        with pytest.raises(KeyError):
+            result.region_for_rate(1.0)
+
+
+class TestSweepFig3b:
+    """Figure 3b: goal (70%, 88%, 7) — capacity then springs dominate."""
+
+    @pytest.fixture(scope="class")
+    def result(self, explorer):
+        return explorer.sweep(GOAL_70)
+
+    def test_region_sequence(self, result):
+        # The paper draws C, Lsp, Lpb, X; the probes-dominated region is a
+        # razor-thin spike next to the wall with the literal Equation (6)
+        # (DESIGN.md §4.5), so the coarse sweep shows C, Lsp, X.
+        sequence = result.region_sequence()
+        assert sequence[0] == "C"
+        assert "Lsp" in sequence
+        assert sequence[-1] == "X"
+        assert "E" not in sequence  # "energy has no word on buffer size"
+
+    def test_probes_wall_ends_feasibility(self, result, explorer):
+        wall = explorer.probes_wall_rate(GOAL_70)
+        x_region = result.regions[-1]
+        assert x_region.rate_low_bps == pytest.approx(wall, rel=0.05)
+
+    def test_probes_spike_near_wall(self, explorer):
+        # Sampling just below the wall exposes the Lpb-dominated spike.
+        wall = explorer.probes_wall_rate(GOAL_70)
+        requirement = explorer.dimensioner.dimension(GOAL_70, wall * 0.99999)
+        assert requirement.dominant.value == "Lpb"
+
+    def test_buffer_drops_vs_fig3a(self, explorer):
+        # "the buffer size drops three orders of magnitude compared to
+        # Figure 3a" near the 80%-wall.
+        wall = explorer.energy_wall_rate(GOAL_80)
+        rate = wall * 0.9999
+        b80 = explorer.dimensioner.dimension(GOAL_80, rate)
+        b70 = explorer.dimensioner.dimension(GOAL_70, rate)
+        assert (
+            b80.required_buffer_bits / b70.required_buffer_bits > 1000
+        )
+
+
+class TestSweepFig3c:
+    """Figure 3c: improved endurance (Dpb=200, Dsp=1e12)."""
+
+    @pytest.fixture(scope="class")
+    def explorer_3c(self):
+        return DesignSpaceExplorer(
+            ibm_mems_prototype(
+                springs_duty_cycles=1e12, probe_write_cycles=200
+            ),
+            table1_workload(),
+            points_per_decade=16,
+        )
+
+    def test_region_sequence(self, explorer_3c):
+        result = explorer_3c.sweep(GOAL_70)
+        # Paper: "capacity prevails followed by energy"; springs disappear.
+        assert result.region_sequence() == ["C", "E"]
+
+    def test_feasible_over_whole_range(self, explorer_3c):
+        result = explorer_3c.sweep(GOAL_70)
+        assert bool(result.feasible_mask.all())
+
+    def test_energy_wall_out_of_range(self, explorer_3c):
+        assert math.isinf(explorer_3c.energy_wall_rate(GOAL_70))
+
+
+class TestC85Variant:
+    def test_capacity_range_shrinks(self, explorer):
+        # §IV.C: "If the designer opts for lower capacity, say C = 85%,
+        # the domination range of C decreases."
+        result_88 = explorer.sweep(GOAL_80)
+        result_85 = explorer.sweep(GOAL_80.replace(capacity_utilisation=0.85))
+        c_88 = result_88.regions[0]
+        c_85 = result_85.regions[0]
+        assert c_85.constraint.value == "C"
+        assert c_85.rate_high_bps < c_88.rate_high_bps
+
+    def test_lifetime_appears_before_energy(self, explorer):
+        # §IV.C: "Lifetime dominates temporarily before energy takes over."
+        result = explorer.sweep(GOAL_80.replace(capacity_utilisation=0.85))
+        sequence = result.region_sequence()
+        assert "Lsp" in sequence
+        assert sequence.index("Lsp") < sequence.index("E")
+
+
+class TestWalls:
+    def test_energy_wall_bisection_is_tight(self, explorer):
+        wall = explorer.energy_wall_rate(GOAL_80)
+        energy = explorer.dimensioner.solver.energy
+        assert energy.max_energy_saving(wall * 0.999) > 0.80
+        assert energy.max_energy_saving(wall * 1.001) < 0.80
+
+    def test_energy_wall_inf_for_easy_goal(self, explorer):
+        assert math.isinf(
+            explorer.energy_wall_rate(DesignGoal(energy_saving=0.1))
+        )
+
+    def test_energy_wall_at_min_for_impossible_goal(self, explorer):
+        wall = explorer.energy_wall_rate(DesignGoal(energy_saving=0.99))
+        assert wall == pytest.approx(32_000)
+
+    def test_probes_wall_matches_model(self, explorer):
+        assert explorer.probes_wall_rate(GOAL_70) == pytest.approx(
+            explorer.dimensioner.solver.lifetime.probes.max_rate_for_lifetime(
+                7.0
+            )
+        )
+
+
+class TestResultAccessors:
+    def test_arrays_aligned(self, explorer):
+        result = explorer.sweep(GOAL_70)
+        n = len(result.points)
+        assert len(result.rates_bps) == n
+        assert len(result.required_buffer_bits) == n
+        assert len(result.energy_buffer_bits) == n
+        assert len(result.dominant_labels) == n
+        assert len(result.feasible_mask) == n
+
+    def test_custom_range(self, explorer):
+        result = explorer.sweep(
+            GOAL_70, rate_min_bps=100_000, rate_max_bps=200_000
+        )
+        assert result.rates_bps[0] == pytest.approx(100_000)
+        assert result.rates_bps[-1] == pytest.approx(200_000)

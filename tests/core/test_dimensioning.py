@@ -1,0 +1,159 @@
+"""Buffer-dimensioning tests: the §IV.C design question."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
+from repro.core.dimensioning import (
+    BufferDimensioner,
+    Constraint,
+)
+from repro.errors import InfeasibleDesignError
+
+RATE = 1_024_000.0
+
+
+@pytest.fixture(scope="module")
+def dimensioner():
+    return BufferDimensioner(ibm_mems_prototype(), table1_workload())
+
+
+class TestConstraintEnum:
+    def test_labels_match_figure3(self):
+        assert Constraint.ENERGY.value == "E"
+        assert Constraint.CAPACITY.value == "C"
+        assert Constraint.SPRINGS.value == "Lsp"
+        assert Constraint.PROBES.value == "Lpb"
+
+    def test_keys_match_solver(self):
+        assert Constraint.ENERGY.key == "energy"
+        assert Constraint.LATENCY.key == "latency"
+
+
+class TestDimension:
+    def test_outcomes_cover_all_constraints(self, dimensioner):
+        requirement = dimensioner.dimension(DesignGoal(), RATE)
+        constraints = {o.constraint for o in requirement.outcomes}
+        assert constraints == set(dimensioner.constraints)
+
+    def test_required_is_max(self, dimensioner):
+        requirement = dimensioner.dimension(
+            DesignGoal(energy_saving=0.70), RATE
+        )
+        assert requirement.required_buffer_bits == max(
+            o.min_buffer_bits for o in requirement.outcomes
+        )
+
+    def test_dominant_attains_required(self, dimensioner):
+        requirement = dimensioner.dimension(
+            DesignGoal(energy_saving=0.70), RATE
+        )
+        assert requirement.buffer_for(requirement.dominant) == (
+            requirement.required_buffer_bits
+        )
+
+    def test_springs_dominate_70_goal_at_1024(self, dimensioner):
+        requirement = dimensioner.dimension(
+            DesignGoal(energy_saving=0.70), RATE
+        )
+        assert requirement.dominant is Constraint.SPRINGS
+        assert requirement.feasible
+
+    def test_energy_dominates_80_goal_at_1024(self, dimensioner):
+        requirement = dimensioner.dimension(
+            DesignGoal(energy_saving=0.80), RATE
+        )
+        assert requirement.dominant is Constraint.ENERGY
+
+    def test_capacity_dominates_at_low_rate(self, dimensioner):
+        requirement = dimensioner.dimension(DesignGoal(), 64_000.0)
+        assert requirement.dominant is Constraint.CAPACITY
+        # The capacity plateau: ~33.8 kB.
+        assert requirement.required_buffer_kb == pytest.approx(33.8, rel=0.01)
+
+    def test_infeasible_at_high_rate_for_80(self, dimensioner):
+        requirement = dimensioner.dimension(
+            DesignGoal(energy_saving=0.80), 2_048_000.0
+        )
+        assert not requirement.feasible
+        assert Constraint.ENERGY in requirement.infeasible_constraints
+        assert math.isinf(requirement.required_buffer_bits)
+        assert requirement.dominant is Constraint.ENERGY
+
+    def test_buffer_for_unknown_constraint(self, dimensioner):
+        dim_no_latency = BufferDimensioner(
+            ibm_mems_prototype(),
+            table1_workload(),
+            include_latency_floor=False,
+        )
+        requirement = dim_no_latency.dimension(DesignGoal(), RATE)
+        with pytest.raises(KeyError):
+            requirement.buffer_for(Constraint.LATENCY)
+
+    def test_summary_mentions_verdict(self, dimensioner):
+        feasible = dimensioner.dimension(DesignGoal(energy_saving=0.70), RATE)
+        assert "dictated by Lsp" in feasible.summary()
+        infeasible = dimensioner.dimension(
+            DesignGoal(energy_saving=0.80), 2_048_000.0
+        )
+        assert "INFEASIBLE" in infeasible.summary()
+
+
+class TestRequire:
+    def test_returns_bits_when_feasible(self, dimensioner):
+        bits = dimensioner.require(DesignGoal(energy_saving=0.70), RATE)
+        assert bits > 0
+
+    def test_raises_with_constraint_when_infeasible(self, dimensioner):
+        with pytest.raises(InfeasibleDesignError) as excinfo:
+            dimensioner.require(DesignGoal(energy_saving=0.80), 2_048_000.0)
+        assert excinfo.value.constraint == "energy"
+
+
+class TestLatencyFloor:
+    def test_included_by_default(self, dimensioner):
+        assert Constraint.LATENCY in dimensioner.constraints
+
+    def test_excludable(self):
+        dim = BufferDimensioner(
+            ibm_mems_prototype(),
+            table1_workload(),
+            include_latency_floor=False,
+        )
+        assert Constraint.LATENCY not in dim.constraints
+
+    def test_never_dominates_table1_device(self, dimensioner):
+        # §IV.A folds latency into dimensioning; for the Table I device it
+        # never wins against capacity.
+        for rate in (32_000.0, 512_000.0, RATE, 4_000_000.0):
+            requirement = dimensioner.dimension(
+                DesignGoal(energy_saving=0.0), rate
+            )
+            assert requirement.dominant is not Constraint.LATENCY
+
+
+class TestEnergyEfficiencyBuffer:
+    def test_matches_solver(self, dimensioner):
+        goal = DesignGoal(energy_saving=0.70)
+        assert dimensioner.energy_efficiency_buffer(goal, RATE) == (
+            dimensioner.solver.buffer_for_energy_saving(0.70, RATE)
+        )
+
+    def test_inf_beyond_wall(self, dimensioner):
+        goal = DesignGoal(energy_saving=0.80)
+        assert math.isinf(
+            dimensioner.energy_efficiency_buffer(goal, 2_048_000.0)
+        )
+
+    def test_orders_of_magnitude_gap_fig3b(self, dimensioner):
+        # Figure 3b: "a difference of 1 to 2 orders of magnitude between
+        # the required buffer and the energy-efficiency buffer".
+        goal = DesignGoal(energy_saving=0.70)
+        requirement = dimensioner.dimension(goal, RATE)
+        energy_buffer = dimensioner.energy_efficiency_buffer(goal, RATE)
+        ratio = requirement.required_buffer_bits / energy_buffer
+        assert 3 <= ratio <= 100

@@ -1,0 +1,216 @@
+"""Lifetime-model tests: Equations (5)-(6) and their inverses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import WorkloadConfig, ibm_mems_prototype, table1_workload
+from repro.core.lifetime import LifetimeModel, ProbesModel, SpringsModel
+from repro.errors import ConfigurationError, InfeasibleDesignError
+
+RATE = 1_024_000.0
+
+
+class TestSprings:
+    def test_paper_anchor_90kb_7_years(self, lifetime_model):
+        # §IV.B: "about 90 kB is required to attain a 7-year lifetime".
+        years = lifetime_model.springs.lifetime_years(
+            units.kb_to_bits(90), RATE
+        )
+        assert years == pytest.approx(6.7, rel=0.01)
+
+    def test_paper_anchor_range_end_4_years(self, lifetime_model):
+        # Figure 2b: springs at 1e8 limit lifetime to ~4 years at the
+        # right edge of the plotted range (~45 kB).
+        years = lifetime_model.springs.lifetime_years(
+            units.kb_to_bits(45), RATE
+        )
+        assert 3 <= years <= 4.2
+
+    def test_equation5_literal(self, device, workload):
+        springs = SpringsModel(device, workload)
+        b = units.kb_to_bits(20)
+        expected = device.springs_duty_cycles * b / (
+            workload.playback_seconds_per_year * RATE
+        )
+        assert springs.lifetime_years(b, RATE) == pytest.approx(expected)
+
+    def test_linear_in_buffer(self, lifetime_model):
+        one = lifetime_model.springs.lifetime_years(8_000, RATE)
+        ten = lifetime_model.springs.lifetime_years(80_000, RATE)
+        assert ten == pytest.approx(10 * one)
+
+    def test_inverse_round_trip(self, lifetime_model):
+        b = lifetime_model.springs.min_buffer_for_lifetime(7.0, RATE)
+        assert lifetime_model.springs.lifetime_years(b, RATE) == (
+            pytest.approx(7.0)
+        )
+
+    def test_inverse_anchor_90kb(self, lifetime_model):
+        b = lifetime_model.springs.min_buffer_for_lifetime(7.0, RATE)
+        assert units.bits_to_kb(b) == pytest.approx(94.2, rel=0.01)
+
+    def test_silicon_springs_trivial_buffer(self, workload):
+        device = ibm_mems_prototype(springs_duty_cycles=1e12)
+        springs = SpringsModel(device, workload)
+        b = springs.min_buffer_for_lifetime(7.0, RATE)
+        assert units.bits_to_kb(b) < 0.01  # springs vanish from Figure 3c
+
+    def test_refills_per_year(self, lifetime_model, workload):
+        b = units.kb_to_bits(90)
+        assert lifetime_model.springs.refills_per_year(b, RATE) == (
+            pytest.approx(workload.playback_seconds_per_year * RATE / b)
+        )
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_bad_buffer(self, lifetime_model, bad):
+        with pytest.raises(ConfigurationError):
+            lifetime_model.springs.lifetime_years(bad, RATE)
+
+    def test_rejects_bad_lifetime(self, lifetime_model):
+        with pytest.raises(ConfigurationError):
+            lifetime_model.springs.min_buffer_for_lifetime(0, RATE)
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e7),
+        st.floats(min_value=32_000, max_value=4_096_000),
+    )
+    @settings(max_examples=60)
+    def test_inverse_is_exact(self, b, rate):
+        springs = SpringsModel(ibm_mems_prototype(), table1_workload())
+        years = springs.lifetime_years(b, rate)
+        assert springs.min_buffer_for_lifetime(years, rate) == (
+            pytest.approx(b, rel=1e-9)
+        )
+
+
+class TestProbes:
+    def test_ceiling_at_1024(self, lifetime_model):
+        # With the literal Equation (6): ~19.8 years at 1024 kbps.
+        assert lifetime_model.probes.lifetime_ceiling_years(RATE) == (
+            pytest.approx(19.8, rel=0.01)
+        )
+
+    def test_ceiling_halves_with_wear_factor_2(self, workload):
+        device = ibm_mems_prototype(probe_wear_factor=2.0)
+        probes = ProbesModel(device, workload)
+        assert probes.lifetime_ceiling_years(RATE) == pytest.approx(
+            9.9, rel=0.01
+        )
+
+    def test_wall_literal_equation(self, lifetime_model):
+        # Probes wall for L=7 (literal Eq. 6): ~2.9 Mbps.
+        wall = lifetime_model.probes.max_rate_for_lifetime(7.0)
+        assert wall / 1000 == pytest.approx(2899, rel=0.01)
+
+    def test_wall_with_write_verify_matches_paper_prose(self, workload):
+        # With wear factor 2 the wall lands at ~1450 kbps — the paper's
+        # "around 1500 kbps" (DESIGN.md §4.5).
+        device = ibm_mems_prototype(probe_wear_factor=2.0)
+        probes = ProbesModel(device, workload)
+        assert probes.max_rate_for_lifetime(7.0) / 1000 == pytest.approx(
+            1450, rel=0.01
+        )
+
+    def test_lifetime_saturates_with_buffer(self, lifetime_model):
+        # "a large buffer size has virtually no influence on probes
+        # lifetime" — within 1% beyond ~100 kB.
+        probes = lifetime_model.probes
+        at_100kb = probes.lifetime_years(units.kb_to_bits(100), RATE)
+        at_1mb = probes.lifetime_years(units.kb_to_bits(1000), RATE)
+        ceiling = probes.lifetime_ceiling_years(RATE)
+        assert at_100kb <= at_1mb <= ceiling
+        assert at_100kb >= 0.99 * ceiling
+
+    def test_lifetime_below_ceiling(self, lifetime_model):
+        for kb in (1, 5, 20, 100):
+            years = lifetime_model.probes.lifetime_years(
+                units.kb_to_bits(kb), RATE
+            )
+            assert years < lifetime_model.probes.lifetime_ceiling_years(RATE)
+
+    def test_inverse_respects_target(self, lifetime_model):
+        b = lifetime_model.probes.min_buffer_for_lifetime(7.0, RATE)
+        assert lifetime_model.probes.lifetime_years(b, RATE) >= 7.0
+
+    def test_inverse_infeasible_beyond_wall(self, lifetime_model):
+        wall = lifetime_model.probes.max_rate_for_lifetime(7.0)
+        with pytest.raises(InfeasibleDesignError) as excinfo:
+            lifetime_model.probes.min_buffer_for_lifetime(7.0, wall * 1.01)
+        assert excinfo.value.constraint == "probes"
+
+    def test_inverse_diverges_near_wall(self, lifetime_model):
+        # The Lpb spike of Figure 3b: the required buffer explodes as the
+        # rate approaches the wall.
+        wall = lifetime_model.probes.max_rate_for_lifetime(7.0)
+        far = lifetime_model.probes.min_buffer_for_lifetime(7.0, wall * 0.9)
+        near = lifetime_model.probes.min_buffer_for_lifetime(
+            7.0, wall * 0.9999
+        )
+        assert near > 20 * far
+
+    def test_read_only_workload_is_immortal(self, device):
+        workload = WorkloadConfig(write_fraction=0.0)
+        probes = ProbesModel(device, workload)
+        assert probes.lifetime_years(units.kb_to_bits(20), RATE) == math.inf
+        assert probes.max_rate_for_lifetime(7.0) == math.inf
+        assert probes.min_buffer_for_lifetime(7.0, RATE) == 0.0
+
+    def test_lifetime_inverse_to_writes(self, device):
+        # Doubling the write fraction halves the probes lifetime.
+        half = ProbesModel(device, WorkloadConfig(write_fraction=0.2))
+        full = ProbesModel(device, WorkloadConfig(write_fraction=0.4))
+        b = units.kb_to_bits(50)
+        assert half.lifetime_years(b, RATE) == pytest.approx(
+            2 * full.lifetime_years(b, RATE)
+        )
+
+    def test_dpb_200_doubles_lifetime(self, workload):
+        d100 = ibm_mems_prototype(probe_write_cycles=100)
+        d200 = ibm_mems_prototype(probe_write_cycles=200)
+        b = units.kb_to_bits(50)
+        assert ProbesModel(d200, workload).lifetime_years(b, RATE) == (
+            pytest.approx(
+                2 * ProbesModel(d100, workload).lifetime_years(b, RATE)
+            )
+        )
+
+
+class TestCombined:
+    def test_min_of_components(self, lifetime_model):
+        b = units.kb_to_bits(20)
+        assert lifetime_model.lifetime_years(b, RATE) == pytest.approx(
+            min(
+                lifetime_model.springs.lifetime_years(b, RATE),
+                lifetime_model.probes.lifetime_years(b, RATE),
+            )
+        )
+
+    def test_springs_limit_at_small_buffer(self, lifetime_model):
+        # Figure 2b: in the plotted range the springs limit the device.
+        assert lifetime_model.limiting_component(
+            units.kb_to_bits(20), RATE
+        ) == "springs"
+
+    def test_probes_limit_with_silicon_springs(self, workload):
+        device = ibm_mems_prototype(springs_duty_cycles=1e12)
+        model = LifetimeModel(device, workload)
+        assert model.limiting_component(units.kb_to_bits(20), RATE) == (
+            "probes"
+        )
+
+    def test_combined_inverse_meets_both(self, lifetime_model):
+        b = lifetime_model.min_buffer_for_lifetime(7.0, RATE)
+        assert lifetime_model.lifetime_years(b, RATE) >= 7.0 - 1e-9
+
+    def test_combined_inverse_is_springs_at_1024(self, lifetime_model):
+        # At 1024 kbps the springs constraint needs the bigger buffer.
+        b = lifetime_model.min_buffer_for_lifetime(7.0, RATE)
+        assert b == pytest.approx(
+            lifetime_model.springs.min_buffer_for_lifetime(7.0, RATE)
+        )

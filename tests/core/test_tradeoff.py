@@ -1,0 +1,88 @@
+"""Trade-off analysis tests: the abstract's headline claim."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
+from repro.core.tradeoff import TradeoffPoint, compare_energy_goals
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return compare_energy_goals(
+        ibm_mems_prototype(), table1_workload(), points_per_decade=24
+    )
+
+
+class TestTradeoffPoint:
+    def test_ratio(self):
+        point = TradeoffPoint(1e6, 8e6, 8e3)
+        assert point.ratio == pytest.approx(1000.0)
+        assert point.orders_of_magnitude == pytest.approx(3.0)
+
+    def test_infinite_high_buffer(self):
+        point = TradeoffPoint(1e6, math.inf, 8e3)
+        assert math.isinf(point.ratio)
+        assert math.isinf(point.orders_of_magnitude)
+
+
+class TestHeadlineClaim:
+    def test_at_least_three_orders_of_magnitude(self, analysis):
+        # Abstract: "up to three orders of magnitude".
+        assert analysis.max_orders_of_magnitude >= 3.0
+
+    def test_peak_near_the_80_percent_wall(self, analysis):
+        # The ratio peaks just below the energy wall (~1.3 Mbps).
+        assert 1_000_000 <= analysis.rate_of_max_ratio_bps <= 1_400_000
+
+    def test_ratio_at_least_one_everywhere(self, analysis):
+        # A stricter goal can never need less buffer.
+        for point in analysis.finite_points:
+            assert point.ratio >= 1.0 - 1e-12
+
+    def test_low_rates_have_no_gap(self, analysis):
+        # Below the capacity crossover both goals are capacity-dominated.
+        first = analysis.points[0]
+        assert first.stream_rate_bps == pytest.approx(32_000)
+        assert first.ratio == pytest.approx(1.0)
+
+    def test_finite_points_exclude_the_wall(self, analysis):
+        for point in analysis.finite_points:
+            assert math.isfinite(point.buffer_high_bits)
+            assert math.isfinite(point.buffer_low_bits)
+
+    def test_summary_mentions_magnitudes(self, analysis):
+        text = analysis.summary()
+        assert "orders of magnitude" in text
+        assert "80%" in text and "70%" in text
+
+    def test_goals_default_to_paper_pairing(self, analysis):
+        assert analysis.goal_high.energy_saving == 0.80
+        assert analysis.goal_low.energy_saving == 0.70
+
+
+class TestCustomGoals:
+    def test_same_goal_gives_unit_ratio(self):
+        analysis = compare_energy_goals(
+            ibm_mems_prototype(),
+            table1_workload(),
+            goal_high=DesignGoal(energy_saving=0.5),
+            goal_low=DesignGoal(energy_saving=0.5),
+            points_per_decade=8,
+        )
+        assert analysis.max_ratio == pytest.approx(1.0)
+
+    def test_nan_when_nothing_finite(self):
+        # Both goals infeasible everywhere: capacity above the supremum.
+        analysis = compare_energy_goals(
+            ibm_mems_prototype(),
+            table1_workload(),
+            goal_high=DesignGoal(capacity_utilisation=0.95),
+            goal_low=DesignGoal(capacity_utilisation=0.95),
+            points_per_decade=4,
+        )
+        assert math.isnan(analysis.max_ratio)
+        assert math.isnan(analysis.rate_of_max_ratio_bps)

@@ -1,0 +1,72 @@
+"""Disk-drive comparator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.core.energy import EnergyModel
+from repro.devices.disk import DiskDrive
+from repro.devices.states import PowerState
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def drive(disk):
+    return DiskDrive(disk)
+
+
+class TestSpinCycle:
+    def test_full_cycle(self, drive, disk):
+        drive.standby(10.0)
+        spin_time = drive.spin_up()
+        transfer_time = drive.transfer(1e6)
+        drive.spin_down()
+        assert spin_time == disk.seek_time_s
+        expected = (
+            disk.standby_power_w * 10.0
+            + disk.seek_power_w * spin_time
+            + disk.read_write_power_w * transfer_time
+            + disk.shutdown_power_w * disk.shutdown_time_s
+        )
+        assert drive.total_energy_j == pytest.approx(expected)
+        assert drive.spin_up_count == 1
+
+    def test_idle_between_transfers(self, drive, disk):
+        drive.spin_up()
+        drive.transfer(1e6)
+        drive.idle(5.0)
+        assert drive.power.energy_in(PowerState.IDLE) == pytest.approx(
+            disk.idle_power_w * 5.0
+        )
+
+    def test_standby_discipline(self, drive):
+        drive.spin_up()
+        with pytest.raises(SimulationError):
+            drive.standby(1.0)
+
+    def test_negative_transfer_rejected(self, drive):
+        drive.spin_up()
+        with pytest.raises(SimulationError):
+            drive.transfer(-1)
+
+
+class TestPaperComparison:
+    def test_break_even_three_orders_above_mems(self, disk, device):
+        disk_model = EnergyModel(disk)
+        mems_model = EnergyModel(device)
+        for rate in (32_000.0, 1_024_000.0, 4_096_000.0):
+            ratio = disk_model.break_even_buffer(rate) / (
+                mems_model.break_even_buffer(rate)
+            )
+            assert 900 <= ratio <= 1200  # three orders of magnitude
+
+    def test_break_even_range_matches_paper(self, disk):
+        model = EnergyModel(disk)
+        low, high = model.break_even_range(32_000, 4_096_000)
+        assert units.bits_to_mb(low) == pytest.approx(0.0726, rel=0.01)
+        assert units.bits_to_mb(high) == pytest.approx(9.29, rel=0.01)
+
+    def test_spin_up_dominates_overhead(self, disk):
+        spin_energy = disk.seek_power_w * disk.seek_time_s
+        assert spin_energy > 0.9 * disk.overhead_energy_j

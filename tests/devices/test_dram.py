@@ -1,0 +1,109 @@
+"""DRAM power-model tests (Micron TN-46-03 style)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.config import DRAMConfig
+from repro.core.energy import EnergyModel
+from repro.devices.dram import DRAMPowerModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DRAMPowerModel()
+
+
+class TestRetention:
+    def test_standby_plus_refresh(self, model):
+        config = model.config
+        buffer_bits = units.gb_to_bits(1)
+        assert model.retention_power_w(buffer_bits) == pytest.approx(
+            config.standby_power_w + config.refresh_power_w_per_gb
+        )
+
+    def test_tiny_buffer_is_mostly_standby(self, model):
+        power = model.retention_power_w(units.kb_to_bits(20))
+        assert power == pytest.approx(model.config.standby_power_w, rel=1e-4)
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ConfigurationError):
+            model.retention_power_w(-1)
+
+
+class TestAccess:
+    def test_zero_bits_costs_nothing(self, model):
+        assert model.access_energy_j(0, write=True) == 0.0
+
+    def test_one_row_activate_plus_burst(self, model):
+        config = model.config
+        bits = config.row_size_bits
+        expected = config.activate_energy_j + bits * (
+            config.write_energy_j_per_bit
+        )
+        assert model.access_energy_j(bits, write=True) == pytest.approx(
+            expected
+        )
+
+    def test_row_count_ceiling(self, model):
+        config = model.config
+        bits = config.row_size_bits + 1
+        energy = model.access_energy_j(bits, write=False)
+        assert energy == pytest.approx(
+            2 * config.activate_energy_j
+            + bits * config.read_energy_j_per_bit
+        )
+
+    def test_write_costs_more_than_read(self, model):
+        bits = 100_000
+        assert model.access_energy_j(bits, write=True) > (
+            model.access_energy_j(bits, write=False)
+        )
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ConfigurationError):
+            model.access_energy_j(-1, write=True)
+
+
+class TestCycleEnergy:
+    def test_breakdown_totals(self, model):
+        breakdown = model.cycle_energy(units.kb_to_bits(20), 0.158)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.retention_j + breakdown.activate_j + breakdown.burst_j
+        )
+        assert breakdown.per_bit_j == pytest.approx(
+            breakdown.total_j / units.kb_to_bits(20)
+        )
+        assert breakdown.mean_power_w == pytest.approx(
+            breakdown.total_j / 0.158
+        )
+
+    def test_rejects_bad_inputs(self, model):
+        with pytest.raises(ConfigurationError):
+            model.cycle_energy(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.cycle_energy(1000, 0)
+
+
+class TestPaperVerdict:
+    def test_negligible_against_device(self, model, device, workload):
+        # §IV.A: DRAM energy is present but negligible over the Figure 2a
+        # operating range.
+        energy = EnergyModel(device, workload)
+        rate = 1_024_000.0
+        for scale in (1, 5, 20):
+            buffer_bits = scale * energy.break_even_buffer(rate)
+            cycle_time = energy.cycle_time(buffer_bits, rate)
+            dram_per_bit = model.per_bit_energy(buffer_bits, cycle_time)
+            device_per_bit = energy.per_bit_energy(buffer_bits, rate)
+            assert dram_per_bit < 0.25 * device_per_bit
+
+    def test_custom_config(self):
+        hungry = DRAMPowerModel(DRAMConfig(standby_power_w=0.5))
+        thrifty = DRAMPowerModel(DRAMConfig(standby_power_w=0.001))
+        b, t = units.kb_to_bits(20), 0.158
+        assert hungry.per_bit_energy(b, t) > thrifty.per_bit_energy(b, t)

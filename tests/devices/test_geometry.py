@@ -1,0 +1,116 @@
+"""Probe-array geometry tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.geometry import ProbeArrayGeometry
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return ProbeArrayGeometry()  # Table I defaults
+
+
+class TestScalars:
+    def test_probe_count(self, geometry):
+        assert geometry.probe_count == 4096
+
+    def test_footprint_matches_paper_41mm2(self, geometry):
+        # §I quotes a 41 mm^2 footprint; 4096 fields of 100x100 µm give
+        # 40.96 mm^2.
+        assert geometry.footprint_mm2 == pytest.approx(40.96)
+
+    def test_field_area(self, geometry):
+        assert geometry.field_area_m2 == pytest.approx(1e-8)
+
+    def test_bit_pitch_at_1tb_in2(self, geometry):
+        # 1 Tb/in^2 -> pitch = sqrt(in^2 / 1e12) ~ 25.4 nm.
+        assert geometry.bit_pitch_nm == pytest.approx(25.4, rel=0.001)
+
+    def test_raw_capacity_order(self, geometry):
+        # ~40.96 mm^2 at 1 Tb/in^2 ~ 63.5 Gbit... per-field derivation
+        # loses partial tracks; stay within 5%.
+        expected_bits = geometry.total_area_m2 * geometry.bits_per_m2
+        assert geometry.raw_capacity_bits == pytest.approx(
+            expected_bits, rel=0.05
+        )
+
+    def test_density_for_capacity_round_trip(self, geometry):
+        capacity = 9.6e11  # 120 GB
+        density = geometry.density_for_capacity(capacity)
+        scaled = ProbeArrayGeometry(areal_density_tb_per_in2=density)
+        assert scaled.total_area_m2 * scaled.bits_per_m2 == pytest.approx(
+            capacity
+        )
+
+    def test_table1_density_implied(self, geometry):
+        # 120 GB over 40.96 mm^2 ~ 15 Tb/in^2 — the "> 1 Tb/in^2" of §I
+        # with headroom (the prototype stores more than a demo density).
+        density = geometry.density_for_capacity(9.6e11)
+        assert density > 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ProbeArrayGeometry(rows=0)
+        with pytest.raises(ConfigurationError):
+            ProbeArrayGeometry(field_x_um=-1)
+        with pytest.raises(ConfigurationError):
+            ProbeArrayGeometry(areal_density_tb_per_in2=0)
+        with pytest.raises(ConfigurationError):
+            geometry = ProbeArrayGeometry()
+            geometry.density_for_capacity(0)
+
+
+class TestLayout:
+    def test_tracks_and_bits_positive(self, geometry):
+        assert geometry.bits_per_track > 0
+        assert geometry.tracks_per_field > 0
+
+    def test_locate_first_bit(self, geometry):
+        track, x, y = geometry.locate_bit(0)
+        assert track == 0 and x == 0.0 and y == 0.0
+
+    def test_boustrophedon_reversal(self, geometry):
+        per_track = geometry.bits_per_track
+        # Last bit of track 0 and first bit of track 1 share (almost) the
+        # same x: the scan direction reverses.
+        _, x_end0, _ = geometry.locate_bit(per_track - 1)
+        _, x_start1, _ = geometry.locate_bit(per_track)
+        assert x_start1 == pytest.approx(x_end0)
+
+    def test_track_increments(self, geometry):
+        per_track = geometry.bits_per_track
+        track, _, y = geometry.locate_bit(3 * per_track + 5)
+        assert track == 3
+        assert y == pytest.approx(3 * geometry.bit_pitch_m * 1e6)
+
+    def test_rejects_out_of_field(self, geometry):
+        with pytest.raises(ConfigurationError):
+            geometry.locate_bit(-1)
+        with pytest.raises(ConfigurationError):
+            geometry.locate_bit(geometry.bits_per_field)
+
+    @given(st.integers(min_value=0), st.integers(min_value=0))
+    @settings(max_examples=50)
+    def test_seek_distance_bounded_by_diagonal(self, a, b):
+        geometry = ProbeArrayGeometry()
+        a %= geometry.bits_per_field
+        b %= geometry.bits_per_field
+        distance = geometry.seek_distance_um(a, b)
+        assert 0 <= distance <= geometry.full_stroke_um + 1e-9
+
+    def test_seek_distance_symmetric(self, geometry):
+        assert geometry.seek_distance_um(0, 12345) == pytest.approx(
+            geometry.seek_distance_um(12345, 0)
+        )
+
+    def test_full_stroke(self, geometry):
+        assert geometry.full_stroke_um == pytest.approx(
+            math.hypot(100.0, 100.0)
+        )

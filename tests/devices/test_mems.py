@@ -1,0 +1,123 @@
+"""Behavioural MEMS device tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.mems import MEMSDevice
+from repro.devices.seek import DistanceSeekModel
+from repro.devices.states import PowerState
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def mems(device):
+    return MEMSDevice(device, record_visits=True)
+
+
+class TestRefillCycleWalkthrough:
+    def test_full_cycle_energy(self, mems, device):
+        mems.standby(1.0)
+        seek_time = mems.seek()
+        transfer_time = mems.transfer(1_024_000, write_fraction=0.4)
+        mems.serve_best_effort(0.01)
+        mems.shut_down()
+        expected = (
+            device.standby_power_w * 1.0
+            + device.seek_power_w * seek_time
+            + device.read_write_power_w * transfer_time
+            + device.read_write_power_w * 0.01
+            + device.shutdown_power_w * device.shutdown_time_s
+        )
+        assert mems.total_energy_j == pytest.approx(expected)
+        assert mems.power.state is PowerState.STANDBY
+
+    def test_transfer_duration(self, mems, device):
+        mems.seek()
+        duration = mems.transfer(device.transfer_rate_bps)  # one second
+        assert duration == pytest.approx(1.0)
+
+    def test_seek_uses_worst_case_by_default(self, mems, device):
+        assert mems.seek() == pytest.approx(device.seek_time_s)
+
+    def test_seek_with_distance_model(self, device):
+        mems = MEMSDevice(
+            device, seek_model=DistanceSeekModel.calibrated_to(
+                MEMSDevice(device).geometry
+            )
+        )
+        short = mems.seek(distance_um=1.0)
+        assert short < device.seek_time_s
+
+    def test_clock_advances(self, mems):
+        mems.standby(2.0)
+        mems.seek()
+        assert mems.now == pytest.approx(2.002)
+
+
+class TestStateDiscipline:
+    def test_standby_from_wrong_state_raises(self, mems):
+        mems.seek()
+        with pytest.raises(SimulationError):
+            mems.standby(1.0)
+
+    def test_seek_from_shutdown_impossible(self, mems, device):
+        # shut_down() lands in STANDBY; seeking from there is fine, but
+        # the machine rejects a transfer straight out of standby.
+        with pytest.raises(SimulationError):
+            mems.transfer(100)
+
+    def test_negative_transfer_rejected(self, mems):
+        mems.seek()
+        with pytest.raises(SimulationError):
+            mems.transfer(-1)
+
+    def test_bad_write_fraction_rejected(self, mems):
+        mems.seek()
+        with pytest.raises(SimulationError):
+            mems.transfer(100, write_fraction=1.5)
+
+
+class TestWear:
+    def test_spring_cycles_count_seeks(self, mems):
+        for _ in range(3):
+            mems.seek()
+            mems.transfer(1000)
+            mems.shut_down()
+            mems.standby(0.1)
+        assert mems.wear.spring_cycles == 3
+
+    def test_bits_written_weighted_by_write_fraction(self, mems):
+        mems.seek()
+        mems.transfer(1000, write_fraction=0.4)
+        assert mems.wear.bits_written == pytest.approx(400)
+
+    def test_wear_factor_multiplies(self, device):
+        verify_device = device.replace(probe_wear_factor=2.0)
+        mems = MEMSDevice(verify_device)
+        mems.seek()
+        mems.transfer(1000, write_fraction=0.5)
+        assert mems.wear.bits_written == pytest.approx(1000)
+
+    def test_fraction_used(self, mems, device):
+        mems.seek()
+        mems.transfer(1000, write_fraction=1.0)
+        wear = mems.wear
+        assert wear.springs_fraction_used(device.springs_duty_cycles) == (
+            pytest.approx(1 / device.springs_duty_cycles)
+        )
+        assert wear.probes_fraction_used(
+            device.capacity_bits, device.probe_write_cycles
+        ) == pytest.approx(
+            1000 / (device.capacity_bits * device.probe_write_cycles)
+        )
+
+
+class TestIdlePolicy:
+    def test_idle_energy(self, mems, device):
+        mems.seek()
+        mems.transfer(100)
+        mems.idle(1.0)
+        assert mems.power.energy_in(PowerState.IDLE) == pytest.approx(
+            device.idle_power_w * 1.0
+        )

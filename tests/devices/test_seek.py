@@ -1,0 +1,94 @@
+"""Seek-model tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.geometry import ProbeArrayGeometry
+from repro.devices.seek import ConstantSeekModel, DistanceSeekModel
+from repro.errors import ConfigurationError
+
+distances = st.floats(min_value=0.0, max_value=141.4)
+
+
+class TestConstantSeekModel:
+    def test_table1_default(self):
+        model = ConstantSeekModel()
+        assert model.seek_time(0.0) == 0.002
+        assert model.seek_time(141.4) == 0.002
+        assert model.worst_case_seek_time() == 0.002
+
+    def test_custom_time(self):
+        assert ConstantSeekModel(0.005).seek_time(50) == 0.005
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSeekModel(-0.001)
+        with pytest.raises(ConfigurationError):
+            ConstantSeekModel().seek_time(-1.0)
+
+
+class TestDistanceSeekModel:
+    def test_zero_distance_is_settle_only(self):
+        model = DistanceSeekModel()
+        assert model.seek_time(0.0) == model.settle_time_s
+
+    @given(distances, distances)
+    @settings(max_examples=60)
+    def test_monotone_in_distance(self, a, b):
+        model = DistanceSeekModel()
+        low, high = sorted((a, b))
+        assert model.seek_time(low) <= model.seek_time(high) + 1e-15
+
+    def test_bang_bang_formula(self):
+        model = DistanceSeekModel(
+            acceleration_m_s2=100.0, settle_time_s=0.0, max_stroke_um=1000.0
+        )
+        d_m = 100e-6
+        assert model.seek_time(100.0) == pytest.approx(
+            2 * (d_m / 100.0) ** 0.5
+        )
+
+    def test_rejects_beyond_stroke(self):
+        model = DistanceSeekModel()
+        with pytest.raises(ConfigurationError):
+            model.seek_time(model.max_stroke_um * 1.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DistanceSeekModel(acceleration_m_s2=0)
+        with pytest.raises(ConfigurationError):
+            DistanceSeekModel(settle_time_s=-1)
+        with pytest.raises(ConfigurationError):
+            DistanceSeekModel(max_stroke_um=0)
+
+
+class TestCalibration:
+    def test_full_stroke_matches_table1(self):
+        geometry = ProbeArrayGeometry()
+        model = DistanceSeekModel.calibrated_to(
+            geometry, full_stroke_seek_s=0.002, settle_time_s=0.001
+        )
+        assert model.worst_case_seek_time() == pytest.approx(0.002)
+
+    def test_short_seeks_cheaper_than_constant(self):
+        geometry = ProbeArrayGeometry()
+        model = DistanceSeekModel.calibrated_to(geometry)
+        assert model.seek_time(1.0) < 0.002
+
+    def test_default_acceleration_matches_calibration(self):
+        geometry = ProbeArrayGeometry()
+        calibrated = DistanceSeekModel.calibrated_to(geometry)
+        assert DistanceSeekModel().acceleration_m_s2 == pytest.approx(
+            calibrated.acceleration_m_s2, rel=0.001
+        )
+
+    def test_rejects_settle_longer_than_seek(self):
+        with pytest.raises(ConfigurationError):
+            DistanceSeekModel.calibrated_to(
+                ProbeArrayGeometry(),
+                full_stroke_seek_s=0.001,
+                settle_time_s=0.002,
+            )

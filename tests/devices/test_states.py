@@ -1,0 +1,122 @@
+"""Power-state machine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.states import (
+    LEGAL_TRANSITIONS,
+    PowerState,
+    PowerStateMachine,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def machine(device):
+    return PowerStateMachine(device, record_visits=True)
+
+
+class TestPowerTable:
+    def test_all_states_have_power(self, machine, device):
+        assert machine.power_of(PowerState.STANDBY) == device.standby_power_w
+        assert machine.power_of(PowerState.SEEK) == device.seek_power_w
+        assert machine.power_of(PowerState.READ_WRITE) == (
+            device.read_write_power_w
+        )
+        assert machine.power_of(PowerState.IDLE) == device.idle_power_w
+        assert machine.power_of(PowerState.SHUTDOWN) == (
+            device.shutdown_power_w
+        )
+
+
+class TestTransitions:
+    def test_full_refill_cycle(self, machine):
+        machine.advance(0.1)
+        machine.transition(PowerState.SEEK)
+        machine.advance(0.002)
+        machine.transition(PowerState.READ_WRITE)
+        machine.advance(0.01)
+        machine.transition(PowerState.SHUTDOWN)
+        machine.advance(0.001)
+        machine.transition(PowerState.STANDBY)
+        assert machine.state is PowerState.STANDBY
+
+    def test_illegal_transition_raises(self, machine):
+        with pytest.raises(SimulationError):
+            machine.transition(PowerState.READ_WRITE)  # standby -> RW
+
+    def test_standby_only_wakes_through_seek(self):
+        assert LEGAL_TRANSITIONS[PowerState.STANDBY] == frozenset(
+            {PowerState.SEEK}
+        )
+
+    def test_shutdown_only_parks(self):
+        assert LEGAL_TRANSITIONS[PowerState.SHUTDOWN] == frozenset(
+            {PowerState.STANDBY}
+        )
+
+    def test_counts_transitions(self, machine):
+        machine.transition(PowerState.SEEK)
+        machine.transition(PowerState.READ_WRITE)
+        machine.transition(PowerState.SEEK)
+        assert machine.seek_count == 2
+        assert machine.transitions_into(PowerState.READ_WRITE) == 1
+
+
+class TestEnergyAccounting:
+    def test_energy_is_power_times_time(self, machine, device):
+        machine.advance(10.0)
+        assert machine.total_energy_j == pytest.approx(
+            device.standby_power_w * 10.0
+        )
+
+    def test_per_state_split(self, machine, device):
+        machine.advance(1.0)
+        machine.transition(PowerState.SEEK)
+        machine.advance(0.002)
+        assert machine.time_in(PowerState.STANDBY) == pytest.approx(1.0)
+        assert machine.time_in(PowerState.SEEK) == pytest.approx(0.002)
+        assert machine.energy_in(PowerState.SEEK) == pytest.approx(
+            device.seek_power_w * 0.002
+        )
+        assert machine.total_energy_j == pytest.approx(
+            device.standby_power_w * 1.0 + device.seek_power_w * 0.002
+        )
+
+    def test_negative_advance_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            machine.advance(-0.1)
+
+    def test_clock(self, machine):
+        machine.advance(1.5)
+        machine.advance(0.5)
+        assert machine.now == pytest.approx(2.0)
+
+    def test_breakdown_structure(self, machine):
+        machine.advance(1.0)
+        breakdown = machine.breakdown()
+        assert set(breakdown) == {s.value for s in PowerState}
+        assert breakdown["standby"]["time_s"] == pytest.approx(1.0)
+
+
+class TestVisits:
+    def test_visits_recorded(self, machine, device):
+        machine.advance(1.0)
+        machine.transition(PowerState.SEEK)
+        machine.advance(0.002)
+        machine.transition(PowerState.READ_WRITE)
+        visits = machine.visits
+        assert len(visits) == 2
+        assert visits[0].state is PowerState.STANDBY
+        assert visits[0].duration_s == pytest.approx(1.0)
+        assert visits[0].end_s == pytest.approx(1.0)
+        assert visits[1].state is PowerState.SEEK
+        assert visits[1].energy_j == pytest.approx(
+            device.seek_power_w * 0.002
+        )
+
+    def test_no_visits_without_recording(self, device):
+        machine = PowerStateMachine(device)
+        machine.transition(PowerState.SEEK)
+        assert machine.visits == ()

@@ -1,0 +1,117 @@
+"""ECC sizing scheme tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.formatting.ecc import FractionalECC, NoECC, ReedSolomonECC
+
+user_bits = st.integers(min_value=0, max_value=10**7)
+
+
+class TestNoECC:
+    def test_zero_everywhere(self):
+        scheme = NoECC()
+        assert scheme.ecc_bits(0) == 0
+        assert scheme.ecc_bits(12345) == 0
+        assert scheme.overhead_ratio() == 0.0
+
+    def test_stored_bits(self):
+        assert NoECC().stored_bits(100) == 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            NoECC().ecc_bits(-1)
+
+
+class TestFractionalECC:
+    def test_paper_one_eighth(self):
+        scheme = FractionalECC(1, 8)
+        # S_ECC = ceil(Su / 8): exact multiples and the ceiling.
+        assert scheme.ecc_bits(8) == 1
+        assert scheme.ecc_bits(9) == 2
+        assert scheme.ecc_bits(16) == 2
+        assert scheme.ecc_bits(0) == 0
+
+    def test_disk_one_tenth(self):
+        scheme = FractionalECC(1, 10)
+        assert scheme.ecc_bits(100) == 10
+        assert scheme.overhead_ratio() == pytest.approx(0.1)
+
+    def test_overhead_ratio(self):
+        assert FractionalECC(1, 8).overhead_ratio() == pytest.approx(0.125)
+
+    @given(user_bits)
+    def test_matches_math_ceil(self, su):
+        scheme = FractionalECC(1, 8)
+        assert scheme.ecc_bits(su) == math.ceil(su / 8)
+
+    @given(user_bits, st.integers(1, 7), st.integers(2, 16))
+    def test_ceiling_bounds(self, su, num, den):
+        scheme = FractionalECC(num, den)
+        exact = su * num / den
+        assert exact <= scheme.ecc_bits(su) < exact + 1
+
+    @given(st.integers(0, 10**6))
+    def test_monotone_in_user_bits(self, su):
+        scheme = FractionalECC(1, 8)
+        assert scheme.ecc_bits(su + 1) >= scheme.ecc_bits(su)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            FractionalECC(-1, 8)
+        with pytest.raises(ConfigurationError):
+            FractionalECC(1, 0)
+
+    def test_rejects_negative_user_bits(self):
+        with pytest.raises(ConfigurationError):
+            FractionalECC().ecc_bits(-5)
+
+
+class TestReedSolomonECC:
+    def test_ccsds_defaults(self):
+        scheme = ReedSolomonECC()  # RS(255, 223), 8-bit symbols
+        assert scheme.parity_symbols_per_codeword == 32
+        assert scheme.overhead_ratio() == pytest.approx(32 / 223)
+
+    def test_codeword_count(self):
+        scheme = ReedSolomonECC()
+        data_bits = 223 * 8
+        assert scheme.codewords(data_bits) == 1
+        assert scheme.codewords(data_bits + 1) == 2
+        assert scheme.codewords(0) == 0
+
+    def test_ecc_bits_per_codeword(self):
+        scheme = ReedSolomonECC()
+        assert scheme.ecc_bits(100) == 32 * 8  # one codeword's parity
+        assert scheme.ecc_bits(223 * 8 * 3) == 3 * 32 * 8
+
+    def test_rejects_overlong_codeword(self):
+        # n = 240 + 32 = 272 > 255 for 8-bit symbols.
+        with pytest.raises(ConfigurationError):
+            ReedSolomonECC(symbol_bits=8, data_symbols=240, correctable=16)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ReedSolomonECC(symbol_bits=0)
+        with pytest.raises(ConfigurationError):
+            ReedSolomonECC(data_symbols=0)
+        with pytest.raises(ConfigurationError):
+            ReedSolomonECC(correctable=-1)
+
+    @given(st.integers(1, 10**6))
+    def test_overhead_approaches_ratio(self, su):
+        scheme = ReedSolomonECC()
+        # Per-codeword quantisation: parity never exceeds one extra
+        # codeword's worth beyond the asymptotic ratio.
+        assert scheme.ecc_bits(su) <= scheme.overhead_ratio() * su + 32 * 8
+
+    @given(st.integers(0, 10**5))
+    def test_monotone(self, su):
+        scheme = ReedSolomonECC()
+        assert scheme.ecc_bits(su + 1) >= scheme.ecc_bits(su)

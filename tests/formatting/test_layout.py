@@ -1,0 +1,106 @@
+"""Whole-device formatting tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import ibm_mems_prototype
+from repro.errors import ConfigurationError
+from repro.formatting.layout import DeviceLayout
+from repro.formatting.sector import SectorLayout
+
+
+@pytest.fixture(scope="module")
+def device_layout():
+    return DeviceLayout(ibm_mems_prototype())
+
+
+class TestFormatWithSector:
+    def test_sector_count(self, device_layout):
+        formatted = device_layout.format_with_sector(8192)
+        raw = ibm_mems_prototype().capacity_bits
+        assert formatted.sector_count == int(raw // 12_288)
+
+    def test_bit_budget_adds_up(self, device_layout):
+        formatted = device_layout.format_with_sector(8192)
+        total = (
+            formatted.user_bits
+            + formatted.ecc_bits
+            + formatted.sync_bits
+            + formatted.padding_bits
+            + formatted.unallocated_bits
+        )
+        assert total == pytest.approx(formatted.raw_bits)
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=60)
+    def test_budget_invariant(self, su):
+        device_layout = DeviceLayout(ibm_mems_prototype())
+        formatted = device_layout.format_with_sector(su)
+        total = (
+            formatted.user_bits
+            + formatted.ecc_bits
+            + formatted.sync_bits
+            + formatted.padding_bits
+            + formatted.unallocated_bits
+        )
+        assert total == pytest.approx(formatted.raw_bits)
+        assert 0 < formatted.utilisation < 1
+
+    def test_paper_example_106_gb(self, device_layout):
+        # Formatting at the 88% point gives ~105.6 GB of 120 GB.
+        layout = device_layout.layout
+        su = layout.min_user_bits_for_utilisation(0.88)
+        formatted = device_layout.format_with_sector(su)
+        assert formatted.user_gb == pytest.approx(105.6, rel=0.005)
+
+    def test_rejects_oversized_sector(self, device_layout):
+        raw = ibm_mems_prototype().capacity_bits
+        with pytest.raises(ConfigurationError):
+            device_layout.format_with_sector(int(raw * 2))
+
+    def test_user_capacity_helper(self, device_layout):
+        assert device_layout.user_capacity_bits(8192) == (
+            device_layout.format_with_sector(8192).user_bits
+        )
+
+
+class TestBestUtilisationAtMost:
+    def test_beats_or_equals_naive(self, device_layout):
+        for cap_kb in (2, 7, 20, 50):
+            cap = int(units.kb_to_bits(cap_kb))
+            best = device_layout.best_utilisation_at_most(cap)
+            naive = device_layout.format_with_sector(cap)
+            assert best.utilisation >= naive.utilisation - 1e-12
+            assert best.sector.user_bits <= cap
+
+    def test_picks_sawtooth_peak(self, device_layout):
+        # Just above a peak, the naive "largest sector" choice is worse.
+        best = device_layout.best_utilisation_at_most(8200)
+        assert best.sector.user_bits == 8192
+
+    def test_rejects_nonpositive(self, device_layout):
+        with pytest.raises(ConfigurationError):
+            device_layout.best_utilisation_at_most(0)
+
+    @given(st.integers(4096, 10**6))
+    @settings(max_examples=40)
+    def test_never_exceeds_cap(self, cap):
+        device_layout = DeviceLayout(ibm_mems_prototype())
+        best = device_layout.best_utilisation_at_most(cap)
+        assert best.sector.user_bits <= cap
+
+
+class TestConstruction:
+    def test_mismatched_stripe_rejected(self):
+        device = ibm_mems_prototype()
+        with pytest.raises(ConfigurationError):
+            DeviceLayout(device, SectorLayout(stripe_width=512))
+
+    def test_explicit_matching_layout_accepted(self):
+        device = ibm_mems_prototype()
+        layout = SectorLayout(stripe_width=1024, sync_bits_per_subsector=3)
+        assert DeviceLayout(device, layout).layout is layout

@@ -1,0 +1,202 @@
+"""Sector-layout tests: Equations (2)-(4) and the exact inverse."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.formatting.ecc import FractionalECC, NoECC
+from repro.formatting.sector import SectorLayout
+
+
+@pytest.fixture(scope="module")
+def layout():
+    """The Table I layout: K=1024, 3 sync bits, 1/8 ECC."""
+    return SectorLayout(stripe_width=1024, sync_bits_per_subsector=3)
+
+
+class TestEquation2And3:
+    def test_hand_computed_subsector(self, layout):
+        # Su = 8192: S_ECC = 1024, payload = 9216 = 9 columns of 1024.
+        # s = 9 + 3 = 12; S = 1024 * 12 = 12288.
+        assert layout.subsector_bits(8192) == 12
+        assert layout.sector_bits(8192) == 12_288
+
+    def test_ceiling_engages(self, layout):
+        # Su = 8200: payload = 8200 + 1025 = 9225 -> ceil to 10 columns.
+        assert layout.subsector_bits(8200) == 13
+        assert layout.sector_bits(8200) == 13_312
+
+    def test_small_sector(self, layout):
+        # Su = 1: payload 2 -> 1 column, s = 4.
+        assert layout.subsector_bits(1) == 4
+        assert layout.sector_bits(1) == 4096
+
+    def test_rejects_nonpositive(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.subsector_bits(0)
+
+    def test_sync_bits_multiply_by_stripe(self, layout):
+        sector = layout.format_sector(8192)
+        assert sector.sync_bits_total == 3 * 1024
+
+    def test_format_sector_consistency(self, layout):
+        sector = layout.format_sector(100_000)
+        assert sector.sector_bits == sector.stripe_width * sector.subsector_bits
+        assert (
+            sector.payload_bits + sector.sync_bits_total + sector.padding_bits
+            == sector.sector_bits
+        )
+        assert sector.padding_bits >= 0
+
+
+class TestEquation4:
+    def test_utilisation_example(self, layout):
+        assert layout.utilisation(8192) == pytest.approx(8192 / 12_288)
+
+    def test_supremum_is_8_9ths(self, layout):
+        assert layout.utilisation_supremum == pytest.approx(8 / 9)
+
+    def test_envelope_is_upper_bound(self, layout):
+        for su in (100, 1000, 8192, 50_000, 270_336):
+            assert layout.utilisation(su) <= layout.utilisation_envelope(su) + 1e-12
+
+    def test_envelope_exact_at_peaks(self, layout):
+        # Su = 270336: S_ECC = 33792, payload = 304128 = 297 * 1024 exactly.
+        su = 270_336
+        assert layout.utilisation(su) == pytest.approx(
+            layout.utilisation_envelope(su)
+        )
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=200)
+    def test_utilisation_below_supremum(self, su):
+        layout = SectorLayout(stripe_width=1024, sync_bits_per_subsector=3)
+        assert 0 < layout.utilisation(su) < layout.utilisation_supremum
+
+    def test_sawtooth_drops_at_column_spill(self, layout):
+        # Crossing a payload-column boundary must reduce utilisation.
+        u_peak = layout.utilisation(8192)   # exact multiple
+        u_next = layout.utilisation(8193)   # spills into a new column
+        assert u_next < u_peak
+
+
+class TestInverse:
+    def test_matches_paper_88_percent(self, layout):
+        su = layout.min_user_bits_for_utilisation(0.88)
+        assert layout.utilisation(su) >= 0.88
+        # ~33.8 kB, the capacity-dominated plateau of Figure 3.
+        assert su == 270_336
+
+    def test_85_percent_much_smaller(self, layout):
+        su = layout.min_user_bits_for_utilisation(0.85)
+        assert layout.utilisation(su) >= 0.85
+        assert su < 80_000  # ~7.5 kB vs ~34 kB: the §IV.C contrast
+
+    def test_infeasible_at_supremum(self, layout):
+        with pytest.raises(InfeasibleDesignError) as excinfo:
+            layout.min_user_bits_for_utilisation(8 / 9)
+        assert excinfo.value.constraint == "capacity"
+
+    def test_infeasible_above_supremum(self, layout):
+        with pytest.raises(InfeasibleDesignError):
+            layout.min_user_bits_for_utilisation(0.95)
+
+    def test_rejects_out_of_range_target(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.min_user_bits_for_utilisation(0.0)
+        with pytest.raises(ConfigurationError):
+            layout.min_user_bits_for_utilisation(1.5)
+
+    @given(st.floats(min_value=0.05, max_value=0.86))
+    @settings(max_examples=60)
+    def test_inverse_achieves_target(self, target):
+        layout = SectorLayout(stripe_width=1024, sync_bits_per_subsector=3)
+        su = layout.min_user_bits_for_utilisation(target)
+        assert layout.utilisation(su) >= target
+
+    @given(st.floats(min_value=0.1, max_value=0.7))
+    @settings(max_examples=30)
+    def test_inverse_minimality_small_stripes(self, target):
+        # With a small stripe the whole neighbourhood can be scanned:
+        # no Su below the inverse's answer may reach the target.
+        layout = SectorLayout(stripe_width=8, sync_bits_per_subsector=2)
+        su = layout.min_user_bits_for_utilisation(target)
+        for candidate in range(max(1, su - 200), su):
+            assert layout.utilisation(candidate) < target
+
+    def test_inverse_with_no_ecc(self):
+        layout = SectorLayout(
+            stripe_width=16, sync_bits_per_subsector=1, ecc=NoECC()
+        )
+        su = layout.min_user_bits_for_utilisation(0.9)
+        assert layout.utilisation(su) >= 0.9
+
+    def test_inverse_monotone_in_target(self, layout):
+        previous = 0
+        for target in (0.5, 0.7, 0.8, 0.85, 0.88):
+            su = layout.min_user_bits_for_utilisation(target)
+            assert su >= previous
+            previous = su
+
+
+class TestBestUserBitsAtMost:
+    def test_picks_peak_below_cap(self, layout):
+        # Just above the 8192 peak, the peak itself wins.
+        assert layout.best_user_bits_at_most(8200) == 8192
+
+    def test_returns_cap_at_a_peak(self, layout):
+        assert layout.best_user_bits_at_most(8192) == 8192
+
+    def test_rejects_nonpositive(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.best_user_bits_at_most(0)
+
+    @given(st.integers(100, 10**6))
+    @settings(max_examples=60)
+    def test_beats_every_neighbour_in_window(self, cap):
+        layout = SectorLayout(stripe_width=64, sync_bits_per_subsector=2)
+        best = layout.best_user_bits_at_most(cap)
+        best_u = layout.utilisation(best)
+        assert best <= cap
+        # No Su in a local window below the cap does better.
+        for su in range(max(1, cap - 300), cap + 1):
+            assert layout.utilisation(su) <= best_u + 1e-15
+
+
+class TestMaxUserBitsWithPayload:
+    def test_exact_fit(self, layout):
+        # Su + ceil(Su/8) <= 9216 -> Su = 8192.
+        assert layout._max_user_bits_with_payload(9216) == 8192
+
+    def test_zero_payload(self, layout):
+        assert layout._max_user_bits_with_payload(0) == 0
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=100)
+    def test_is_maximal(self, payload):
+        layout = SectorLayout(stripe_width=1024, sync_bits_per_subsector=3)
+        su = layout._max_user_bits_with_payload(payload)
+        ecc = layout.ecc
+        if su > 0:
+            assert su + ecc.ecc_bits(su) <= payload
+        assert (su + 1) + ecc.ecc_bits(su + 1) > payload
+
+
+class TestConfiguration:
+    def test_rejects_bad_stripe(self):
+        with pytest.raises(ConfigurationError):
+            SectorLayout(stripe_width=0)
+
+    def test_rejects_negative_sync(self):
+        with pytest.raises(ConfigurationError):
+            SectorLayout(sync_bits_per_subsector=-1)
+
+    def test_default_ecc_is_one_eighth(self):
+        layout = SectorLayout()
+        assert isinstance(layout.ecc, FractionalECC)
+        assert layout.ecc.overhead_ratio() == pytest.approx(1 / 8)

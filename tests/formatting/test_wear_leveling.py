@@ -1,0 +1,152 @@
+"""Wear-levelling tests: the "perfect balance" assumption of Eq. (6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.formatting.wear_leveling import (
+    DirectPlacement,
+    LeastWornPlacement,
+    RotatingPlacement,
+    SectorWearMap,
+    simulate_wear,
+    zipf_write_workload,
+)
+
+SECTORS = 64
+
+
+class TestSectorWearMap:
+    def test_counters(self):
+        wear = SectorWearMap(4, 100)
+        wear.record_write(0)
+        wear.record_write(0)
+        wear.record_write(3)
+        assert wear.total_writes == 3
+        assert wear.max_writes == 2
+        assert wear.writes_to(0) == 2
+        assert wear.writes_to(1) == 0
+        assert wear.mean_writes == pytest.approx(0.75)
+
+    def test_efficiency_balanced(self):
+        wear = SectorWearMap(4, 100)
+        for sector in range(4):
+            wear.record_write(sector)
+        assert wear.wear_efficiency == 1.0
+        assert wear.lifetime_scale() == 1.0
+
+    def test_efficiency_skewed(self):
+        wear = SectorWearMap(4, 100)
+        for _ in range(4):
+            wear.record_write(0)
+        assert wear.wear_efficiency == pytest.approx(0.25)
+
+    def test_unwritten_is_perfect(self):
+        assert SectorWearMap(4, 100).wear_efficiency == 1.0
+
+    def test_rating_fraction(self):
+        wear = SectorWearMap(4, 100)
+        for _ in range(10):
+            wear.record_write(1)
+        assert wear.rating_fraction_used == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SectorWearMap(0, 100)
+        with pytest.raises(ConfigurationError):
+            SectorWearMap(4, 0)
+        wear = SectorWearMap(4, 100)
+        with pytest.raises(ConfigurationError):
+            wear.record_write(4)
+        with pytest.raises(ConfigurationError):
+            wear.record_write(-1)
+
+
+class TestWorkloads:
+    def test_sequential_when_unskewed(self):
+        writes = zipf_write_workload(8, 20, skew=0.0)
+        assert list(writes[:10]) == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_skew_concentrates(self):
+        writes = zipf_write_workload(SECTORS, 20_000, skew=1.2, seed=1)
+        counts = np.bincount(writes, minlength=SECTORS)
+        assert counts[0] > 5 * counts[SECTORS // 2]
+
+    def test_deterministic(self):
+        a = zipf_write_workload(SECTORS, 100, skew=1.0, seed=5)
+        b = zipf_write_workload(SECTORS, 100, skew=1.0, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_write_workload(0, 10)
+        with pytest.raises(ConfigurationError):
+            zipf_write_workload(10, 0)
+        with pytest.raises(ConfigurationError):
+            zipf_write_workload(10, 10, skew=-1)
+
+
+class TestPolicies:
+    def test_streaming_workload_is_balanced_under_direct(self):
+        # The paper's streaming pattern (sequential overwrite) is
+        # naturally balanced: Equation (6)'s assumption holds.
+        writes = zipf_write_workload(SECTORS, SECTORS * 50, skew=0.0)
+        result = simulate_wear(DirectPlacement(SECTORS), writes)
+        assert result.wear_efficiency == 1.0
+        assert result.lifetime_penalty == 1.0
+
+    def test_skewed_workload_breaks_direct(self):
+        writes = zipf_write_workload(SECTORS, 20_000, skew=1.2, seed=2)
+        result = simulate_wear(DirectPlacement(SECTORS), writes)
+        assert result.wear_efficiency < 0.4
+
+    def test_rotation_recovers_balance(self):
+        writes = zipf_write_workload(SECTORS, 50_000, skew=1.2, seed=2)
+        direct = simulate_wear(DirectPlacement(SECTORS), writes)
+        rotating = simulate_wear(
+            RotatingPlacement(SECTORS, rotation_period=16), writes
+        )
+        assert rotating.wear_efficiency > 2 * direct.wear_efficiency
+
+    def test_least_worn_is_optimal(self):
+        writes = zipf_write_workload(SECTORS, 20_000, skew=1.5, seed=3)
+        greedy = simulate_wear(LeastWornPlacement(SECTORS), writes)
+        # Greedy achieves near-perfect balance regardless of skew.
+        assert greedy.wear_efficiency > 0.99
+
+    def test_least_worn_upper_bounds_others(self):
+        writes = zipf_write_workload(SECTORS, 20_000, skew=1.0, seed=4)
+        greedy = simulate_wear(LeastWornPlacement(SECTORS), writes)
+        for policy in (
+            DirectPlacement(SECTORS),
+            RotatingPlacement(SECTORS, rotation_period=64),
+        ):
+            other = simulate_wear(policy, writes)
+            assert greedy.wear_efficiency >= other.wear_efficiency - 1e-9
+
+    def test_result_fields(self):
+        writes = zipf_write_workload(8, 64, skew=0.0)
+        result = simulate_wear(DirectPlacement(8), writes)
+        assert result.policy == "DirectPlacement"
+        assert result.total_writes == 64
+        assert result.mean_writes == pytest.approx(8.0)
+
+    def test_rotation_period_validation(self):
+        with pytest.raises(ConfigurationError):
+            RotatingPlacement(SECTORS, rotation_period=0)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_efficiency_always_in_unit_interval(self, seed):
+        writes = zipf_write_workload(16, 2_000, skew=1.0, seed=seed)
+        for policy in (
+            DirectPlacement(16),
+            RotatingPlacement(16, rotation_period=8),
+            LeastWornPlacement(16),
+        ):
+            result = simulate_wear(policy, writes)
+            assert 0 < result.wear_efficiency <= 1.0

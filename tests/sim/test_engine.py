@@ -1,0 +1,388 @@
+"""DES kernel tests: events, timeouts, processes, conditions, interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Timeout,
+)
+
+
+class TestEventLifecycle:
+    def test_initial_state(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered and event.ok
+        assert event.value == 42
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+        with pytest.raises(SimulationError):
+            env.event().ok
+
+    def test_unhandled_failure_escalates(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+
+class TestTimeouts:
+    def test_clock_advances_to_timeout(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_timeout_value(self):
+        env = Environment()
+        results = []
+
+        def proc():
+            value = yield env.timeout(1.0, value="payload")
+            results.append(value)
+
+        env.process(proc())
+        env.run()
+        assert results == ["payload"]
+
+    def test_ordering_by_time(self):
+        env = Environment()
+        order = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(3.0, "c"))
+        env.process(proc(1.0, "a"))
+        env.process(proc(2.0, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_same_time(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abcd":
+            env.process(proc(tag))
+        env.run()
+        assert order == list("abcd")
+
+
+class TestProcesses:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return "done"
+
+        result = env.run(until=env.process(proc()))
+        assert result == "done"
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+
+        env.run(until=env.process(proc()))
+        assert env.now == 3.0
+
+    def test_process_waits_for_process(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(2.0)
+            log.append("child")
+            return 7
+
+        def parent():
+            value = yield env.process(child())
+            log.append(f"parent:{value}")
+
+        env.run(until=env.process(parent()))
+        assert log == ["child", "parent:7"]
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError as error:
+                return f"caught {error}"
+
+        result = env.run(until=env.process(parent()))
+        assert result == "caught inner"
+
+    def test_uncaught_child_error_escalates(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            raise ValueError("unhandled")
+
+        env.process(child())
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yield_already_processed_event(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            timeout = env.timeout(1.0)
+            yield env.timeout(2.0)  # let the first timeout fire meanwhile
+            value = yield timeout   # already processed: resume immediately
+            log.append((env.now, value))
+
+        env.run(until=env.process(proc()))
+        assert log == [(2.0, None)]
+
+    def test_is_alive(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeper(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def interrupter(target):
+            yield env.timeout(1.0)
+            target.interrupt(cause="wake up")
+
+        target = env.process(sleeper())
+        env.process(interrupter(target))
+        env.run()
+        assert log == [(1.0, "wake up")]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.5)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Environment()
+
+        def sleeper():
+            yield env.timeout(100.0)
+
+        def interrupter(target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        target = env.process(sleeper())
+        env.process(interrupter(target))
+        with pytest.raises(Interrupt):
+            env.run()
+
+
+class TestConditions:
+    def test_any_of_first_wins(self):
+        env = Environment()
+
+        def proc():
+            fast = env.timeout(1.0, value="fast")
+            slow = env.timeout(5.0, value="slow")
+            fired = yield AnyOf(env, (fast, slow))
+            return (env.now, list(fired.values()))
+
+        time, values = env.run(until=env.process(proc()))
+        assert time == 1.0
+        assert values == ["fast"]
+
+    def test_any_of_excludes_unfired_born_triggered(self):
+        # Regression: a pending Timeout is 'triggered' from construction
+        # but must not appear in the results before its scheduled time.
+        env = Environment()
+
+        def proc():
+            fast = env.timeout(1.0)
+            slow = env.timeout(5.0)
+            fired = yield AnyOf(env, (fast, slow))
+            assert slow not in fired
+            assert fast in fired
+            return True
+
+        assert env.run(until=env.process(proc()))
+
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+
+        def proc():
+            a = env.timeout(1.0, value="a")
+            b = env.timeout(3.0, value="b")
+            fired = yield AllOf(env, (a, b))
+            return (env.now, sorted(fired.values()))
+
+        time, values = env.run(until=env.process(proc()))
+        assert time == 3.0
+        assert values == ["a", "b"]
+
+    def test_empty_conditions_fire_immediately(self):
+        env = Environment()
+
+        def proc():
+            yield AllOf(env, ())
+            yield AnyOf(env, ())
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 0.0
+
+    def test_condition_failure_propagates(self):
+        env = Environment()
+
+        def failer():
+            yield env.timeout(1.0)
+            raise RuntimeError("dead")
+
+        def waiter():
+            try:
+                yield AnyOf(env, (env.process(failer()), env.timeout(10.0)))
+            except RuntimeError:
+                return "handled"
+
+        assert env.run(until=env.process(waiter())) == "handled"
+
+    def test_env_helpers(self):
+        env = Environment()
+        assert isinstance(env.any_of((env.timeout(1),)), AnyOf)
+        assert isinstance(env.all_of((env.timeout(1),)), AllOf)
+
+    def test_cross_environment_rejected(self):
+        env_a, env_b = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AnyOf(env_a, (env_b.timeout(1.0),))
+
+
+class TestRun:
+    def test_run_until_number_stops_clock(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=5.0)
+        assert env.now == 5.0
+        env.run(until=20.0)
+        assert env.now == 20.0
+
+    def test_run_until_past_raises(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_run_until_unreachable_event_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.run(until=env.event())
+
+    def test_step_without_events_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+    def test_initial_time(self):
+        env = Environment(initial_time=100.0)
+        env.timeout(1.0)
+        env.run()
+        assert env.now == 101.0
+
+    def test_active_process_visible(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            seen.append(env.active_process)
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        env.run()
+        assert seen == [process]
+        assert env.active_process is None

@@ -1,0 +1,112 @@
+"""Property-based DES-kernel tests: ordering and conservation invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import AllOf, AnyOf, Environment
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestChronology:
+    @given(delays)
+    @settings(max_examples=80)
+    def test_timeouts_fire_in_chronological_order(self, delay_list):
+        env = Environment()
+        fired: list[tuple[float, int]] = []
+
+        def watcher(index, delay):
+            yield env.timeout(delay)
+            fired.append((env.now, index))
+
+        for index, delay in enumerate(delay_list):
+            env.process(watcher(index, delay))
+        env.run()
+        times = [time for time, _ in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(delay_list)
+
+    @given(delays)
+    @settings(max_examples=80)
+    def test_equal_times_fire_in_creation_order(self, delay_list):
+        env = Environment()
+        fired: list[int] = []
+        delay = 5.0
+
+        def watcher(index):
+            yield env.timeout(delay)
+            fired.append(index)
+
+        for index in range(len(delay_list)):
+            env.process(watcher(index))
+        env.run()
+        assert fired == list(range(len(delay_list)))
+
+    @given(delays)
+    @settings(max_examples=60)
+    def test_clock_never_goes_backwards(self, delay_list):
+        env = Environment()
+        observed: list[float] = []
+
+        def watcher(delay):
+            yield env.timeout(delay)
+            observed.append(env.now)
+            yield env.timeout(delay / 2 + 0.1)
+            observed.append(env.now)
+
+        for delay in delay_list:
+            env.process(watcher(delay))
+        env.run()
+        assert observed == sorted(observed)
+
+
+class TestConservation:
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40)
+    def test_every_process_completes(self, count):
+        env = Environment()
+
+        def chain(depth):
+            if depth > 0:
+                yield env.timeout(1.0)
+                value = yield env.process(chain(depth - 1))
+                return value + 1
+            return 0
+
+        processes = [env.process(chain(i % 5)) for i in range(count)]
+        env.run()
+        assert all(not p.is_alive for p in processes)
+        assert [p.value for p in processes] == [i % 5 for i in range(count)]
+
+    @given(delays)
+    @settings(max_examples=40)
+    def test_allof_fires_at_max_anyof_at_min(self, delay_list):
+        env = Environment()
+        outcome = {}
+
+        def waiter():
+            all_event = AllOf(
+                env, tuple(env.timeout(d) for d in delay_list)
+            )
+            yield all_event
+            outcome["all"] = env.now
+
+        def racer():
+            any_event = AnyOf(
+                env, tuple(env.timeout(d) for d in delay_list)
+            )
+            yield any_event
+            outcome["any"] = env.now
+
+        env.process(waiter())
+        env.process(racer())
+        env.run()
+        assert outcome["all"] == pytest.approx(max(delay_list))
+        assert outcome["any"] == pytest.approx(min(delay_list))

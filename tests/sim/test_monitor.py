@@ -1,0 +1,116 @@
+"""Monitor tests: exact integrals and counters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.monitor import CounterMonitor, TimeSeriesMonitor
+
+
+class TestStepIntegration:
+    def test_step_integral(self):
+        monitor = TimeSeriesMonitor("power", linear=False)
+        monitor.record(0.0, 10.0)
+        monitor.record(2.0, 0.0)   # 10 held for 2 s
+        monitor.record(5.0, 4.0)   # 0 held for 3 s
+        assert monitor.integral() == pytest.approx(20.0)
+
+    def test_time_average(self):
+        monitor = TimeSeriesMonitor("power")
+        monitor.record(0.0, 10.0)
+        monitor.record(4.0, 0.0)
+        assert monitor.time_average() == pytest.approx(10.0)
+
+
+class TestLinearIntegration:
+    def test_trapezoid(self):
+        monitor = TimeSeriesMonitor("level", linear=True)
+        monitor.record(0.0, 0.0)
+        monitor.record(2.0, 10.0)
+        assert monitor.integral() == pytest.approx(10.0)
+
+    def test_piecewise(self):
+        monitor = TimeSeriesMonitor("level", linear=True)
+        monitor.record(0.0, 0.0)
+        monitor.record(1.0, 10.0)
+        monitor.record(3.0, 0.0)
+        assert monitor.integral() == pytest.approx(5.0 + 10.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=-50, max_value=50),
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def test_integral_matches_reference(self, points):
+        points = sorted(points, key=lambda p: p[0])
+        monitor = TimeSeriesMonitor("sig", linear=True)
+        for time, value in points:
+            monitor.record(time, value)
+        expected = sum(
+            0.5 * (v0 + v1) * (t1 - t0)
+            for (t0, v0), (t1, v1) in zip(points, points[1:])
+        )
+        assert monitor.integral() == pytest.approx(expected, abs=1e-6)
+
+
+class TestStatistics:
+    def test_min_max_count(self):
+        monitor = TimeSeriesMonitor("sig")
+        for time, value in [(0, 5.0), (1, -2.0), (2, 8.0)]:
+            monitor.record(time, value)
+        assert monitor.minimum == -2.0
+        assert monitor.maximum == 8.0
+        assert monitor.count == 3
+        assert monitor.duration == 2.0
+
+    def test_empty_monitor_raises(self):
+        monitor = TimeSeriesMonitor("sig")
+        with pytest.raises(SimulationError):
+            monitor.minimum
+        with pytest.raises(SimulationError):
+            monitor.time_average()
+
+    def test_backwards_time_rejected(self):
+        monitor = TimeSeriesMonitor("sig")
+        monitor.record(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            monitor.record(4.0, 1.0)
+
+    def test_samples_retention_flag(self):
+        keeping = TimeSeriesMonitor("a", keep_samples=True)
+        dropping = TimeSeriesMonitor("b", keep_samples=False)
+        for monitor in (keeping, dropping):
+            monitor.record(0.0, 1.0)
+            monitor.record(1.0, 2.0)
+        assert len(keeping.samples) == 2
+        assert dropping.samples == ()
+        assert dropping.integral() == keeping.integral()
+
+
+class TestCounter:
+    def test_increment_and_read(self):
+        counter = CounterMonitor()
+        counter.increment("refill")
+        counter.increment("refill", 2)
+        assert counter.count("refill") == 3
+        assert counter.count("missing") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            CounterMonitor().increment("x", -1)
+
+    def test_as_dict_snapshot(self):
+        counter = CounterMonitor()
+        counter.increment("a")
+        snapshot = counter.as_dict()
+        counter.increment("a")
+        assert snapshot == {"a": 1}

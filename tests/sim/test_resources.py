@@ -1,0 +1,183 @@
+"""Container and Store resource tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import Container, Store
+
+
+class TestContainerBasics:
+    def test_initial_level(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=40)
+        assert container.level == 40
+
+    def test_put_get_immediate(self):
+        env = Environment()
+        container = Container(env, capacity=100)
+
+        def proc():
+            yield container.put(60)
+            yield container.get(25)
+            return container.level
+
+        assert env.run(until=env.process(proc())) == 35
+
+    def test_put_blocks_until_room(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=90)
+        log = []
+
+        def producer():
+            yield container.put(50)  # must wait for the consumer
+            log.append(("put", env.now))
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield container.get(60)
+            log.append(("got", env.now))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ("got", 5.0) in log
+        assert ("put", 5.0) in log
+
+    def test_get_blocks_until_available(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=0)
+        log = []
+
+        def consumer():
+            yield container.get(30)
+            log.append(env.now)
+
+        def producer():
+            yield env.timeout(2.0)
+            yield container.put(30)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert log == [2.0]
+
+    def test_fifo_among_getters(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=0)
+        order = []
+
+        def getter(tag, amount):
+            yield container.get(amount)
+            order.append(tag)
+
+        env.process(getter("first", 10))
+        env.process(getter("second", 10))
+
+        def producer():
+            yield env.timeout(1.0)
+            yield container.put(20)
+
+        env.process(producer())
+        env.run()
+        assert order == ["first", "second"]
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Container(env, capacity=0)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=10, initial=20)
+        container = Container(env, capacity=10)
+        with pytest.raises(SimulationError):
+            container.put(-1)
+        with pytest.raises(SimulationError):
+            container.get(-1)
+        with pytest.raises(SimulationError):
+            container.put(11)  # can never fit
+
+
+class TestContainerFluid:
+    def test_drain_partial(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=30)
+        assert container.drain(50) == 30
+        assert container.level == 0
+
+    def test_fill_clips_at_capacity(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=90)
+        assert container.fill(50) == 10
+        assert container.level == 100
+
+    def test_fill_unblocks_getter(self):
+        env = Environment()
+        container = Container(env, capacity=100, initial=0)
+        done = []
+
+        def getter():
+            yield container.get(5)
+            done.append(env.now)
+
+        env.process(getter())
+        env.run()
+        assert done == []
+        container.fill(5)
+        env.run()
+        assert done == [0.0]
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        def producer():
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+                yield env.timeout(1.0)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_capacity_blocks_puts(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("x")
+            log.append(("x", env.now))
+            yield store.put("y")
+            log.append(("y", env.now))
+
+        def consumer():
+            yield env.timeout(4.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ("x", 0.0) in log
+        assert ("y", 4.0) in log
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        env.run()
+        assert len(store) == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)

@@ -1,0 +1,122 @@
+"""Simulation-report and model-comparison tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.streaming.stats import (
+    ModelComparison,
+    SimulationReport,
+    compare_with_model,
+)
+
+
+def _report(**overrides) -> SimulationReport:
+    defaults = dict(
+        policy="StreamingPipeline",
+        duration_s=100.0,
+        buffer_bits=units.kb_to_bits(20),
+        streamed_bits=1.024e8,
+        filled_bits=1.03e8,
+        device_energy_j=3.6,
+        energy_by_state={"standby": 0.4, "read_write": 2.0, "seek": 1.0,
+                         "shutdown": 0.2, "idle": 0.0},
+        time_by_state={"standby": 90.0, "read_write": 6.0, "seek": 3.0,
+                       "shutdown": 1.0, "idle": 0.0},
+        refill_cycles=633,
+        seek_count=633,
+        best_effort_s=5.0,
+        underruns=0,
+        dram_retention_j=0.5,
+        dram_access_j=0.05,
+        write_fraction=0.4,
+    )
+    defaults.update(overrides)
+    return SimulationReport(**defaults)
+
+
+class TestDerivedFigures:
+    def test_per_bit_energy(self):
+        report = _report()
+        assert report.per_bit_energy_j == pytest.approx(3.6 / 1.024e8)
+        assert report.per_bit_energy_nj == pytest.approx(
+            3.6 / 1.024e8 * 1e9
+        )
+
+    def test_dram_totals(self):
+        report = _report()
+        assert report.dram_energy_j == pytest.approx(0.55)
+        assert report.dram_per_bit_energy_j == pytest.approx(0.55 / 1.024e8)
+
+    def test_mean_power_and_rate(self):
+        report = _report()
+        assert report.mean_device_power_w == pytest.approx(0.036)
+        assert report.mean_stream_rate_bps == pytest.approx(1.024e6)
+
+    def test_duty_cycle(self):
+        report = _report()
+        assert report.duty_cycle == pytest.approx(0.09)
+
+    def test_zero_streamed_raises(self):
+        report = _report(streamed_bits=0)
+        with pytest.raises(SimulationError):
+            report.per_bit_energy_j
+
+    def test_saving_against_reference(self):
+        shutdown = _report(device_energy_j=3.6)
+        always_on = _report(device_energy_j=12.0)
+        assert shutdown.energy_saving_against(always_on) == pytest.approx(
+            0.7
+        )
+
+
+class TestWearExtrapolation:
+    def test_seeks_per_year(self):
+        report = _report()
+        per_year = report.seeks_per_year(1.0512e7)
+        assert per_year == pytest.approx(633 / 100.0 * 1.0512e7)
+
+    def test_springs_lifetime(self, device, workload):
+        report = _report()
+        years = report.springs_lifetime_years(device, workload)
+        assert years == pytest.approx(
+            device.springs_duty_cycles
+            / report.seeks_per_year(workload.playback_seconds_per_year)
+        )
+
+    def test_no_seeks_means_immortal_springs(self, device, workload):
+        report = _report(seek_count=0)
+        assert report.springs_lifetime_years(device, workload) == float(
+            "inf"
+        )
+
+
+class TestModelComparison:
+    def test_errors(self):
+        comparison = ModelComparison(
+            simulated_per_bit_j=1.01e-8,
+            predicted_per_bit_j=1.00e-8,
+            simulated_cycles_per_s=6.33,
+            predicted_cycles_per_s=6.33,
+        )
+        assert comparison.energy_error == pytest.approx(0.01)
+        assert comparison.cycle_error == 0.0
+        assert comparison.agrees(0.011)
+        assert not comparison.agrees(0.005)
+
+    def test_compare_uses_paper_convention(self, device, workload):
+        # The simulated per-bit figure divides by (cycles * B), not by the
+        # streamed bits (DESIGN.md note in stats module).
+        report = _report()
+        comparison = compare_with_model(report, device, workload, 1.024e6)
+        expected_sim = report.device_energy_j / (
+            report.refill_cycles * report.buffer_bits
+        )
+        assert comparison.simulated_per_bit_j == pytest.approx(expected_sim)
+
+    def test_compare_requires_cycles(self, device, workload):
+        report = _report(refill_cycles=0)
+        with pytest.raises(SimulationError):
+            compare_with_model(report, device, workload, 1.024e6)

@@ -1,0 +1,135 @@
+"""CLI tests driven through main(argv)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out
+        assert "tradeoff10" in out
+
+
+class TestRun:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["run", "breakeven"]) == 0
+        out = capsys.readouterr().out
+        assert "Break-even" in out
+        assert "disk/MEMS" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["run", "table1", "capacity-example"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "utilisation" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "results.txt"
+        assert main(["run", "table1", "--output", str(target)]) == 0
+        assert "Table I" in target.read_text(encoding="utf-8")
+        assert f"(wrote {target})" in capsys.readouterr().out
+
+
+class TestDimension:
+    def test_feasible_goal(self, capsys):
+        code = main(
+            ["dimension", "--rate", "1024", "--energy", "0.7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dictated by Lsp" in out
+        assert "needs >=" in out
+
+    def test_infeasible_goal_exit_code(self, capsys):
+        code = main(
+            ["dimension", "--rate", "2048", "--energy", "0.8"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out
+
+    def test_endurance_flags(self, capsys):
+        code = main(
+            [
+                "dimension", "--rate", "4096", "--energy", "0.7",
+                "--springs", "1e12", "--probe-cycles", "200",
+            ]
+        )
+        assert code == 0
+
+    def test_invalid_goal_rejected(self, capsys):
+        assert main(["dimension", "--rate", "1024", "--energy", "2"]) == 2
+
+
+class TestPlot:
+    def test_plots_fig3a_panel(self, capsys):
+        code = main(["plot", "--energy", "0.8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regions: C  E  X" in out
+        assert "required buffer" in out
+        assert "buffer capacity (kB)" in out
+
+    def test_plot_custom_endurance(self, capsys):
+        code = main(
+            [
+                "plot", "--energy", "0.7", "--springs", "1e12",
+                "--probe-cycles", "200", "--width", "48", "--height", "10",
+            ]
+        )
+        assert code == 0
+        assert "regions: C  E" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_shutdown_policy(self, capsys):
+        code = main(
+            [
+                "simulate", "--rate", "1024", "--buffer-kb", "20",
+                "--duration", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refill cycles" in out
+        assert "model agreement" in out
+
+    def test_always_on(self, capsys):
+        code = main(
+            [
+                "simulate", "--rate", "1024", "--buffer-kb", "20",
+                "--duration", "5", "--always-on",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AlwaysOnPipeline" in out
+
+    def test_underrun_reported_as_error(self, capsys):
+        code = main(
+            [
+                "simulate", "--rate", "1024", "--buffer-kb", "0.1",
+                "--duration", "5",
+            ]
+        )
+        assert code == 2
+        assert "underrun" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_point(self):
+        import repro.__main__  # noqa: F401 - import side-effect free

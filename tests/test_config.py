@@ -1,0 +1,223 @@
+"""Configuration validation and Table I preset tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.config import (
+    DRAMConfig,
+    DesignGoal,
+    MEMSDeviceConfig,
+    MechanicalDeviceConfig,
+    TABLE1_RATE_GRID_BPS,
+    WorkloadConfig,
+    disk_18inch,
+    ibm_mems_prototype,
+    micron_ddr_dram,
+    table1_workload,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMechanicalDeviceConfig:
+    def test_derived_overheads(self, device):
+        # Table I: toh = 2 ms + 1 ms, Eoh at 672 mW on both phases.
+        assert device.overhead_time_s == pytest.approx(0.003)
+        assert device.overhead_energy_j == pytest.approx(2.016e-3)
+        assert device.overhead_power_w == pytest.approx(0.672)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            MechanicalDeviceConfig(
+                name="bad", transfer_rate_bps=0, seek_time_s=0.002,
+                shutdown_time_s=0.001, read_write_power_w=0.3,
+                seek_power_w=0.6, shutdown_power_w=0.6,
+                idle_power_w=0.1, standby_power_w=0.005,
+                capacity_bits=1e9,
+            )
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            MechanicalDeviceConfig(
+                name="bad", transfer_rate_bps=1e8, seek_time_s=0.002,
+                shutdown_time_s=0.001, read_write_power_w=-0.3,
+                seek_power_w=0.6, shutdown_power_w=0.6,
+                idle_power_w=0.1, standby_power_w=0.005,
+                capacity_bits=1e9,
+            )
+
+    def test_rejects_standby_at_or_above_idle(self):
+        # A shutdown policy can never pay off then.
+        with pytest.raises(ConfigurationError):
+            MechanicalDeviceConfig(
+                name="bad", transfer_rate_bps=1e8, seek_time_s=0.002,
+                shutdown_time_s=0.001, read_write_power_w=0.3,
+                seek_power_w=0.6, shutdown_power_w=0.6,
+                idle_power_w=0.1, standby_power_w=0.1,
+                capacity_bits=1e9,
+            )
+
+    def test_replace_creates_modified_copy(self, device):
+        changed = device.replace(standby_power_w=0.010)
+        assert changed.standby_power_w == 0.010
+        assert device.standby_power_w == 0.005
+        assert changed.name == device.name
+
+    def test_zero_overhead_power(self):
+        config = MechanicalDeviceConfig(
+            name="instant", transfer_rate_bps=1e8, seek_time_s=0.0,
+            shutdown_time_s=0.0, read_write_power_w=0.3,
+            seek_power_w=0.6, shutdown_power_w=0.6,
+            idle_power_w=0.1, standby_power_w=0.005, capacity_bits=1e9,
+        )
+        assert config.overhead_power_w == 0.0
+
+
+class TestMEMSDeviceConfig:
+    def test_table1_preset_values(self, device):
+        assert device.probe_rows == 64 and device.probe_cols == 64
+        assert device.active_probes == 1024
+        assert device.per_probe_rate_bps == 100_000
+        assert device.transfer_rate_bps == pytest.approx(1.024e8)
+        assert device.capacity_bits == pytest.approx(units.gb_to_bits(120))
+        assert device.read_write_power_w == pytest.approx(0.316)
+        assert device.idle_power_w == pytest.approx(0.120)
+        assert device.standby_power_w == pytest.approx(0.005)
+        assert device.sync_bits_per_subsector == 3
+        assert device.ecc_numerator == 1 and device.ecc_denominator == 8
+
+    def test_total_probes(self, device):
+        assert device.total_probes == 4096
+
+    def test_endurance_variants(self):
+        high_end = ibm_mems_prototype(
+            springs_duty_cycles=1e12, probe_write_cycles=200
+        )
+        assert high_end.springs_duty_cycles == 1e12
+        assert high_end.probe_write_cycles == 200
+
+    def test_rate_consistency_enforced(self, device):
+        with pytest.raises(ConfigurationError):
+            device.replace(transfer_rate_bps=5e7)  # != 1024 * 100 kbps
+
+    def test_rejects_more_active_than_total_probes(self, device):
+        with pytest.raises(ConfigurationError):
+            device.replace(probe_rows=8, probe_cols=8)  # 64 < 1024 active
+
+    def test_rejects_bad_wear_factor(self, device):
+        with pytest.raises(ConfigurationError):
+            device.replace(probe_wear_factor=0.0)
+
+    def test_rejects_negative_sync_bits(self, device):
+        with pytest.raises(ConfigurationError):
+            device.replace(sync_bits_per_subsector=-1)
+
+    def test_rejects_zero_ratings(self, device):
+        with pytest.raises(ConfigurationError):
+            device.replace(springs_duty_cycles=0)
+        with pytest.raises(ConfigurationError):
+            device.replace(probe_write_cycles=0)
+
+
+class TestWorkloadConfig:
+    def test_table1_preset(self, workload):
+        assert workload.hours_per_day == 8
+        assert workload.write_fraction == 0.40
+        assert workload.best_effort_fraction == 0.05
+        assert workload.stream_rate_min_bps == 32_000
+        assert workload.stream_rate_max_bps == 4_096_000
+
+    def test_playback_seconds(self, workload):
+        assert workload.playback_seconds_per_year == pytest.approx(1.0512e7)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("hours_per_day", 0),
+            ("hours_per_day", 25),
+            ("write_fraction", -0.1),
+            ("write_fraction", 1.1),
+            ("best_effort_fraction", 1.0),
+            ("stream_rate_min_bps", 0),
+        ],
+    )
+    def test_rejects_invalid(self, workload, field, value):
+        with pytest.raises(ConfigurationError):
+            workload.replace(**{field: value})
+
+    def test_rejects_inverted_rate_range(self, workload):
+        with pytest.raises(ConfigurationError):
+            workload.replace(
+                stream_rate_min_bps=2e6, stream_rate_max_bps=1e6
+            )
+
+
+class TestDesignGoal:
+    def test_defaults_match_paper_maxima(self):
+        goal = DesignGoal()
+        assert goal.energy_saving == 0.80
+        assert goal.capacity_utilisation == 0.88
+        assert goal.lifetime_years == 7.0
+
+    def test_label(self):
+        assert DesignGoal().label() == "(E=80%, C=88%, L=7)"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"energy_saving": 1.0},
+            {"energy_saving": -0.1},
+            {"capacity_utilisation": 0.0},
+            {"capacity_utilisation": 1.5},
+            {"lifetime_years": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DesignGoal(**kwargs)
+
+    def test_replace(self):
+        relaxed = DesignGoal().replace(energy_saving=0.70)
+        assert relaxed.energy_saving == 0.70
+        assert relaxed.capacity_utilisation == 0.88
+
+
+class TestDRAMConfig:
+    def test_preset_builds(self, dram):
+        assert isinstance(dram, DRAMConfig)
+        assert dram.standby_power_w >= 0
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(read_energy_j_per_bit=-1e-10)
+
+    def test_rejects_zero_row(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(row_size_bits=0)
+
+
+class TestPresets:
+    def test_disk_break_even_ratio(self, disk):
+        # DESIGN.md §4.6: (Eoh - Psb*toh)/(Pidle - Psb) ~ 18.15 s.
+        ratio = (
+            disk.overhead_energy_j
+            - disk.standby_power_w * disk.overhead_time_s
+        ) / (disk.idle_power_w - disk.standby_power_w)
+        assert ratio == pytest.approx(18.15, rel=0.01)
+
+    def test_rate_grid_is_powers_of_two(self):
+        assert len(TABLE1_RATE_GRID_BPS) == 8
+        assert TABLE1_RATE_GRID_BPS[0] == 32_000
+        assert TABLE1_RATE_GRID_BPS[-1] == 4_096_000
+        for low, high in zip(TABLE1_RATE_GRID_BPS, TABLE1_RATE_GRID_BPS[1:]):
+            assert high == pytest.approx(2 * low)
+
+    def test_micron_preset(self):
+        assert micron_ddr_dram().name.startswith("Micron")
+
+    def test_presets_are_frozen(self, device, workload):
+        with pytest.raises(AttributeError):
+            device.standby_power_w = 1.0  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            workload.write_fraction = 0.5  # type: ignore[misc]

@@ -1,0 +1,68 @@
+"""Exception-hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BufferUnderrunError,
+    ConfigurationError,
+    InfeasibleDesignError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnitError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ConfigurationError,
+            UnitError,
+            InfeasibleDesignError,
+            SimulationError,
+            BufferUnderrunError,
+            SolverError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using plain ValueError handling still catch config
+        # mistakes.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(UnitError, ValueError)
+
+    def test_solver_error_is_arithmetic_error(self):
+        assert issubclass(SolverError, ArithmeticError)
+
+    def test_buffer_underrun_is_simulation_error(self):
+        assert issubclass(BufferUnderrunError, SimulationError)
+
+
+class TestPayloads:
+    def test_infeasible_records_constraint(self):
+        error = InfeasibleDesignError("no buffer works", constraint="energy")
+        assert error.constraint == "energy"
+        assert "no buffer works" in str(error)
+
+    def test_infeasible_constraint_optional(self):
+        assert InfeasibleDesignError("nope").constraint is None
+
+    def test_underrun_records_time(self):
+        error = BufferUnderrunError("glitch", time=12.5)
+        assert error.time == 12.5
+
+    def test_one_catch_all(self):
+        # The library promise: one except-clause catches everything.
+        for error in (
+            ConfigurationError("x"),
+            InfeasibleDesignError("x"),
+            BufferUnderrunError("x"),
+            SolverError("x"),
+        ):
+            with pytest.raises(ReproError):
+                raise error

@@ -1,0 +1,140 @@
+"""End-to-end integration: dimension a buffer analytically, then *run* the
+pipeline at that size and verify the goal is actually met in simulation.
+
+This closes the loop the paper argues on paper: the inverse functions of
+§IV.C produce buffer sizes whose executable behaviour delivers the design
+goal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
+from repro.core.capacity import CapacityModel
+from repro.core.dimensioning import BufferDimensioner
+from repro.core.energy import EnergyModel
+from repro.streaming.pipeline import simulate_always_on, simulate_streaming
+
+RATE = 1_024_000.0
+GOAL = DesignGoal(
+    energy_saving=0.70, capacity_utilisation=0.88, lifetime_years=7.0
+)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return ibm_mems_prototype()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return table1_workload()
+
+
+@pytest.fixture(scope="module")
+def dimensioned_run(device, workload):
+    """Dimension for the (70%, 88%, 7) goal, then simulate 300 cycles."""
+    dimensioner = BufferDimensioner(device, workload)
+    buffer_bits = dimensioner.require(GOAL, RATE)
+    model = EnergyModel(device, workload)
+    duration = 300 * model.cycle_time(buffer_bits, RATE)
+    shutdown = simulate_streaming(
+        device, buffer_bits, RATE, duration, workload
+    )
+    always_on = simulate_always_on(
+        device, buffer_bits, RATE, duration, workload
+    )
+    return buffer_bits, shutdown, always_on
+
+
+class TestGoalIsMetInSimulation:
+    def test_no_underruns(self, dimensioned_run):
+        _, shutdown, _ = dimensioned_run
+        assert shutdown.underruns == 0
+
+    def test_measured_energy_saving_meets_goal(self, dimensioned_run):
+        _, shutdown, always_on = dimensioned_run
+        measured = shutdown.energy_saving_against(always_on)
+        assert measured >= GOAL.energy_saving - 0.01
+
+    def test_measured_springs_lifetime_meets_goal(
+        self, dimensioned_run, device, workload
+    ):
+        _, shutdown, _ = dimensioned_run
+        years = shutdown.springs_lifetime_years(device, workload)
+        assert years >= GOAL.lifetime_years * 0.98
+
+    def test_capacity_goal_attainable_with_buffer(
+        self, dimensioned_run, device
+    ):
+        buffer_bits, _, _ = dimensioned_run
+        capacity = CapacityModel(device)
+        assert capacity.best_utilisation(buffer_bits) >= (
+            GOAL.capacity_utilisation
+        )
+
+    def test_buffer_is_springs_sized(self, dimensioned_run):
+        buffer_bits, _, _ = dimensioned_run
+        # At 1024 kbps the (70%, 88%, 7) goal is springs-dominated: ~94 kB.
+        assert units.bits_to_kb(buffer_bits) == pytest.approx(94, rel=0.02)
+
+
+class TestSmallerBufferFailsTheGoal:
+    def test_half_buffer_halves_springs_lifetime(
+        self, dimensioned_run, device, workload
+    ):
+        buffer_bits, _, _ = dimensioned_run
+        model = EnergyModel(device, workload)
+        duration = 300 * model.cycle_time(buffer_bits / 2, RATE)
+        report = simulate_streaming(
+            device, buffer_bits / 2, RATE, duration, workload
+        )
+        years = report.springs_lifetime_years(device, workload)
+        assert years < GOAL.lifetime_years * 0.6
+
+    def test_tiny_buffer_misses_energy_goal(self, device, workload):
+        model = EnergyModel(device, workload)
+        b_be = model.break_even_buffer(RATE)
+        duration = 300 * model.cycle_time(2 * b_be, RATE)
+        shutdown = simulate_streaming(
+            device, 2 * b_be, RATE, duration, workload
+        )
+        always_on = simulate_always_on(
+            device, 2 * b_be, RATE, duration, workload
+        )
+        measured = shutdown.energy_saving_against(always_on)
+        assert measured < GOAL.energy_saving
+
+
+class TestCrossDeviceConsistency:
+    def test_disk_needs_megabytes_for_same_policy(self, workload):
+        from repro.config import disk_18inch
+
+        disk = disk_18inch()
+        model = EnergyModel(disk, workload)
+        b_be = model.break_even_buffer(RATE)
+        # The same streaming policy on a disk wants a buffer three orders
+        # of magnitude larger before shutdown pays off at all.
+        mems_be = EnergyModel(
+            ibm_mems_prototype(), workload
+        ).break_even_buffer(RATE)
+        assert b_be / mems_be > 900
+
+    def test_simulated_disk_break_even_behaviour(self, workload):
+        from repro.config import disk_18inch
+
+        disk = disk_18inch()
+        model = EnergyModel(disk)
+        b_be = model.break_even_buffer(RATE)
+        duration = 20 * model.cycle_time(2 * b_be, RATE)
+        shutdown = simulate_streaming(
+            disk, 2 * b_be, RATE, duration,
+            workload.replace(best_effort_fraction=0.0),
+        )
+        always_on = simulate_always_on(
+            disk, 2 * b_be, RATE, duration, workload
+        )
+        # Above break-even, shutting down must win (positive saving).
+        assert shutdown.energy_saving_against(always_on) > 0

@@ -1,0 +1,144 @@
+"""Property-based integration: dimensioning answers are always correct.
+
+For arbitrary goals and rates, whatever :class:`BufferDimensioner`
+returns must satisfy all forward models, and one bit less on the
+dominant constraint's buffer must violate that constraint.  These
+properties tie the inverse layer to the forward layer without reference
+to any particular paper number.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
+from repro.core.capacity import CapacityModel
+from repro.core.dimensioning import BufferDimensioner, Constraint
+from repro.core.energy import EnergyModel
+from repro.core.lifetime import LifetimeModel
+
+DEVICE = ibm_mems_prototype()
+WORKLOAD = table1_workload()
+DIMENSIONER = BufferDimensioner(DEVICE, WORKLOAD)
+ENERGY = EnergyModel(DEVICE, WORKLOAD)
+CAPACITY = CapacityModel(DEVICE)
+LIFETIME = LifetimeModel(DEVICE, WORKLOAD)
+
+goals = st.builds(
+    DesignGoal,
+    energy_saving=st.floats(min_value=0.0, max_value=0.85),
+    capacity_utilisation=st.floats(min_value=0.3, max_value=0.885),
+    lifetime_years=st.floats(min_value=0.5, max_value=15.0),
+)
+rates = st.floats(min_value=32_000.0, max_value=4_096_000.0)
+
+
+@given(goals, rates)
+@settings(max_examples=120, deadline=None)
+def test_feasible_answers_satisfy_every_constraint(goal, rate):
+    requirement = DIMENSIONER.dimension(goal, rate)
+    assume(requirement.feasible)
+    buffer_bits = requirement.required_buffer_bits
+    # Energy.
+    assert ENERGY.energy_saving(buffer_bits, rate) >= (
+        goal.energy_saving - 1e-9
+    )
+    # Capacity (formatting may pick any sector <= buffer).
+    assert CAPACITY.best_utilisation(buffer_bits) >= (
+        goal.capacity_utilisation - 1e-12
+    )
+    # Lifetime, both components.
+    assert LIFETIME.springs.lifetime_years(buffer_bits, rate) >= (
+        goal.lifetime_years * (1 - 1e-9)
+    )
+    assert LIFETIME.probes.lifetime_years(buffer_bits, rate) >= (
+        goal.lifetime_years * (1 - 1e-9)
+    )
+    # Latency floor.
+    assert ENERGY.standby_time(buffer_bits, rate) >= -1e-9
+
+
+@given(goals, rates)
+@settings(max_examples=120, deadline=None)
+def test_dominant_constraint_is_tight(goal, rate):
+    requirement = DIMENSIONER.dimension(goal, rate)
+    assume(requirement.feasible)
+    dominant = requirement.dominant
+    buffer_bits = requirement.required_buffer_bits
+    shrunk = buffer_bits * (1 - 1e-6) - 1
+    assume(shrunk > 0)
+    if dominant is Constraint.ENERGY:
+        assert ENERGY.energy_saving(shrunk, rate) < goal.energy_saving
+    elif dominant is Constraint.CAPACITY:
+        assert CAPACITY.best_utilisation(shrunk) < goal.capacity_utilisation
+    elif dominant is Constraint.SPRINGS:
+        assert LIFETIME.springs.lifetime_years(shrunk, rate) < (
+            goal.lifetime_years
+        )
+    elif dominant is Constraint.PROBES:
+        assert LIFETIME.probes.lifetime_years(shrunk, rate) < (
+            goal.lifetime_years
+        )
+    else:  # latency
+        assert ENERGY.standby_time(shrunk, rate) < 0
+
+
+@given(goals, rates)
+@settings(max_examples=60, deadline=None)
+def test_infeasibility_is_genuine(goal, rate):
+    requirement = DIMENSIONER.dimension(goal, rate)
+    assume(not requirement.feasible)
+    # An infeasible verdict must trace to a constraint no buffer can fix:
+    # the energy wall, the capacity supremum, or the probes ceiling.
+    reasons = set(requirement.infeasible_constraints)
+    justified = set()
+    if ENERGY.max_energy_saving(rate) <= goal.energy_saving:
+        justified.add(Constraint.ENERGY)
+    if goal.capacity_utilisation >= CAPACITY.utilisation_supremum:
+        justified.add(Constraint.CAPACITY)
+    if LIFETIME.probes.lifetime_ceiling_years(rate) < goal.lifetime_years:
+        justified.add(Constraint.PROBES)
+    assert reasons <= justified
+    assert reasons
+
+
+@given(
+    st.floats(min_value=0.0, max_value=0.85),
+    st.floats(min_value=0.0, max_value=0.85),
+    rates,
+)
+@settings(max_examples=60, deadline=None)
+def test_stricter_energy_goal_never_needs_less_buffer(e_low, e_high, rate):
+    assume(e_low <= e_high)
+    base = DesignGoal(capacity_utilisation=0.85, lifetime_years=5.0)
+    low = DIMENSIONER.dimension(base.replace(energy_saving=e_low), rate)
+    high = DIMENSIONER.dimension(base.replace(energy_saving=e_high), rate)
+    if high.feasible:
+        assert low.feasible
+        assert high.required_buffer_bits >= (
+            low.required_buffer_bits * (1 - 1e-12)
+        )
+
+
+@given(rates, st.floats(min_value=1.2, max_value=4.0))
+@settings(max_examples=60, deadline=None)
+def test_required_buffer_scales_linearly_with_lifetime_when_springs_bound(
+    rate, factor
+):
+    base = DesignGoal(
+        energy_saving=0.0, capacity_utilisation=0.3, lifetime_years=5.0
+    )
+    requirement = DIMENSIONER.dimension(base, rate)
+    assume(requirement.feasible)
+    assume(requirement.dominant is Constraint.SPRINGS)
+    scaled = DIMENSIONER.dimension(
+        base.replace(lifetime_years=5.0 * factor), rate
+    )
+    assume(scaled.feasible and scaled.dominant is Constraint.SPRINGS)
+    assert scaled.required_buffer_bits == pytest.approx(
+        factor * requirement.required_buffer_bits, rel=1e-9
+    )
