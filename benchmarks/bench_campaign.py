@@ -1,0 +1,83 @@
+"""Campaign-engine benchmarks: parallel speedup and cache-hit re-runs.
+
+Two claims under timing:
+
+* a registry-wide campaign run with ``jobs=4`` produces headline
+  scalars identical to serial execution (speedup is reported, not
+  asserted — this container may expose a single core, where process
+  fan-out only adds overhead),
+* an immediate re-run against the same store resolves entirely from
+  cache hits without re-executing any job, and does so faster than the
+  populating run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import list_experiments
+from repro.runner import Campaign, run_campaign
+
+from conftest import run_once_slow
+
+#: sim-validate dominates registry wall-clock; trim it for benchmarking.
+FAST_OVERRIDES = {"sim-validate": {"cycles_per_point": 20}}
+
+
+def _campaign():
+    campaign = Campaign("bench-registry")
+    for experiment_id, _ in list_experiments():
+        campaign.experiment(
+            experiment_id, **FAST_OVERRIDES.get(experiment_id, {})
+        )
+    return campaign
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_parallel_vs_serial_registry_campaign(benchmark):
+    """jobs=4 equals serial bit-for-bit; wall-clock ratio is reported."""
+    start = time.perf_counter()
+    serial = run_campaign(_campaign(), jobs=1)
+    serial_s = time.perf_counter() - start
+    assert serial.ok
+
+    parallel = run_once_slow(
+        benchmark, run_campaign, _campaign(), jobs=4
+    )
+    assert parallel.ok
+    assert parallel.headlines() == serial.headlines()
+
+    parallel_s = parallel.duration_s
+    print()
+    print(
+        f"registry campaign ({len(serial.order)} jobs): "
+        f"serial {serial_s:.2f}s, jobs=4 {parallel_s:.2f}s, "
+        f"speedup x{serial_s / parallel_s:.2f}"
+    )
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_cache_hit_rerun(benchmark, tmp_path):
+    """A re-run against a populated store is pure cache hits."""
+    store_path = str(tmp_path / "results.jsonl")
+    start = time.perf_counter()
+    first = run_campaign(_campaign(), store_path=store_path)
+    first_s = time.perf_counter() - start
+    assert first.ok
+
+    rerun = run_once_slow(
+        benchmark, run_campaign, _campaign(), store_path=store_path
+    )
+    counts = rerun.status_counts()
+    assert counts == {"cached": len(first.order)}, counts
+    assert rerun.headlines() == first.headlines()
+    assert rerun.cache_stats["hits"] == len(first.order)
+    assert rerun.duration_s < first_s
+    print()
+    print(
+        f"populate {first_s:.2f}s -> cached re-run "
+        f"{rerun.duration_s:.3f}s "
+        f"(x{first_s / max(rerun.duration_s, 1e-9):.0f} faster)"
+    )

@@ -17,6 +17,22 @@ Quickstart
 >>> model = repro.EnergyModel(device, repro.table1_workload())
 >>> round(repro.units.bits_to_kb(model.break_even_buffer(1_024_000)), 2)
 2.23
+
+Campaigns — batches of experiments run through the orchestration
+engine (parallel workers, retry-on-failure, and a persistent result
+store that makes re-runs resolve from cache):
+
+>>> campaign = repro.registry_campaign(["table1", "breakeven"])
+>>> outcome = repro.run_campaign(campaign, jobs=1)
+>>> outcome.ok
+True
+>>> sorted(outcome.headlines())
+['breakeven', 'table1']
+
+Pass ``jobs=4`` to fan out over four worker processes (headline
+scalars are bit-identical to serial execution) and
+``store_path="results.jsonl"`` to persist results — an interrupted or
+repeated campaign then resumes from the store instead of recomputing.
 """
 
 from . import units
@@ -56,6 +72,7 @@ from .core import (
 from .core.tradeoff import compare_energy_goals
 from .errors import (
     BufferUnderrunError,
+    CampaignError,
     ConfigurationError,
     InfeasibleDesignError,
     ReproError,
@@ -63,8 +80,19 @@ from .errors import (
     SolverError,
     UnitError,
 )
+from .runner import (
+    Campaign,
+    CampaignResult,
+    JobResult,
+    JobSpec,
+    ProgressMonitor,
+    ResultCache,
+    ResultStore,
+    registry_campaign,
+    run_campaign,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "units",
@@ -100,6 +128,16 @@ __all__ = [
     "ParetoFrontier",
     "ParetoPoint",
     "energy_buffer_frontier",
+    # campaign engine
+    "Campaign",
+    "CampaignResult",
+    "JobSpec",
+    "JobResult",
+    "ProgressMonitor",
+    "ResultCache",
+    "ResultStore",
+    "registry_campaign",
+    "run_campaign",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -107,6 +145,7 @@ __all__ = [
     "InfeasibleDesignError",
     "SimulationError",
     "BufferUnderrunError",
+    "CampaignError",
     "SolverError",
     "__version__",
 ]

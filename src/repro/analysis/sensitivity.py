@@ -116,6 +116,18 @@ def _evaluate(
     )
 
 
+def _evaluate_case(
+    case: tuple[MEMSDeviceConfig, WorkloadConfig, DesignGoal, float, str,
+                float],
+) -> SensitivityResult:
+    """Evaluate one perturbed (knob, factor) case.
+
+    Module-level (and single-argument) so a process pool can map it;
+    the frozen config dataclasses pickle across the boundary.
+    """
+    return _evaluate(*case)
+
+
 def sensitivity_analysis(
     device: MEMSDeviceConfig,
     workload: WorkloadConfig,
@@ -123,12 +135,15 @@ def sensitivity_analysis(
     rate_bps: float = 1_024_000.0,
     factors: tuple[float, ...] = (0.5, 2.0),
     knobs: tuple[str, ...] | None = None,
+    jobs: int = 1,
 ) -> tuple[SensitivityResult, list[SensitivityResult]]:
     """OAT sensitivity of the design-space landmarks.
 
     Returns ``(baseline, perturbed)`` where each perturbed entry is one
     (knob, factor) combination.  Unknown knob names raise
-    :class:`~repro.errors.ConfigurationError`.
+    :class:`~repro.errors.ConfigurationError`.  ``jobs > 1`` evaluates
+    the perturbed cases over a process pool; the result order (and every
+    number in it) is identical to serial evaluation.
     """
     goal = goal if goal is not None else DesignGoal()
     if knobs is None:
@@ -137,7 +152,7 @@ def sensitivity_analysis(
         if knob not in DEVICE_KNOBS and knob not in WORKLOAD_KNOBS:
             raise ConfigurationError(f"unknown sensitivity knob {knob!r}")
     baseline = _evaluate(device, workload, goal, rate_bps, "baseline", 1.0)
-    results = []
+    cases = []
     for knob in knobs:
         for factor in factors:
             if knob in DEVICE_KNOBS:
@@ -154,16 +169,13 @@ def sensitivity_analysis(
                     )
                 except ConfigurationError:
                     continue
-            results.append(
-                _evaluate(
-                    perturbed_device,
-                    perturbed_workload,
-                    goal,
-                    rate_bps,
-                    knob,
-                    factor,
-                )
+            cases.append(
+                (perturbed_device, perturbed_workload, goal, rate_bps,
+                 knob, factor)
             )
+    from ..runner.queue import parallel_map
+
+    results = parallel_map(_evaluate_case, cases, jobs=jobs)
     return baseline, results
 
 

@@ -10,11 +10,13 @@ error).
 
 from __future__ import annotations
 
+import functools
 import math
+import pickle
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from ..errors import InfeasibleDesignError
+from ..errors import ConfigurationError, InfeasibleDesignError
 
 
 @dataclass(frozen=True)
@@ -54,30 +56,72 @@ class SweepResult:
         return best_value
 
 
+def _evaluate_point(
+    metrics: dict[str, Callable[[Any], float]], value: Any
+) -> dict[str, float]:
+    """All metrics at one grid point (module-level so workers can run it)."""
+    point: dict[str, float] = {}
+    for name, func in metrics.items():
+        try:
+            point[name] = float(func(value))
+        except InfeasibleDesignError:
+            point[name] = math.inf
+    return point
+
+
+def _parallelisable(metrics: dict[str, Callable[[Any], float]]) -> bool:
+    """Whether the metric callables can cross a process boundary.
+
+    O(1) in the grid size: grid values are probed lazily — a value that
+    fails to pickle mid-flight falls back to serial in the caller.
+    """
+    try:
+        pickle.dumps(metrics)
+    except Exception:  # noqa: BLE001 - any pickling failure means "no"
+        return False
+    return True
+
+
 def sweep_parameter(
     parameter: str,
     values: Sequence[Any],
     metrics: dict[str, Callable[[Any], float]],
+    jobs: int = 1,
 ) -> SweepResult:
     """Evaluate each metric at each parameter value.
 
     ``metrics`` maps a metric name to a callable of the parameter value.
     A callable raising :class:`~repro.errors.InfeasibleDesignError`
     records ``inf`` for that point.
+
+    ``jobs > 1`` evaluates the grid points over a process pool (results
+    stay in grid order, identical to serial).  Metrics or values that
+    cannot be pickled — lambdas, closures — fall back to serial
+    evaluation, so ``jobs`` is always safe to pass.
     """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if not values:
         raise ValueError("sweep needs at least one value")
     if not metrics:
         raise ValueError("sweep needs at least one metric")
-    collected: dict[str, list[float]] = {name: [] for name in metrics}
-    for value in values:
-        for name, func in metrics.items():
-            try:
-                collected[name].append(float(func(value)))
-            except InfeasibleDesignError:
-                collected[name].append(math.inf)
+    points = None
+    if jobs > 1 and _parallelisable(metrics):
+        from ..runner.queue import parallel_map
+
+        try:
+            points = parallel_map(
+                functools.partial(_evaluate_point, metrics), values,
+                jobs=jobs,
+            )
+        except (pickle.PicklingError, TypeError, AttributeError):
+            points = None  # an unpicklable grid value; evaluate serially
+    if points is None:
+        points = [_evaluate_point(metrics, value) for value in values]
     return SweepResult(
         parameter=parameter,
         values=tuple(values),
-        metrics={name: tuple(series) for name, series in collected.items()},
+        metrics={
+            name: tuple(point[name] for point in points) for name in metrics
+        },
     )

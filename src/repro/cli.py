@@ -3,8 +3,11 @@
 Subcommands
 -----------
 * ``repro list`` — show all registered experiments,
-* ``repro run <id> [...]`` — regenerate one or more paper artefacts,
+* ``repro run <id> [...]`` — regenerate one or more paper artefacts
+  (``--jobs N`` fans them out over worker processes),
 * ``repro run all`` — regenerate everything,
+* ``repro campaign [<id> ...] --jobs 4 --store results.jsonl`` — run a
+  batch through the orchestration engine with caching/resume,
 * ``repro dimension --rate 1024 --energy 0.8 --capacity 0.88 --lifetime 7``
   — answer one §IV.C design question directly,
 * ``repro simulate --rate 1024 --buffer-kb 20 --duration 60`` — run the
@@ -21,7 +24,12 @@ from . import units
 from .config import DesignGoal, ibm_mems_prototype, table1_workload
 from .core.dimensioning import BufferDimensioner
 from .errors import ReproError
-from .experiments import list_experiments, run_experiment
+from .experiments import (
+    list_experiments,
+    run_experiment,
+    run_experiments,
+    validate_experiment_ids,
+)
 from .streaming.pipeline import simulate_always_on, simulate_streaming
 from .streaming.stats import compare_with_model
 
@@ -45,6 +53,40 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output", metavar="FILE", default=None,
         help="also write the rendered results to FILE",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial)",
+    )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run a batch through the orchestration engine",
+        description=(
+            "Run experiments as one campaign: parallel workers, "
+            "retry-on-failure, and (with --store) content-addressed "
+            "caching that makes re-runs and resumption near-instant."
+        ),
+    )
+    campaign_parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT", default=[],
+        help="experiment ids (default: every registered experiment)",
+    )
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial)",
+    )
+    campaign_parser.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="persist results to a JSONL store (enables cached re-runs)",
+    )
+    campaign_parser.add_argument(
+        "--retries", type=int, default=0, metavar="R",
+        help="retry budget per failing job (default 0)",
+    )
+    campaign_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines",
     )
 
     dim_parser = subparsers.add_parser(
@@ -125,28 +167,70 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_list() -> int:
-    for name, description in list_experiments():
-        print(f"{name:18s} {description}")
+    experiments = list_experiments()
+    width = max(len(name) for name, _ in experiments)
+    for name, description in experiments:
+        print(f"{name:{width}s}  {description}")
     return 0
 
 
-def _command_run(
-    experiment_ids: Sequence[str], output: str | None = None
-) -> int:
+def _expand_experiment_ids(experiment_ids: Sequence[str]) -> list[str]:
+    """Expand ``all`` and reject unknown ids before anything runs."""
     ids = list(experiment_ids)
-    if ids == ["all"]:
-        ids = [name for name, _ in list_experiments()]
-    rendered = []
-    for experiment_id in ids:
-        result = run_experiment(experiment_id)
-        text = result.render()
-        print(text)
-        rendered.append(text)
+    if not ids or ids == ["all"]:
+        return [name for name, _ in list_experiments()]
+    validate_experiment_ids(ids)
+    return ids
+
+
+def _command_run(
+    experiment_ids: Sequence[str],
+    output: str | None = None,
+    jobs: int = 1,
+) -> int:
+    from .errors import ConfigurationError
+
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    ids = _expand_experiment_ids(experiment_ids)
+    if jobs > 1:
+        # Duplicate ids execute once but render every time they were
+        # asked for, matching serial output exactly.
+        results = run_experiments(list(dict.fromkeys(ids)), jobs=jobs)
+        rendered = [results[experiment_id].render() for experiment_id in ids]
+        for text in rendered:
+            print(text)
+    else:
+        rendered = []
+        for experiment_id in ids:
+            result = run_experiment(experiment_id)
+            text = result.render()
+            print(text)
+            rendered.append(text)
     if output is not None:
         with open(output, "w", encoding="utf-8") as handle:
             handle.write("\n".join(rendered))
         print(f"(wrote {output})")
     return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    from .runner import ProgressMonitor, registry_campaign, run_campaign
+
+    ids = _expand_experiment_ids(args.experiments)
+    campaign = registry_campaign(ids, retries=args.retries)
+    monitor = (
+        None if args.quiet else ProgressMonitor(stream=sys.stdout)
+    )
+    result = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        store_path=args.store,
+        monitor=monitor,
+    )
+    print()
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def _command_dimension(args: argparse.Namespace) -> int:
@@ -224,7 +308,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _command_list()
         if args.command == "run":
-            return _command_run(args.experiments, args.output)
+            return _command_run(args.experiments, args.output, args.jobs)
+        if args.command == "campaign":
+            return _command_campaign(args)
         if args.command == "dimension":
             return _command_dimension(args)
         if args.command == "plot":

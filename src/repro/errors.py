@@ -58,3 +58,16 @@ class BufferUnderrunError(SimulationError):
 
 class SolverError(ReproError, ArithmeticError):
     """A numeric inverse solver failed to bracket or converge on a root."""
+
+
+class CampaignError(ReproError):
+    """A campaign job failed (after exhausting its retries) or was skipped.
+
+    The failing job ids are recorded so callers can re-run just the failed
+    subset — a resumable campaign re-run skips everything already cached.
+    """
+
+    def __init__(self, message: str, job_ids: tuple[str, ...] = ()):
+        super().__init__(message)
+        #: Ids of the jobs that failed or were skipped.
+        self.job_ids = job_ids

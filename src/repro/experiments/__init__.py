@@ -10,7 +10,14 @@ paper-vs-measured results.
 """
 
 from .base import ExperimentResult
-from .registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+from .registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    run_experiments,
+    validate_experiment_ids,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -18,4 +25,6 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "run_experiment",
+    "run_experiments",
+    "validate_experiment_ids",
 ]

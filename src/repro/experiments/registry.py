@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..errors import ConfigurationError
 from . import (
@@ -77,3 +77,37 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run an experiment by id with optional overrides."""
     return get_experiment(experiment_id)(**kwargs)
+
+
+def validate_experiment_ids(experiment_ids: Sequence[str]) -> None:
+    """Reject unknown ids up front (before any experiment runs)."""
+    unknown = sorted(set(experiment_ids) - set(EXPERIMENTS))
+    if unknown:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment(s) {', '.join(unknown)}; known: {known}"
+        )
+
+
+def run_experiments(
+    experiment_ids: Sequence[str] | None = None,
+    jobs: int = 1,
+    retries: int = 0,
+    observers: Sequence[Callable] = (),
+) -> dict[str, ExperimentResult]:
+    """Run several experiments through the campaign queue.
+
+    ``jobs > 1`` fans the experiments out over a process pool; results
+    come back keyed by id regardless of completion order and are
+    bit-identical to serial execution.  A failure raises
+    :class:`~repro.errors.CampaignError` naming the failed ids.
+    """
+    from ..runner.campaign import registry_campaign, run_campaign
+
+    campaign = registry_campaign(experiment_ids, retries=retries)
+    outcome = run_campaign(
+        campaign, jobs=jobs, observers=observers, strict=True
+    )
+    return {
+        job_id: outcome.results[job_id].value for job_id in outcome.order
+    }

@@ -1,0 +1,68 @@
+"""Campaign orchestration engine: parallel, cached, resumable runs.
+
+The runner executes batches of experiments and parameter grids across a
+process pool with dependency ordering, retry-on-failure,
+content-addressed memoization, and a persistent JSONL result store:
+
+* :mod:`~repro.runner.jobs` — :class:`JobSpec`/:class:`JobResult` with
+  deterministic content-hash keys,
+* :mod:`~repro.runner.queue` — the dependency-aware scheduler
+  (:func:`run_jobs`, :func:`parallel_map`),
+* :mod:`~repro.runner.cache` — content-addressed memoization,
+* :mod:`~repro.runner.store` — the persistent, resumable result store,
+* :mod:`~repro.runner.campaign` — the declarative high-level API,
+* :mod:`~repro.runner.monitor` — progress hooks in the
+  :mod:`repro.sim.monitor` idiom.
+
+Quickstart::
+
+    from repro.runner import registry_campaign, run_campaign
+
+    result = run_campaign(
+        registry_campaign(),          # every registered experiment
+        jobs=4,                       # across four worker processes
+        store_path="results.jsonl",   # re-runs resolve from cache
+    )
+    print(result.summary())
+"""
+
+from .cache import ResultCache
+from .campaign import (
+    Campaign,
+    CampaignResult,
+    registry_campaign,
+    run_campaign,
+)
+from .jobs import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    JobResult,
+    JobSpec,
+    content_key,
+)
+from .monitor import ProgressMonitor
+from .queue import JobEvent, parallel_map, run_jobs, topological_order
+from .store import ResultStore
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "JobEvent",
+    "JobResult",
+    "JobSpec",
+    "ProgressMonitor",
+    "ResultCache",
+    "ResultStore",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SKIPPED",
+    "content_key",
+    "parallel_map",
+    "registry_campaign",
+    "run_campaign",
+    "run_jobs",
+    "topological_order",
+]

@@ -1,0 +1,93 @@
+"""Content-addressed memoization of job results.
+
+The cache maps a :class:`~repro.runner.jobs.JobSpec` content key to its
+latest successful record.  A hit short-circuits execution entirely — the
+queue resolves the job as ``"cached"`` without touching a worker — which
+is what makes an unchanged campaign re-run near-instant and an
+interrupted campaign resumable from its persisted prefix.
+
+Backed by an optional :class:`~repro.runner.store.ResultStore`: with a
+store the cache survives process restarts; without one it still
+deduplicates identical jobs within a single run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .jobs import STATUS_CACHED, STATUS_OK, JobResult, JobSpec
+from .store import ResultStore
+
+
+class ResultCache:
+    """In-memory content-addressed cache, optionally store-backed.
+
+    Parameters
+    ----------
+    store:
+        Persistent backing store.  On construction the cache preloads
+        the store's latest ``ok`` record per key; on :meth:`put` it
+        appends the new record so the next process sees it.
+    """
+
+    def __init__(self, store: ResultStore | None = None):
+        self._store = store
+        self._records: dict[str, dict[str, Any]] = (
+            store.latest_by_key() if store is not None else {}
+        )
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @property
+    def store(self) -> ResultStore | None:
+        """The backing store, if any."""
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def lookup(self, spec: JobSpec) -> JobResult | None:
+        """Cached result for ``spec``'s content key, or ``None``.
+
+        A hit is returned with status ``"cached"``, zero attempts, and
+        the *stored* (JSON-safe) value — the scalars are bit-identical
+        to the original because JSON round-trips floats exactly.
+        """
+        record = self._records.get(spec.key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return JobResult(
+            job_id=spec.job_id,
+            key=spec.key,
+            status=STATUS_CACHED,
+            value=record.get("value"),
+        )
+
+    def put(self, spec: JobSpec, result: JobResult) -> None:
+        """Memoize a successful result (failures are never cached)."""
+        if result.status != STATUS_OK:
+            return
+        record = result.to_record(spec)
+        self._records[spec.key] = record
+        self.puts += 1
+        if self._store is not None:
+            self._store.append(record)
+
+    def forget(self, key: str) -> None:
+        """Drop one key from the in-memory view (store is append-only)."""
+        self._records.pop(key, None)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/put counters plus current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "size": len(self._records),
+        }

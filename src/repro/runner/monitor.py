@@ -1,0 +1,128 @@
+"""Progress monitoring hooks for campaign runs.
+
+Mirrors the :mod:`repro.sim.monitor` idioms: a
+:class:`~repro.sim.monitor.CounterMonitor` tallies lifecycle events and
+a :class:`~repro.sim.monitor.TimeSeriesMonitor` records the number of
+in-flight jobs over wall time (a step signal, like device power in the
+simulator).  The monitor is an observer — pass it to
+:func:`~repro.runner.queue.run_jobs` or
+:func:`~repro.runner.campaign.run_campaign` — and can optionally echo a
+one-line progress report per terminal event to a stream.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TextIO
+
+from ..sim.monitor import CounterMonitor, TimeSeriesMonitor
+from .queue import (
+    EVENT_CACHED,
+    EVENT_FAILED,
+    EVENT_FINISHED,
+    EVENT_RETRY,
+    EVENT_SCHEDULED,
+    EVENT_SKIPPED,
+    EVENT_STARTED,
+    JobEvent,
+)
+
+#: Terminal event kinds (the job will not be seen again).
+_TERMINAL = (EVENT_FINISHED, EVENT_FAILED, EVENT_SKIPPED, EVENT_CACHED)
+
+
+class ProgressMonitor:
+    """Observes scheduler events; keeps counters and an activity trace.
+
+    Parameters
+    ----------
+    stream:
+        When given, one progress line per terminal event is written to
+        it (e.g. ``[ 3/13] ok      fig2a (0.52s)``).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._stream = stream
+        self._clock = clock
+        self._epoch: float | None = None
+        self.counters = CounterMonitor()
+        self.in_flight = TimeSeriesMonitor("in-flight jobs", linear=False)
+        self._active = 0
+        self.total = 0
+
+    def _now(self) -> float:
+        if self._epoch is None:
+            self._epoch = self._clock()
+        return self._clock() - self._epoch
+
+    def __call__(self, event: JobEvent) -> None:
+        """Consume one :class:`~repro.runner.queue.JobEvent`."""
+        now = self._now()
+        self.counters.increment(event.kind)
+        if event.total:
+            self.total = event.total
+        if event.kind == EVENT_STARTED:
+            self._active += 1
+            self.in_flight.record(now, float(self._active))
+        elif event.kind in (EVENT_FINISHED, EVENT_FAILED, EVENT_RETRY):
+            # A retry event closes one attempt; the next attempt emits
+            # its own started event, so the job is not in flight between.
+            self._active = max(0, self._active - 1)
+            self.in_flight.record(now, float(self._active))
+        if self._stream is not None and event.kind in _TERMINAL:
+            done = self.done
+            status = {
+                EVENT_FINISHED: "ok",
+                EVENT_CACHED: "cached",
+                EVENT_FAILED: "FAILED",
+                EVENT_SKIPPED: "skipped",
+            }[event.kind]
+            line = (
+                f"[{done:2d}/{self.total}] {status:7s} {event.job_id}"
+                f" ({event.duration_s:.2f}s)"
+            )
+            if event.error:
+                line += f" — {event.error}"
+            print(line, file=self._stream)
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        """Jobs that reached a terminal state."""
+        return sum(self.counters.count(kind) for kind in _TERMINAL)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall time since the first observed event."""
+        if self._epoch is None:
+            return 0.0
+        return self._clock() - self._epoch
+
+    def mean_concurrency(self) -> float:
+        """Time-averaged number of in-flight jobs (0 before any start)."""
+        if self.in_flight.duration == 0:
+            return 0.0
+        return self.in_flight.time_average()
+
+    def summary(self) -> str:
+        """One-line rollup, e.g. ``13 jobs: 9 ok, 4 cached in 2.1s``."""
+        counts = self.counters.as_dict()
+        parts = []
+        for kind, label in (
+            (EVENT_FINISHED, "ok"),
+            (EVENT_CACHED, "cached"),
+            (EVENT_FAILED, "failed"),
+            (EVENT_SKIPPED, "skipped"),
+        ):
+            if counts.get(kind):
+                parts.append(f"{counts[kind]} {label}")
+        total = counts.get(EVENT_SCHEDULED, self.done)
+        body = ", ".join(parts) if parts else "nothing to do"
+        return f"{total} jobs: {body} in {self.elapsed_s:.1f}s"

@@ -1,0 +1,564 @@
+"""Dependency-aware job scheduler with retries and a process pool.
+
+:func:`run_jobs` takes a batch of :class:`~repro.runner.jobs.JobSpec`
+and executes them respecting ``after`` dependencies, retrying failures
+up to each spec's budget, consulting an optional content-addressed
+cache, and emitting :class:`JobEvent` notifications to observers.
+
+``jobs=1`` runs everything serially in-process (no pickling, easiest to
+debug); ``jobs>1`` fans ready jobs out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Both paths share the
+same bookkeeping, produce the same results, and schedule ready jobs in
+the stable order the specs were given, so a parallel campaign is a
+faithful — bit-identical — replay of the serial one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .cache import ResultCache
+from .jobs import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    JobResult,
+    JobSpec,
+    execute,
+)
+
+#: Event kinds emitted to observers, in lifecycle order.
+EVENT_SCHEDULED = "scheduled"
+EVENT_STARTED = "started"
+EVENT_RETRY = "retry"
+EVENT_FINISHED = "finished"
+EVENT_FAILED = "failed"
+EVENT_SKIPPED = "skipped"
+EVENT_CACHED = "cached"
+
+Observer = Callable[["JobEvent"], None]
+Executor = Callable[[JobSpec], Any]
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One scheduler lifecycle notification.
+
+    Attributes
+    ----------
+    kind:
+        One of the ``EVENT_*`` constants.
+    job_id:
+        The affected job.
+    attempt:
+        1-based attempt number for started/retry/finished/failed events.
+    duration_s:
+        Wall time of the attempt, for finished/failed events.
+    error:
+        Error text for retry/failed/skipped events.
+    total:
+        Total number of jobs in the batch (constant per run).
+    done:
+        Jobs resolved so far, including this event if it is terminal.
+    """
+
+    kind: str
+    job_id: str
+    attempt: int = 0
+    duration_s: float = 0.0
+    error: str | None = None
+    total: int = 0
+    done: int = 0
+
+
+def topological_order(specs: Sequence[JobSpec]) -> list[JobSpec]:
+    """Stable topological order of ``specs`` by their ``after`` edges.
+
+    Raises :class:`~repro.errors.ConfigurationError` on duplicate ids,
+    unknown dependencies, or cycles.  Stability: among ready jobs, the
+    original sequence order is preserved (Kahn's algorithm with a
+    FIFO ready list).
+    """
+    by_id: dict[str, JobSpec] = {}
+    for spec in specs:
+        if spec.job_id in by_id:
+            raise ConfigurationError(f"duplicate job id {spec.job_id!r}")
+        by_id[spec.job_id] = spec
+    dependents: dict[str, list[str]] = {spec.job_id: [] for spec in specs}
+    missing: dict[str, int] = {}
+    for spec in specs:
+        for dep in spec.after:
+            if dep not in by_id:
+                raise ConfigurationError(
+                    f"job {spec.job_id!r} depends on unknown job {dep!r}"
+                )
+            dependents[dep].append(spec.job_id)
+        missing[spec.job_id] = len(spec.after)
+    ready = [spec.job_id for spec in specs if missing[spec.job_id] == 0]
+    order: list[JobSpec] = []
+    cursor = 0
+    while cursor < len(ready):
+        job_id = ready[cursor]
+        cursor += 1
+        order.append(by_id[job_id])
+        for dependent in dependents[job_id]:
+            missing[dependent] -= 1
+            if missing[dependent] == 0:
+                ready.append(dependent)
+    if len(order) != len(specs):
+        cyclic = sorted(set(by_id) - {spec.job_id for spec in order})
+        raise ConfigurationError(
+            f"dependency cycle among jobs: {', '.join(cyclic)}"
+        )
+    return order
+
+
+def _attempt(spec: JobSpec, executor: Executor) -> tuple[Any, float, int]:
+    """Run one attempt, returning ``(value, duration_s, pid)``."""
+    start = time.perf_counter()
+    value = executor(spec)
+    return value, time.perf_counter() - start, os.getpid()
+
+
+def _pool_attempt(spec: JobSpec) -> tuple[Any, float, int]:
+    """Module-level worker entry point (picklable by reference)."""
+    return _attempt(spec, execute)
+
+
+class _Run:
+    """Shared bookkeeping for one :func:`run_jobs` invocation."""
+
+    def __init__(
+        self,
+        specs: Sequence[JobSpec],
+        cache: ResultCache | None,
+        observers: Sequence[Observer],
+    ):
+        self.order = topological_order(specs)
+        self.by_id = {spec.job_id: spec for spec in self.order}
+        self.dependents: dict[str, list[str]] = {
+            spec.job_id: [] for spec in self.order
+        }
+        for spec in self.order:
+            for dep in spec.after:
+                self.dependents[dep].append(spec.job_id)
+        self.cache = cache
+        self.observers = list(observers)
+        self.results: dict[str, JobResult] = {}
+        #: Run-local successful result per content key, so duplicate
+        #: specs resolve as "cached" deterministically (and with the
+        #: live value) whether the run is serial or parallel.
+        self.done_by_key: dict[str, JobResult] = {}
+        self.total = len(self.order)
+        for spec in self.order:
+            self.emit(JobEvent(EVENT_SCHEDULED, spec.job_id, total=self.total))
+
+    def emit(self, event: JobEvent) -> None:
+        for observer in self.observers:
+            observer(event)
+
+    def _event(self, kind: str, job_id: str, **kwargs: Any) -> None:
+        self.emit(
+            JobEvent(
+                kind,
+                job_id,
+                total=self.total,
+                done=len(self.results),
+                **kwargs,
+            )
+        )
+
+    def resolve(self, result: JobResult) -> None:
+        """Record a terminal result and emit its event."""
+        self.results[result.job_id] = result
+        kind = {
+            STATUS_OK: EVENT_FINISHED,
+            STATUS_FAILED: EVENT_FAILED,
+            STATUS_SKIPPED: EVENT_SKIPPED,
+        }.get(result.status, EVENT_CACHED)
+        self._event(
+            kind,
+            result.job_id,
+            attempt=result.attempts,
+            duration_s=result.duration_s,
+            error=result.error,
+        )
+        if result.succeeded and result.key not in self.done_by_key:
+            self.done_by_key[result.key] = result
+        if self.cache is not None and result.status == STATUS_OK:
+            self.cache.put(self.by_id[result.job_id], result)
+
+    def deps_resolved(self, spec: JobSpec) -> bool:
+        return all(dep in self.results for dep in spec.after)
+
+    def failed_dep(self, spec: JobSpec) -> str | None:
+        for dep in spec.after:
+            result = self.results.get(dep)
+            if result is not None and not result.succeeded:
+                return dep
+        return None
+
+    def skip(self, spec: JobSpec, dep: str) -> None:
+        self.resolve(
+            JobResult(
+                job_id=spec.job_id,
+                key=spec.key,
+                status=STATUS_SKIPPED,
+                error=f"dependency {dep!r} did not succeed",
+            )
+        )
+
+    def from_cache(self, spec: JobSpec) -> bool:
+        """Try to resolve ``spec`` from memo state; True on a hit.
+
+        Run-local results win over the external cache so a duplicate
+        spec in the same run reuses the live value just produced.
+        """
+        prior = self.done_by_key.get(spec.key)
+        if prior is not None:
+            self.resolve(
+                JobResult(
+                    job_id=spec.job_id,
+                    key=spec.key,
+                    status=STATUS_CACHED,
+                    value=prior.value,
+                )
+            )
+            return True
+        if self.cache is None:
+            return False
+        hit = self.cache.lookup(spec)
+        if hit is None:
+            return False
+        self.resolve(hit)
+        return True
+
+
+def run_jobs(
+    specs: Iterable[JobSpec],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    observers: Sequence[Observer] = (),
+    executor: Executor = execute,
+) -> dict[str, JobResult]:
+    """Execute a batch of job specs; return results keyed by job id.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes serially in this process;
+        ``N > 1`` uses a process pool (specs and values must pickle).
+    cache:
+        Optional content-addressed cache consulted before execution and
+        updated after success.
+    observers:
+        Callables receiving every :class:`JobEvent`.
+    executor:
+        The per-spec execution function — injectable for tests.  With
+        ``jobs > 1`` the default :func:`~repro.runner.jobs.execute` is
+        resolved inside each worker; a custom executor must itself be
+        picklable.
+    """
+    spec_list = list(specs)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    run = _Run(spec_list, cache, observers)
+    if not run.order:
+        return {}
+    if jobs == 1:
+        _run_serial(run, executor)
+    else:
+        _run_pool(run, jobs, executor)
+    return run.results
+
+
+def _execute_with_retries(
+    run: _Run, spec: JobSpec, executor: Executor
+) -> None:
+    """Serial path: attempt (with retries) and resolve one spec."""
+    error_text = ""
+    duration = 0.0
+    for attempt in range(1, spec.retries + 2):
+        run._event(EVENT_STARTED, spec.job_id, attempt=attempt)
+        try:
+            value, duration, pid = _attempt(spec, executor)
+        except Exception as error:  # noqa: BLE001 - jobs may raise anything
+            error_text = f"{type(error).__name__}: {error}"
+            if attempt <= spec.retries:
+                run._event(
+                    EVENT_RETRY, spec.job_id, attempt=attempt,
+                    error=error_text,
+                )
+            continue
+        run.resolve(
+            JobResult(
+                job_id=spec.job_id,
+                key=spec.key,
+                status=STATUS_OK,
+                value=value,
+                attempts=attempt,
+                duration_s=duration,
+                worker_pid=pid,
+            )
+        )
+        return
+    run.resolve(
+        JobResult(
+            job_id=spec.job_id,
+            key=spec.key,
+            status=STATUS_FAILED,
+            error=error_text,
+            attempts=spec.retries + 1,
+            duration_s=duration,
+        )
+    )
+
+
+def _run_serial(run: _Run, executor: Executor) -> None:
+    for spec in run.order:
+        failed = run.failed_dep(spec)
+        if failed is not None:
+            run.skip(spec, failed)
+            continue
+        if run.from_cache(spec):
+            continue
+        _execute_with_retries(run, spec, executor)
+
+
+def _run_pool(run: _Run, jobs: int, executor: Executor) -> None:
+    """Fan ready jobs out over a process pool as dependencies resolve.
+
+    A worker dying hard (segfault, OOM kill) breaks the whole
+    :class:`ProcessPoolExecutor`, which poisons every in-flight future
+    with :class:`BrokenProcessPool` — the culprit is indistinguishable
+    from innocent co-flying jobs.  On breakage every in-flight job
+    becomes a *suspect* and is re-run alone on a fresh single-worker
+    pool: a solo job that breaks its pool is the culprit with certainty
+    (and fails, honouring its retry budget), while innocents complete
+    and rejoin normal batching.
+    """
+    pending = list(run.order)  # stable topological order
+    attempts: dict[str, int] = {}
+    suspects: list[str] = []
+    while pending:
+        solo = next(
+            (spec for spec in pending if spec.job_id in suspects), None
+        )
+        if solo is not None:
+            _solo_round(run, executor, solo, attempts)
+            suspects.remove(solo.job_id)
+            pending = [
+                spec for spec in pending
+                if spec.job_id not in run.results
+            ]
+            continue
+        newly_suspect, pending = _batch_round(
+            run, jobs, executor, pending, attempts
+        )
+        suspects.extend(newly_suspect)
+
+
+def _solo_round(
+    run: _Run, executor: Executor, spec: JobSpec, attempts: dict[str, int]
+) -> None:
+    """Re-run one pool-break suspect in isolation until it resolves.
+
+    With the job alone on a one-worker pool, a broken pool can only
+    mean this job killed its worker.
+    """
+    if run.from_cache(spec):  # a same-key twin may have finished since
+        return
+    error_text = ""
+    while True:
+        attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
+        attempt = attempts[spec.job_id]
+        run._event(EVENT_STARTED, spec.job_id, attempt=attempt)
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                if executor is execute:
+                    future = pool.submit(_pool_attempt, spec)
+                else:
+                    future = pool.submit(_attempt, spec, executor)
+                value, duration, pid = future.result()
+        except BrokenProcessPool:
+            error_text = "worker process died (job killed its worker)"
+        except Exception as error:  # noqa: BLE001 - jobs may raise anything
+            error_text = f"{type(error).__name__}: {error}"
+        else:
+            run.resolve(
+                JobResult(
+                    job_id=spec.job_id,
+                    key=spec.key,
+                    status=STATUS_OK,
+                    value=value,
+                    attempts=attempt,
+                    duration_s=duration,
+                    worker_pid=pid,
+                )
+            )
+            return
+        if attempt <= spec.retries:
+            run._event(
+                EVENT_RETRY, spec.job_id, attempt=attempt, error=error_text
+            )
+            continue
+        run.resolve(
+            JobResult(
+                job_id=spec.job_id,
+                key=spec.key,
+                status=STATUS_FAILED,
+                error=error_text,
+                attempts=attempt,
+            )
+        )
+        return
+
+
+def _batch_round(
+    run: _Run,
+    jobs: int,
+    executor: Executor,
+    pending: list[JobSpec],
+    attempts: dict[str, int],
+) -> tuple[list[str], list[JobSpec]]:
+    """Run one pool until the work drains or the pool breaks.
+
+    Returns ``(suspect_job_ids, remaining_pending)`` — suspects are the
+    jobs that were in flight when the pool broke (empty normally).
+    """
+    in_flight: dict[Future, JobSpec] = {}
+
+    def submit_ready(pool: ProcessPoolExecutor) -> None:
+        nonlocal pending
+        inflight_keys = {spec.key for spec in in_flight.values()}
+        progress = True
+        while progress:
+            progress = False
+            still_pending: list[JobSpec] = []
+            for spec in pending:
+                if spec.job_id in run.results:
+                    # Already resolved in an earlier round (a pool break
+                    # can leave stale entries in the pending list).
+                    continue
+                if not run.deps_resolved(spec):
+                    still_pending.append(spec)
+                    continue
+                failed = run.failed_dep(spec)
+                if failed is not None:
+                    run.skip(spec, failed)
+                    progress = True  # may unblock dependents' skip cascade
+                    continue
+                if run.from_cache(spec):
+                    progress = True  # cached result may ready dependents
+                    continue
+                if spec.key in inflight_keys:
+                    # A same-key job is already executing; hold this one
+                    # back so it resolves as "cached" like in serial mode.
+                    still_pending.append(spec)
+                    continue
+                attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
+                run._event(
+                    EVENT_STARTED, spec.job_id,
+                    attempt=attempts[spec.job_id],
+                )
+                if executor is execute:
+                    future = pool.submit(_pool_attempt, spec)
+                else:
+                    future = pool.submit(_attempt, spec, executor)
+                in_flight[future] = spec
+                inflight_keys.add(spec.key)
+            pending = still_pending
+
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            submit_ready(pool)
+            while in_flight:
+                done, _ = wait(
+                    list(in_flight), return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    spec = in_flight.pop(future)
+                    attempt = attempts[spec.job_id]
+                    try:
+                        value, duration, pid = future.result()
+                    except BrokenProcessPool:
+                        in_flight[future] = spec  # back among survivors
+                        raise
+                    except Exception as error:  # noqa: BLE001
+                        error_text = f"{type(error).__name__}: {error}"
+                        if attempt <= spec.retries:
+                            run._event(
+                                EVENT_RETRY, spec.job_id, attempt=attempt,
+                                error=error_text,
+                            )
+                            pending.append(spec)  # resubmit below
+                        else:
+                            run.resolve(
+                                JobResult(
+                                    job_id=spec.job_id,
+                                    key=spec.key,
+                                    status=STATUS_FAILED,
+                                    error=error_text,
+                                    attempts=attempt,
+                                )
+                            )
+                        continue
+                    run.resolve(
+                        JobResult(
+                            job_id=spec.job_id,
+                            key=spec.key,
+                            status=STATUS_OK,
+                            value=value,
+                            attempts=attempt,
+                            duration_s=duration,
+                            worker_pid=pid,
+                        )
+                    )
+                submit_ready(pool)
+    except BrokenProcessPool:
+        # Someone killed a worker; every in-flight job is a suspect and
+        # will be re-run in isolation.  The poisoned attempt stays in
+        # the tally, so a repeat offender fails fast in its solo round.
+        survivors = list(in_flight.values())
+        for spec in survivors:
+            run._event(
+                EVENT_RETRY, spec.job_id,
+                attempt=attempts.get(spec.job_id, 0),
+                error="worker process died (pool broken); isolating",
+            )
+        order_index = {spec.job_id: i for i, spec in enumerate(run.order)}
+        survivors.sort(key=lambda spec: order_index[spec.job_id])
+        return (
+            [spec.job_id for spec in survivors],
+            survivors + pending,
+        )
+    return [], pending
+
+
+def parallel_map(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+) -> list[Any]:
+    """Order-preserving map, optionally over a process pool.
+
+    The light-weight sibling of :func:`run_jobs` for homogeneous grids
+    (parameter sweeps, sensitivity cases) that need no dependencies,
+    caching, or retries.  With ``jobs > 1`` both ``func`` and every item
+    must be picklable; results come back in input order so parallel
+    evaluation is indistinguishable from serial.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(func, items))

@@ -1,0 +1,119 @@
+"""Persistent JSONL result store.
+
+One append-only JSON-Lines file holds every job record a campaign ever
+produced.  Appends are atomic at line granularity (single ``write`` of a
+line ending in ``\\n``), so a campaign killed mid-run leaves at most one
+truncated trailing line — :meth:`ResultStore.load` tolerates and skips
+it, which is what makes interrupted campaigns resumable.
+
+The store is deliberately dumb: records in, records out, plus small
+query helpers.  Content-addressed lookup semantics (latest ``ok`` record
+per key) live in :mod:`repro.runner.cache`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Mapping
+
+from ..errors import ConfigurationError
+
+
+class ResultStore:
+    """Append-only JSONL store of job-result records.
+
+    Parameters
+    ----------
+    path:
+        File to append records to; parent directories are created.  The
+        conventional extension is ``.jsonl``.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        if os.path.isdir(self.path):
+            raise ConfigurationError(
+                f"store path {self.path!r} is a directory, need a file"
+            )
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record."""
+        if "key" not in record or "status" not in record:
+            raise ConfigurationError(
+                "store records need at least 'key' and 'status' fields"
+            )
+        line = json.dumps(dict(record), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if handle.tell() > 0 and not self._ends_with_newline():
+                # A previous writer was killed mid-line; start fresh so
+                # the torn fragment doesn't swallow this record too.
+                handle.write("\n")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _ends_with_newline(self) -> bool:
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) == b"\n"
+
+    def load(self) -> list[dict[str, Any]]:
+        """All readable records, in append order.
+
+        A truncated or corrupt trailing line (interrupted writer) is
+        skipped rather than raised, so a resumed campaign can keep the
+        successful prefix.
+        """
+        if not os.path.exists(self.path):
+            return []
+        records = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # interrupted append; drop the partial line
+                if isinstance(record, dict):
+                    records.append(record)
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.load())
+
+    # -- query helpers -----------------------------------------------------
+
+    def latest_by_key(
+        self, status: str | None = "ok"
+    ) -> dict[str, dict[str, Any]]:
+        """Latest record per content key, optionally filtered by status.
+
+        Later appends win, so a job re-run after a failure supersedes
+        the failed record.
+        """
+        latest: dict[str, dict[str, Any]] = {}
+        for record in self.load():
+            if status is not None and record.get("status") != status:
+                continue
+            latest[record["key"]] = record
+        return latest
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Latest ``ok`` record for one content key (``None`` if absent)."""
+        return self.latest_by_key().get(key)
+
+    def for_job(self, job_id: str) -> list[dict[str, Any]]:
+        """All records for one display id, in append order."""
+        return [r for r in self.load() if r.get("job_id") == job_id]
+
+    def keys(self) -> set[str]:
+        """Content keys with at least one ``ok`` record."""
+        return set(self.latest_by_key())

@@ -1,0 +1,24 @@
+"""Runner test fixtures.
+
+Worker processes spawned by the queue import job targets by dotted
+path, so the helper module :mod:`runner_workers` (this directory) must
+be importable from a fresh interpreter — prepend this directory to both
+``sys.path`` (current process) and ``PYTHONPATH`` (inherited by pool
+workers).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+_existing = os.environ.get("PYTHONPATH", "")
+if _HERE not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _HERE + (os.pathsep + _existing if _existing else "")
+    )

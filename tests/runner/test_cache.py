@@ -1,0 +1,98 @@
+"""Content-addressed cache tests."""
+
+from __future__ import annotations
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import (
+    JobResult,
+    JobSpec,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+)
+from repro.runner.store import ResultStore
+
+SPEC = JobSpec("j", "callable", "m:f", {"x": 1})
+
+
+def ok_result(spec=SPEC, value=42):
+    return JobResult(spec.job_id, spec.key, STATUS_OK, value=value,
+                     attempts=1, duration_s=0.1)
+
+
+class TestMemoization:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.lookup(SPEC) is None
+        cache.put(SPEC, ok_result())
+        hit = cache.lookup(SPEC)
+        assert hit is not None
+        assert hit.status == STATUS_CACHED
+        assert hit.value == 42
+        assert hit.attempts == 0
+
+    def test_hit_is_content_addressed_not_id_addressed(self):
+        cache = ResultCache()
+        cache.put(SPEC, ok_result())
+        renamed = JobSpec("other-name", "callable", "m:f", {"x": 1})
+        hit = cache.lookup(renamed)
+        assert hit is not None
+        assert hit.job_id == "other-name"
+
+    def test_different_params_miss(self):
+        cache = ResultCache()
+        cache.put(SPEC, ok_result())
+        assert cache.lookup(
+            JobSpec("j", "callable", "m:f", {"x": 2})
+        ) is None
+
+    def test_failures_never_cached(self):
+        cache = ResultCache()
+        cache.put(
+            SPEC,
+            JobResult(SPEC.job_id, SPEC.key, STATUS_FAILED, error="boom"),
+        )
+        assert len(cache) == 0
+        assert cache.lookup(SPEC) is None
+
+    def test_forget(self):
+        cache = ResultCache()
+        cache.put(SPEC, ok_result())
+        cache.forget(SPEC.key)
+        assert cache.lookup(SPEC) is None
+
+    def test_stats(self):
+        cache = ResultCache()
+        cache.lookup(SPEC)
+        cache.put(SPEC, ok_result())
+        cache.lookup(SPEC)
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "puts": 1, "size": 1,
+        }
+
+
+class TestPersistence:
+    def test_put_appends_to_store(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        cache = ResultCache(store)
+        cache.put(SPEC, ok_result())
+        assert store.get(SPEC.key)["value"] == 42
+
+    def test_preloads_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        ResultCache(store).put(SPEC, ok_result())
+        fresh = ResultCache(ResultStore(tmp_path / "r.jsonl"))
+        assert SPEC.key in fresh
+        hit = fresh.lookup(SPEC)
+        assert hit is not None and hit.value == 42
+
+    def test_preload_keeps_latest_ok_record(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(
+            {"key": SPEC.key, "job_id": "j", "status": "ok", "value": 1}
+        )
+        store.append(
+            {"key": SPEC.key, "job_id": "j", "status": "ok", "value": 2}
+        )
+        hit = ResultCache(store).lookup(SPEC)
+        assert hit is not None and hit.value == 2

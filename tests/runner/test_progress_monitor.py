@@ -1,0 +1,108 @@
+"""Progress-monitor tests with an injected clock and stream."""
+
+from __future__ import annotations
+
+import io
+
+from repro.runner.monitor import ProgressMonitor
+from repro.runner.queue import JobEvent
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def feed(monitor, kind, job_id="j", **kwargs):
+    monitor(JobEvent(kind, job_id, **kwargs))
+
+
+class TestCounters:
+    def test_lifecycle_counts(self):
+        monitor = ProgressMonitor()
+        feed(monitor, "scheduled", total=2)
+        feed(monitor, "scheduled", job_id="k", total=2)
+        feed(monitor, "started")
+        feed(monitor, "finished", duration_s=0.5)
+        feed(monitor, "cached", job_id="k")
+        assert monitor.counters.count("scheduled") == 2
+        assert monitor.done == 2
+        assert monitor.total == 2
+
+    def test_summary_line(self):
+        clock = FakeClock()
+        monitor = ProgressMonitor(clock=clock)
+        feed(monitor, "scheduled", total=3)
+        feed(monitor, "finished")
+        feed(monitor, "cached")
+        feed(monitor, "failed")
+        clock.advance(2.0)
+        summary = monitor.summary()
+        assert "1 ok" in summary
+        assert "1 cached" in summary
+        assert "1 failed" in summary
+        assert "2.0s" in summary
+
+    def test_empty_summary(self):
+        assert "nothing to do" in ProgressMonitor().summary()
+
+
+class TestActivityTrace:
+    def test_mean_concurrency_step_integral(self):
+        clock = FakeClock()
+        monitor = ProgressMonitor(clock=clock)
+        feed(monitor, "started")           # 1 in flight at t=0
+        clock.advance(1.0)
+        feed(monitor, "started", job_id="k")  # 2 in flight at t=1
+        clock.advance(1.0)
+        feed(monitor, "finished")          # 1 in flight at t=2
+        clock.advance(2.0)
+        feed(monitor, "finished", job_id="k")  # 0 at t=4
+        # Step integral: 1*1 + 2*1 + 1*2 = 5 over 4 seconds.
+        assert monitor.mean_concurrency() == 5 / 4
+
+    def test_no_activity_is_zero(self):
+        assert ProgressMonitor().mean_concurrency() == 0.0
+
+    def test_retry_closes_the_attempt(self):
+        # started/retry/started/finished must end with nothing in
+        # flight — each retry event closes one attempt.
+        clock = FakeClock()
+        monitor = ProgressMonitor(clock=clock)
+        feed(monitor, "started")
+        clock.advance(1.0)
+        feed(monitor, "retry")
+        feed(monitor, "started")
+        clock.advance(1.0)
+        feed(monitor, "finished")
+        assert monitor._active == 0
+        assert monitor.mean_concurrency() == 1.0
+
+
+class TestStream:
+    def test_progress_lines(self):
+        stream = io.StringIO()
+        monitor = ProgressMonitor(stream=stream)
+        feed(monitor, "scheduled", total=2)
+        feed(monitor, "scheduled", job_id="k", total=2)
+        feed(monitor, "started")
+        feed(monitor, "finished", duration_s=0.25)
+        feed(monitor, "failed", job_id="k", error="RuntimeError: boom")
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[ 1/2] ok      j (0.25s)"
+        assert lines[1].startswith("[ 2/2] FAILED  k")
+        assert "boom" in lines[1]
+
+    def test_non_terminal_events_silent(self):
+        stream = io.StringIO()
+        monitor = ProgressMonitor(stream=stream)
+        feed(monitor, "scheduled", total=1)
+        feed(monitor, "started")
+        feed(monitor, "retry")
+        assert stream.getvalue() == ""

@@ -1,0 +1,96 @@
+"""Persistent JSONL result-store tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.store import ResultStore
+
+
+def record(key="k1", job_id="j1", status="ok", **extra):
+    return {"key": key, "job_id": job_id, "status": status, **extra}
+
+
+class TestAppendLoad:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(record(value={"headline": {"x": 1.5}}))
+        store.append(record(key="k2", job_id="j2"))
+        loaded = store.load()
+        assert len(loaded) == 2
+        assert loaded[0]["value"]["headline"]["x"] == 1.5
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load() == []
+
+    def test_parent_directories_created(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "r.jsonl")
+        store.append(record())
+        assert len(store) == 1
+
+    def test_record_needs_key_and_status(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        with pytest.raises(ConfigurationError):
+            store.append({"job_id": "j"})
+
+    def test_len_and_iter(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(record())
+        store.append(record(key="k2"))
+        assert len(store) == 2
+        assert [r["key"] for r in store] == ["k1", "k2"]
+
+
+class TestResumability:
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(record())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "status": "o')  # interrupted write
+        assert [r["key"] for r in store.load()] == ["k1"]
+        # The store stays appendable after the torn write is ignored.
+        store.append(record(key="k3"))
+        keys = [r["key"] for r in store.load()]
+        assert "k3" in keys and "k2" not in keys
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text(
+            json.dumps(record()) + "\n\n" + json.dumps(record(key="k2"))
+            + "\n",
+            encoding="utf-8",
+        )
+        assert len(ResultStore(path).load()) == 2
+
+
+class TestQueries:
+    def test_latest_by_key_supersedes(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(record(value=1))
+        store.append(record(value=2))
+        assert store.get("k1")["value"] == 2
+
+    def test_latest_by_key_filters_status(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(record(status="failed"))
+        assert store.get("k1") is None
+        store.append(record(status="ok"))
+        assert store.get("k1")["status"] == "ok"
+        assert store.latest_by_key(status=None)["k1"]["status"] == "ok"
+
+    def test_for_job(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(record(job_id="a"))
+        store.append(record(key="k2", job_id="b"))
+        store.append(record(key="k3", job_id="a"))
+        assert [r["key"] for r in store.for_job("a")] == ["k1", "k3"]
+
+    def test_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(record())
+        store.append(record(key="k2", status="failed"))
+        assert store.keys() == {"k1"}

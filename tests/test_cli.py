@@ -14,6 +14,19 @@ class TestList:
         assert "fig2a" in out
         assert "tradeoff10" in out
 
+    def test_descriptions_aligned_in_columns(self, capsys):
+        from repro.experiments import list_experiments
+
+        main(["list"])
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == len(list_experiments())
+        width = max(len(name) for name, _ in list_experiments())
+        for line in lines:
+            # Id in the left column, description starting at width + 2.
+            assert line[:width].rstrip() in dict(list_experiments())
+            assert line[width:width + 2] == "  "
+            assert line[width + 2] != " "
+
 
 class TestRun:
     def test_runs_single_experiment(self, capsys):
@@ -33,11 +46,73 @@ class TestRun:
         err = capsys.readouterr().err
         assert "unknown experiment" in err
 
+    def test_unknown_id_rejected_before_anything_runs(self, capsys):
+        # Validation happens up front: the known experiment in the same
+        # invocation must not produce output before the failure.
+        assert main(["run", "table1", "fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "fig99" in captured.err
+        assert "Table I" not in captured.out
+
+    def test_parallel_run_matches_serial(self, capsys):
+        assert main(["run", "table1", "breakeven"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "table1", "breakeven", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_duplicate_ids_render_twice_under_jobs(self, capsys):
+        assert main(["run", "table1", "table1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "table1", "table1", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
     def test_output_file(self, capsys, tmp_path):
         target = tmp_path / "results.txt"
         assert main(["run", "table1", "--output", str(target)]) == 0
         assert "Table I" in target.read_text(encoding="utf-8")
         assert f"(wrote {target})" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_runs_named_experiments(self, capsys):
+        code = main(["campaign", "table1", "breakeven", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign" in out
+        assert "2 ok" in out
+
+    def test_progress_lines_by_default(self, capsys):
+        assert main(["campaign", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "[ 1/1] ok" in out
+
+    def test_store_enables_cached_rerun(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main(
+            ["campaign", "table1", "breakeven", "--store", store,
+             "--quiet"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "2 ok" in first
+        assert main(
+            ["campaign", "table1", "breakeven", "--store", store,
+             "--quiet"]
+        ) == 0
+        rerun = capsys.readouterr().out
+        assert "2 cached" in rerun
+        assert "2 hits" in rerun
+
+    def test_parallel_campaign(self, capsys):
+        code = main(
+            ["campaign", "table1", "breakeven", "--jobs", "2", "--quiet"]
+        )
+        assert code == 0
+        assert "2 ok" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["campaign", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestDimension:
