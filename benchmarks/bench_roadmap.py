@@ -19,7 +19,7 @@ import pytest
 
 from repro.config import DesignGoal, table1_workload
 from repro.core.design_space import DesignSpaceExplorer
-from repro.devices.scaling import ROADMAP, TechnologyPoint, scale_table1_device
+from repro.devices.scaling import ROADMAP, scale_table1_device
 
 from conftest import run_once
 

@@ -85,14 +85,17 @@ from .runner import (
     CampaignResult,
     JobResult,
     JobSpec,
+    JsonlBackend,
     ProgressMonitor,
     ResultCache,
     ResultStore,
+    SqliteBackend,
+    migrate_store,
     registry_campaign,
     run_campaign,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "units",
@@ -133,9 +136,12 @@ __all__ = [
     "CampaignResult",
     "JobSpec",
     "JobResult",
+    "JsonlBackend",
     "ProgressMonitor",
     "ResultCache",
     "ResultStore",
+    "SqliteBackend",
+    "migrate_store",
     "registry_campaign",
     "run_campaign",
     # errors

@@ -7,7 +7,11 @@ Subcommands
   (``--jobs N`` fans them out over worker processes),
 * ``repro run all`` — regenerate everything,
 * ``repro campaign [<id> ...] --jobs 4 --store results.jsonl`` — run a
-  batch through the orchestration engine with caching/resume,
+  batch through the orchestration engine with caching/resume
+  (``--store-backend sqlite`` for indexed million-record histories),
+* ``repro store info|compact|migrate`` — inspect, compact (latest
+  record per key), or convert a result store between the JSONL and
+  SQLite backends,
 * ``repro dimension --rate 1024 --energy 0.8 --capacity 0.88 --lifetime 7``
   — answer one §IV.C design question directly,
 * ``repro simulate --rate 1024 --buffer-kb 20 --duration 60`` — run the
@@ -17,6 +21,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -78,7 +83,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign_parser.add_argument(
         "--store", metavar="FILE", default=None,
-        help="persist results to a JSONL store (enables cached re-runs)",
+        help="persist results to a result store (enables cached re-runs)",
+    )
+    campaign_parser.add_argument(
+        "--store-backend", choices=("jsonl", "sqlite"), default=None,
+        help=(
+            "persistence backend for --store (default: auto-detect "
+            "existing format, then $REPRO_STORE_BACKEND, then the "
+            "path extension)"
+        ),
     )
     campaign_parser.add_argument(
         "--retries", type=int, default=0, metavar="R",
@@ -87,6 +100,64 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-job progress lines",
+    )
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect and maintain campaign result stores",
+        description=(
+            "Maintenance for persistent result stores: show what a "
+            "store holds, compact superseded history, or migrate "
+            "between the JSONL and SQLite backends."
+        ),
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command",
+                                            required=True)
+
+    info_parser = store_sub.add_parser(
+        "info", help="summarise a store's backend, records, and versions"
+    )
+    info_parser.add_argument("path", metavar="STORE")
+    info_parser.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default=None,
+        help="force the backend instead of auto-detecting",
+    )
+
+    compact_parser = store_sub.add_parser(
+        "compact",
+        help="drop superseded records (keep latest per key)",
+        description=(
+            "Rewrite the store keeping, per content key, the latest "
+            "record plus the latest 'ok' record.  Cache lookups answer "
+            "identically before and after; superseded history is gone."
+        ),
+    )
+    compact_parser.add_argument("path", metavar="STORE")
+    compact_parser.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default=None,
+        help="force the backend instead of auto-detecting",
+    )
+
+    migrate_parser = store_sub.add_parser(
+        "migrate",
+        help="copy a store into a fresh store (e.g. JSONL -> SQLite)",
+        description=(
+            "Copy every record, in order and verbatim (provenance "
+            "stamps included), into a new store.  The destination "
+            "backend follows its extension, defaulting to the other "
+            "backend, so 'repro store migrate r.jsonl r.sqlite' "
+            "converts to SQLite."
+        ),
+    )
+    migrate_parser.add_argument("source", metavar="SRC")
+    migrate_parser.add_argument("destination", metavar="DST")
+    migrate_parser.add_argument(
+        "--src-backend", choices=("jsonl", "sqlite"), default=None,
+        help="force the source backend instead of auto-detecting",
+    )
+    migrate_parser.add_argument(
+        "--dst-backend", choices=("jsonl", "sqlite"), default=None,
+        help="force the destination backend",
     )
 
     dim_parser = subparsers.add_parser(
@@ -226,11 +297,70 @@ def _command_campaign(args: argparse.Namespace) -> int:
         campaign,
         jobs=args.jobs,
         store_path=args.store,
+        store_backend=args.store_backend,
         monitor=monitor,
     )
     print()
     print(result.summary())
     return 0 if result.ok else 1
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from .runner.provenance import CONFIG_FIELD, VERSION_FIELD
+    from .runner.store import ResultStore, migrate_store
+
+    if args.store_command == "migrate":
+        migrated = migrate_store(
+            args.source,
+            args.destination,
+            src_backend=args.src_backend,
+            dst_backend=args.dst_backend,
+        )
+        destination = ResultStore(args.destination)
+        print(
+            f"migrated {migrated} records: {args.source} -> "
+            f"{args.destination} ({destination.backend_name})"
+        )
+        destination.close()
+        return 0
+
+    if not os.path.exists(args.path):
+        from .errors import ConfigurationError
+
+        raise ConfigurationError(f"store {args.path!r} does not exist")
+    store = ResultStore(args.path, backend=args.backend)
+    if args.store_command == "compact":
+        before = len(store)
+        dropped = store.compact()
+        print(
+            f"compacted {args.path} ({store.backend_name}): "
+            f"{before} -> {before - dropped} records "
+            f"({dropped} superseded dropped)"
+        )
+        store.close()
+        return 0
+
+    # info — one streaming pass over the store
+    total = 0
+    ok_keys = set()
+    versions: dict[str, int] = {}
+    for record in store.iter_records():
+        total += 1
+        if record.get("status") == "ok":
+            ok_keys.add(record["key"])
+        label = (
+            f"{record.get(VERSION_FIELD, '?')}"
+            f"/{record.get(CONFIG_FIELD, '?')}"
+        )
+        versions[label] = versions.get(label, 0) + 1
+    print(f"store    : {args.path}")
+    print(f"backend  : {store.backend_name}")
+    print(f"records  : {total}")
+    print(f"ok keys  : {len(ok_keys)}")
+    for label in sorted(versions):
+        print(f"  provenance {label}: {versions[label]} records")
+    store.close()
+    return 0
 
 
 def _command_dimension(args: argparse.Namespace) -> int:
@@ -311,6 +441,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_run(args.experiments, args.output, args.jobs)
         if args.command == "campaign":
             return _command_campaign(args)
+        if args.command == "store":
+            return _command_store(args)
         if args.command == "dimension":
             return _command_dimension(args)
         if args.command == "plot":

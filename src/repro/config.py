@@ -16,7 +16,7 @@ The module also defines the presets of Table I in the paper:
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from . import units
 from .errors import ConfigurationError

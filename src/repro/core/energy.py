@@ -31,7 +31,6 @@ idles otherwise (see DESIGN.md §4.3 for the convention).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..config import MechanicalDeviceConfig, WorkloadConfig

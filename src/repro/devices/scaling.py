@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .. import units
 from ..config import MEMSDeviceConfig, ibm_mems_prototype
 from ..errors import ConfigurationError
 from .geometry import ProbeArrayGeometry

@@ -94,19 +94,30 @@ def run_experiments(
     jobs: int = 1,
     retries: int = 0,
     observers: Sequence[Callable] = (),
+    store_path: str | None = None,
+    store_backend: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several experiments through the campaign queue.
 
     ``jobs > 1`` fans the experiments out over a process pool; results
     come back keyed by id regardless of completion order and are
-    bit-identical to serial execution.  A failure raises
-    :class:`~repro.errors.CampaignError` naming the failed ids.
+    bit-identical to serial execution.  ``store_path`` persists results
+    to a result store (``store_backend`` picks ``"jsonl"`` or
+    ``"sqlite"``), so repeated calls resolve from cache — note that a
+    cache-resolved entry is the stored JSON payload (headline scalars
+    and rendered text), not a live ``ExperimentResult``.  A failure
+    raises :class:`~repro.errors.CampaignError` naming the failed ids.
     """
     from ..runner.campaign import registry_campaign, run_campaign
 
     campaign = registry_campaign(experiment_ids, retries=retries)
     outcome = run_campaign(
-        campaign, jobs=jobs, observers=observers, strict=True
+        campaign,
+        jobs=jobs,
+        observers=observers,
+        store_path=store_path,
+        store_backend=store_backend,
+        strict=True,
     )
     return {
         job_id: outcome.results[job_id].value for job_id in outcome.order

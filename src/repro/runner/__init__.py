@@ -8,8 +8,13 @@ content-addressed memoization, and a persistent JSONL result store:
   deterministic content-hash keys,
 * :mod:`~repro.runner.queue` — the dependency-aware scheduler
   (:func:`run_jobs`, :func:`parallel_map`),
-* :mod:`~repro.runner.cache` — content-addressed memoization,
+* :mod:`~repro.runner.cache` — content-addressed memoization with
+  provenance-stamp invalidation,
 * :mod:`~repro.runner.store` — the persistent, resumable result store,
+* :mod:`~repro.runner.backends` — pluggable store persistence
+  (append-only JSONL, indexed WAL-mode SQLite),
+* :mod:`~repro.runner.provenance` — version + config-hash stamps that
+  detect results produced by older model code,
 * :mod:`~repro.runner.campaign` — the declarative high-level API,
 * :mod:`~repro.runner.monitor` — progress hooks in the
   :mod:`repro.sim.monitor` idiom.
@@ -26,6 +31,13 @@ Quickstart::
     print(result.summary())
 """
 
+from .backends import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    JsonlBackend,
+    SqliteBackend,
+    StoreBackend,
+)
 from .cache import ResultCache
 from .campaign import (
     Campaign,
@@ -43,15 +55,19 @@ from .jobs import (
     content_key,
 )
 from .monitor import ProgressMonitor
+from .provenance import config_content_hash, provenance_stamp
 from .queue import JobEvent, parallel_map, run_jobs, topological_order
-from .store import ResultStore
+from .store import ResultStore, migrate_store
 
 __all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
     "Campaign",
     "CampaignResult",
     "JobEvent",
     "JobResult",
     "JobSpec",
+    "JsonlBackend",
     "ProgressMonitor",
     "ResultCache",
     "ResultStore",
@@ -59,8 +75,13 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_SKIPPED",
+    "SqliteBackend",
+    "StoreBackend",
+    "config_content_hash",
     "content_key",
+    "migrate_store",
     "parallel_map",
+    "provenance_stamp",
     "registry_campaign",
     "run_campaign",
     "run_jobs",

@@ -1,0 +1,110 @@
+"""Pluggable persistence backends for the campaign result store.
+
+Two interchangeable implementations of the
+:class:`~repro.runner.backends.base.StoreBackend` protocol:
+
+* :class:`~repro.runner.backends.jsonl.JsonlBackend` — append-only
+  JSON-Lines file; human-greppable, torn-write tolerant, O(n) queries,
+* :class:`~repro.runner.backends.sqlite.SqliteBackend` — WAL-mode
+  SQLite with key/job/time indexes; O(log n) queries at million-record
+  scale.
+
+:func:`make_backend`/:func:`resolve_backend_name` implement the
+selection policy used by :class:`~repro.runner.store.ResultStore`:
+an explicit argument wins, then the on-disk format of an existing
+store (a SQLite file is recognised by its magic header, any other
+non-empty file is JSONL), then the ``REPRO_STORE_BACKEND`` environment
+variable, then the path extension, defaulting to JSONL.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from ...errors import ConfigurationError
+from .base import StoreBackend, surviving_indices, validate_record
+from .jsonl import JsonlBackend
+from .sqlite import SqliteBackend
+
+#: Environment variable naming the default backend (used by the CI
+#: matrix to exercise the whole suite against each backend).
+BACKEND_ENV_VAR = "REPRO_STORE_BACKEND"
+
+#: Registry of constructable backends by name.
+BACKENDS: dict[str, Callable[[str], StoreBackend]] = {
+    JsonlBackend.name: JsonlBackend,
+    SqliteBackend.name: SqliteBackend,
+}
+
+#: Path extensions that imply the SQLite backend for new stores.
+SQLITE_EXTENSIONS = (".sqlite", ".sqlite3", ".db")
+
+#: First bytes of every SQLite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def _check_name(name: str) -> str:
+    if name not in BACKENDS:
+        known = ", ".join(sorted(BACKENDS))
+        raise ConfigurationError(
+            f"unknown store backend {name!r}; known: {known}"
+        )
+    return name
+
+
+def detect_format(path: str) -> str | None:
+    """Backend name matching an existing store file, or ``None``.
+
+    A non-empty file either starts with the SQLite magic header or is
+    taken to be JSONL; an absent or empty file has no format yet.
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_SQLITE_MAGIC))
+    except OSError:
+        return None
+    if not head:
+        return None
+    if head == _SQLITE_MAGIC:
+        return SqliteBackend.name
+    return JsonlBackend.name
+
+
+def resolve_backend_name(
+    path: str | os.PathLike[str], backend: str | None = None
+) -> str:
+    """Pick the backend for ``path`` (policy in the module docstring)."""
+    if backend is not None:
+        return _check_name(backend)
+    detected = detect_format(os.fspath(path))
+    if detected is not None:
+        return detected
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        return _check_name(env)
+    if os.fspath(path).lower().endswith(SQLITE_EXTENSIONS):
+        return SqliteBackend.name
+    return JsonlBackend.name
+
+
+def make_backend(
+    path: str | os.PathLike[str], backend: str | None = None
+) -> StoreBackend:
+    """Construct the resolved backend for ``path``."""
+    return BACKENDS[resolve_backend_name(path, backend)](os.fspath(path))
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "JsonlBackend",
+    "SQLITE_EXTENSIONS",
+    "SqliteBackend",
+    "StoreBackend",
+    "detect_format",
+    "make_backend",
+    "resolve_backend_name",
+    "surviving_indices",
+    "validate_record",
+]

@@ -1,0 +1,120 @@
+"""The storage abstraction behind :class:`~repro.runner.store.ResultStore`.
+
+A backend persists plain-JSON job-result records and answers the small
+query vocabulary the cache and campaign layers need.  Keeping the
+protocol this narrow is what lets an append-only JSONL file and an
+indexed SQLite database sit behind the same :class:`ResultStore` facade
+— and what will let a remote/distributed backend slot in later without
+another store rewrite.
+
+Semantics shared by every backend:
+
+* **append order is the log order** — ``load()`` returns records in the
+  order they were appended, and "latest" always means "appended last",
+* **latest ``ok`` wins** — ``get(key)`` returns the newest record for
+  ``key`` whose status is ``"ok"`` (a re-run supersedes a failure),
+* **compaction is lossy but cache-preserving** — ``compact()`` keeps,
+  per key, the newest record overall plus the newest ``ok`` record, so
+  ``get``/``keys``/``latest_by_key`` answer identically before and
+  after compaction while superseded history is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Protocol, runtime_checkable
+
+from ...errors import ConfigurationError
+
+#: Fields every record must carry (enforced on append by all backends).
+REQUIRED_FIELDS = ("key", "status")
+
+
+def validate_record(record: Mapping[str, Any]) -> dict[str, Any]:
+    """Check required fields and return a plain-dict copy of ``record``."""
+    for field in REQUIRED_FIELDS:
+        if field not in record:
+            raise ConfigurationError(
+                "store records need at least 'key' and 'status' fields"
+            )
+    return dict(record)
+
+
+def surviving_indices(records: list[dict[str, Any]]) -> list[int]:
+    """Indices that :meth:`StoreBackend.compact` keeps, in append order.
+
+    Per key: the newest record overall and the newest ``ok`` record
+    (usually the same one).  Shared by both concrete backends so their
+    compaction semantics cannot drift apart.
+    """
+    latest: dict[str, int] = {}
+    latest_ok: dict[str, int] = {}
+    for index, record in enumerate(records):
+        key = record["key"]
+        latest[key] = index
+        if record.get("status") == "ok":
+            latest_ok[key] = index
+    return sorted(set(latest.values()) | set(latest_ok.values()))
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """What a result-store persistence layer must provide.
+
+    Concrete implementations: :class:`~repro.runner.backends.jsonl
+    .JsonlBackend` (append-only file, O(n) scans) and
+    :class:`~repro.runner.backends.sqlite.SqliteBackend` (WAL-mode
+    SQLite, O(log n) indexed lookups).
+    """
+
+    #: Registry name of the backend (``"jsonl"`` / ``"sqlite"``).
+    name: str
+    #: Filesystem path the backend persists to.
+    path: str
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one validated record to the log."""
+        ...
+
+    def append_many(self, records: list[dict[str, Any]]) -> None:
+        """Append a batch in order, amortising durability costs."""
+        ...
+
+    def load(self) -> list[dict[str, Any]]:
+        """Every readable record, in append order."""
+        ...
+
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Stream records in append order without materialising them."""
+        ...
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Latest ``ok`` record for one content key (``None`` if absent)."""
+        ...
+
+    def latest_by_key(
+        self, status: str | None = "ok"
+    ) -> dict[str, dict[str, Any]]:
+        """Latest record per key, optionally filtered by status."""
+        ...
+
+    def for_job(self, job_id: str) -> list[dict[str, Any]]:
+        """All records for one display id, in append order."""
+        ...
+
+    def keys(self) -> set[str]:
+        """Content keys with at least one ``ok`` record."""
+        ...
+
+    def compact(self) -> int:
+        """Drop superseded history; return how many records were removed."""
+        ...
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        ...

@@ -1,0 +1,175 @@
+"""Append-only JSON-Lines backend.
+
+One line per record, appended with ``flush`` + ``fsync`` so a killed
+campaign never loses an acknowledged append, plus a directory fsync
+when the file is first created so the *name* survives a crash too.
+Appends are atomic at line granularity: a writer killed mid-``write``
+leaves at most one truncated trailing line, which :meth:`load`
+tolerates and skips — that is what makes interrupted campaigns
+resumable.
+
+Every query is a full-file scan (O(n) in history size).  That is fine
+for thousands of records and the reason the indexed
+:class:`~repro.runner.backends.sqlite.SqliteBackend` exists for
+millions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Mapping
+
+from ...errors import ConfigurationError
+from .base import surviving_indices, validate_record
+
+
+def _fsync_dir(path: str) -> None:
+    """Fsync the directory containing ``path`` (no-op where unsupported)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not all filesystems allow it
+        pass
+    finally:
+        os.close(fd)
+
+
+class JsonlBackend:
+    """Append-only JSONL persistence (see module docstring)."""
+
+    name: str = "jsonl"
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        if os.path.isdir(self.path):
+            raise ConfigurationError(
+                f"store path {self.path!r} is a directory, need a file"
+            )
+        os.makedirs(
+            os.path.dirname(os.path.abspath(self.path)), exist_ok=True
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self.append_many([validate_record(record)])
+
+    def append_many(self, records: list[dict[str, Any]]) -> None:
+        """Append a batch with one flush+fsync for the whole batch."""
+        if not records:
+            return
+        lines = "".join(
+            json.dumps(validate_record(record), sort_keys=True) + "\n"
+            for record in records
+        )
+        created = not os.path.exists(self.path)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if handle.tell() > 0 and not self._ends_with_newline():
+                # A previous writer was killed mid-line; start fresh so
+                # the torn fragment doesn't swallow this record too.
+                handle.write("\n")
+            handle.write(lines)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if created:
+            # Make the new directory entry itself durable.
+            _fsync_dir(self.path)
+
+    def _ends_with_newline(self) -> bool:
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) == b"\n"
+
+    # -- reads -------------------------------------------------------------
+
+    def load(self) -> list[dict[str, Any]]:
+        """All readable records; a torn trailing line is skipped."""
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Stream readable records without materialising the history."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            try:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # interrupted append; partial line
+                    if isinstance(record, dict):
+                        yield record
+            except UnicodeDecodeError as error:
+                # e.g. the jsonl backend forced onto a SQLite file.
+                raise ConfigurationError(
+                    f"store path {self.path!r} is not a JSONL result "
+                    f"store: {error}"
+                ) from error
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.load())
+
+    def latest_by_key(
+        self, status: str | None = "ok"
+    ) -> dict[str, dict[str, Any]]:
+        latest: dict[str, dict[str, Any]] = {}
+        for record in self.load():
+            if status is not None and record.get("status") != status:
+                continue
+            latest[record["key"]] = record
+        return latest
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        found: dict[str, Any] | None = None
+        for record in self.load():
+            if record["key"] == key and record.get("status") == "ok":
+                found = record
+        return found
+
+    def for_job(self, job_id: str) -> list[dict[str, Any]]:
+        return [r for r in self.load() if r.get("job_id") == job_id]
+
+    def keys(self) -> set[str]:
+        return {
+            r["key"] for r in self.load() if r.get("status") == "ok"
+        }
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> int:
+        """Atomically rewrite the file keeping only surviving records.
+
+        The replacement is written to a sibling temp file, fsynced, and
+        renamed over the original, so a crash mid-compaction leaves
+        either the full old log or the full new one — never a mix.
+        """
+        records = self.load()
+        keep = surviving_indices(records)
+        dropped = len(records) - len(keep)
+        if dropped == 0:
+            return 0
+        tmp_path = self.path + ".compact.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for index in keep:
+                handle.write(
+                    json.dumps(records[index], sort_keys=True) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        _fsync_dir(self.path)
+        return dropped
+
+    def close(self) -> None:
+        """Nothing held open between calls."""

@@ -1,0 +1,201 @@
+"""Indexed SQLite backend for million-record campaign histories.
+
+The same log semantics as the JSONL backend — records in append order,
+latest ``ok`` wins — but persisted in a WAL-mode SQLite database with
+covering indexes on ``(key, id)``, ``(job_id, id)``, and ``stored_at``,
+so ``get``/``latest_by_key`` are O(log n) index walks instead of O(n)
+full-file scans.  Each record is stored verbatim as canonical JSON in
+the ``record`` column; ``key``/``job_id``/``status``/``stored_at`` are
+denormalised into indexed columns purely for lookup speed.
+
+Durability: WAL journaling with ``synchronous=NORMAL`` — every
+acknowledged ``append`` survives a killed process (commits are ordered
+and torn writes are rolled back on recovery); only an OS-level power
+loss can lose the very latest commits, which matches the JSONL
+backend's torn-trailing-line tolerance in spirit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any, Iterator, Mapping
+
+from ...errors import ConfigurationError
+from .base import validate_record
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    key       TEXT NOT NULL,
+    job_id    TEXT,
+    status    TEXT NOT NULL,
+    stored_at REAL,
+    record    TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_key ON records (key, id);
+CREATE INDEX IF NOT EXISTS idx_records_job ON records (job_id, id);
+CREATE INDEX IF NOT EXISTS idx_records_stored_at ON records (stored_at);
+"""
+
+
+class SqliteBackend:
+    """WAL-mode SQLite persistence (see module docstring)."""
+
+    name: str = "sqlite"
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        if os.path.isdir(self.path):
+            raise ConfigurationError(
+                f"store path {self.path!r} is a directory, need a file"
+            )
+        os.makedirs(
+            os.path.dirname(os.path.abspath(self.path)), exist_ok=True
+        )
+        self._conn: sqlite3.Connection | None = None
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            try:
+                conn = sqlite3.connect(self.path)
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.executescript(_SCHEMA)
+                conn.commit()
+            except sqlite3.DatabaseError as error:
+                raise ConfigurationError(
+                    f"store path {self.path!r} is not a SQLite result "
+                    f"store: {error}"
+                ) from error
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self.append_many([validate_record(record)])
+
+    def append_many(self, records: list[dict[str, Any]]) -> None:
+        """Insert a batch in order within a single transaction."""
+        if not records:
+            return
+        rows: list[tuple[str, str | None, str, float | None, str]] = []
+        for record in records:
+            record = validate_record(record)
+            stored_at = record.get("stored_at")
+            rows.append(
+                (
+                    record["key"],
+                    record.get("job_id"),
+                    record["status"],
+                    float(stored_at) if stored_at is not None else None,
+                    json.dumps(record, sort_keys=True),
+                )
+            )
+        conn = self._connect()
+        with conn:
+            conn.executemany(
+                "INSERT INTO records (key, job_id, status, stored_at,"
+                " record) VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+
+    # -- reads -------------------------------------------------------------
+
+    @staticmethod
+    def _decode(row: tuple[str]) -> dict[str, Any]:
+        record = json.loads(row[0])
+        if not isinstance(record, dict):  # pragma: no cover - defensive
+            raise ConfigurationError("malformed record in SQLite store")
+        return record
+
+    def load(self) -> list[dict[str, Any]]:
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Stream records in append order from a dedicated cursor."""
+        cursor = self._connect().execute(
+            "SELECT record FROM records ORDER BY id"
+        )
+        for row in cursor:
+            yield self._decode(row)
+
+    def __len__(self) -> int:
+        row = self._connect().execute(
+            "SELECT COUNT(*) FROM records"
+        ).fetchone()
+        return int(row[0])
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.load())
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        row = self._connect().execute(
+            "SELECT record FROM records WHERE key = ? AND status = 'ok'"
+            " ORDER BY id DESC LIMIT 1",
+            (key,),
+        ).fetchone()
+        return self._decode(row) if row is not None else None
+
+    def latest_by_key(
+        self, status: str | None = "ok"
+    ) -> dict[str, dict[str, Any]]:
+        if status is None:
+            cursor = self._connect().execute(
+                "SELECT record FROM records WHERE id IN"
+                " (SELECT MAX(id) FROM records GROUP BY key)"
+                " ORDER BY id"
+            )
+        else:
+            cursor = self._connect().execute(
+                "SELECT record FROM records WHERE id IN"
+                " (SELECT MAX(id) FROM records WHERE status = ?"
+                "  GROUP BY key)"
+                " ORDER BY id",
+                (status,),
+            )
+        records = [self._decode(row) for row in cursor]
+        return {record["key"]: record for record in records}
+
+    def for_job(self, job_id: str) -> list[dict[str, Any]]:
+        cursor = self._connect().execute(
+            "SELECT record FROM records WHERE job_id = ? ORDER BY id",
+            (job_id,),
+        )
+        return [self._decode(row) for row in cursor]
+
+    def keys(self) -> set[str]:
+        cursor = self._connect().execute(
+            "SELECT DISTINCT key FROM records WHERE status = 'ok'"
+        )
+        return {row[0] for row in cursor}
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> int:
+        """Delete superseded rows and reclaim their space.
+
+        Keeps, per key, the newest row overall and the newest ``ok``
+        row — identical semantics to the JSONL backend's rewrite (see
+        :func:`~repro.runner.backends.base.surviving_indices`).
+        """
+        conn = self._connect()
+        with conn:
+            cursor = conn.execute(
+                "DELETE FROM records WHERE id NOT IN ("
+                " SELECT MAX(id) FROM records GROUP BY key"
+                " UNION"
+                " SELECT MAX(id) FROM records WHERE status = 'ok'"
+                " GROUP BY key)"
+            )
+            dropped = cursor.rowcount
+        if dropped:
+            conn.execute("VACUUM")
+        return int(dropped)

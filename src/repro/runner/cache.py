@@ -9,6 +9,13 @@ interrupted campaign resumable from its persisted prefix.
 Backed by an optional :class:`~repro.runner.store.ResultStore`: with a
 store the cache survives process restarts; without one it still
 deduplicates identical jobs within a single run.
+
+Stored records carry a provenance stamp
+(:mod:`repro.runner.provenance`: package version + reference-config
+content hash).  At preload the cache drops records whose stamp differs
+from the running interpreter's — results computed by older model code
+are *stale* and re-executed rather than served, which is what makes a
+version bump or a Table I constant change safely invalidate history.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 from typing import Any
 
 from .jobs import STATUS_CACHED, STATUS_OK, JobResult, JobSpec
+from .provenance import is_current, stamp_record
 from .store import ResultStore
 
 
@@ -28,13 +36,32 @@ class ResultCache:
         Persistent backing store.  On construction the cache preloads
         the store's latest ``ok`` record per key; on :meth:`put` it
         appends the new record so the next process sees it.
+    check_provenance:
+        When true (the default), preloaded records with a missing or
+        mismatched provenance stamp are discarded as stale instead of
+        served as hits.  Pass ``False`` to trust every stored record,
+        e.g. when replaying archived histories read-only.
     """
 
-    def __init__(self, store: ResultStore | None = None):
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        check_provenance: bool = True,
+    ):
         self._store = store
-        self._records: dict[str, dict[str, Any]] = (
-            store.latest_by_key() if store is not None else {}
-        )
+        self._records: dict[str, dict[str, Any]] = {}
+        self.stale = 0
+        if store is not None:
+            preloaded = store.latest_by_key()
+            if check_provenance:
+                self._records = {
+                    key: record
+                    for key, record in preloaded.items()
+                    if is_current(record)
+                }
+                self.stale = len(preloaded) - len(self._records)
+            else:
+                self._records = preloaded
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -73,7 +100,7 @@ class ResultCache:
         """Memoize a successful result (failures are never cached)."""
         if result.status != STATUS_OK:
             return
-        record = result.to_record(spec)
+        record = stamp_record(result.to_record(spec))
         self._records[spec.key] = record
         self.puts += 1
         if self._store is not None:
@@ -84,10 +111,11 @@ class ResultCache:
         self._records.pop(key, None)
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/put counters plus current size."""
+        """Hit/miss/put/stale counters plus current size."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
+            "stale": self.stale,
             "size": len(self._records),
         }

@@ -277,6 +277,7 @@ def run_campaign(
     *,
     jobs: int = 1,
     store_path: str | None = None,
+    store_backend: str | None = None,
     store: ResultStore | None = None,
     cache: ResultCache | None = None,
     observers: Sequence[Observer] = (),
@@ -290,9 +291,13 @@ def run_campaign(
     jobs:
         Worker processes (``1`` = serial in-process).
     store_path / store:
-        Persist results to a JSONL store at this path (or use the given
-        store); previously stored results resolve as cache hits, which
-        makes interrupted or repeated campaigns resumable.
+        Persist results to a result store at this path (or use the
+        given store); previously stored results resolve as cache hits,
+        which makes interrupted or repeated campaigns resumable.
+    store_backend:
+        Persistence backend for ``store_path`` (``"jsonl"`` or
+        ``"sqlite"``); ``None`` resolves automatically (existing format
+        > ``REPRO_STORE_BACKEND`` > extension > jsonl).
     cache:
         Explicit cache instance (overrides store-derived caching).
     observers, monitor:
@@ -304,24 +309,36 @@ def run_campaign(
     """
     if store_path is not None and store is not None:
         raise ConfigurationError("pass either store_path or store, not both")
+    if store_backend is not None and store_path is None:
+        raise ConfigurationError(
+            "store_backend needs store_path (a constructed store already "
+            "carries its backend)"
+        )
+    owned_store: ResultStore | None = None
     if store_path is not None:
-        store = ResultStore(store_path)
-    if cache is None and store is not None:
-        cache = ResultCache(store)
-    all_observers = list(observers)
-    if monitor is not None:
-        all_observers.append(monitor)
-    start = time.perf_counter()
-    results = run_jobs(
-        campaign.specs, jobs=jobs, cache=cache, observers=all_observers
-    )
-    outcome = CampaignResult(
-        name=campaign.name,
-        results=results,
-        order=tuple(campaign.job_ids()),
-        duration_s=time.perf_counter() - start,
-        cache_stats=cache.stats() if cache is not None else {},
-    )
+        store = owned_store = ResultStore(store_path, backend=store_backend)
+    try:
+        if cache is None and store is not None:
+            cache = ResultCache(store)
+        all_observers = list(observers)
+        if monitor is not None:
+            all_observers.append(monitor)
+        start = time.perf_counter()
+        results = run_jobs(
+            campaign.specs, jobs=jobs, cache=cache, observers=all_observers
+        )
+        outcome = CampaignResult(
+            name=campaign.name,
+            results=results,
+            order=tuple(campaign.job_ids()),
+            duration_s=time.perf_counter() - start,
+            cache_stats=cache.stats() if cache is not None else {},
+        )
+    finally:
+        # Close only the store this call opened; a caller-provided
+        # store (or cache backing) stays the caller's to manage.
+        if owned_store is not None:
+            owned_store.close()
     if strict:
         outcome.raise_on_failure()
     return outcome

@@ -170,6 +170,7 @@ class JobSpec:
     params: Any = field(default_factory=dict)
     after: tuple[str, ...] = ()
     retries: int = 0
+    _key: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.job_id:

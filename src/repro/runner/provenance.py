@@ -1,0 +1,89 @@
+"""Provenance stamps: which code and configuration produced a record.
+
+Every record appended through :class:`~repro.runner.store.ResultStore`
+is stamped with the package version and a content hash of the paper's
+reference configuration (Table I device, workload, disk comparator,
+DRAM buffer).  :class:`~repro.runner.cache.ResultCache` compares the
+stamp against the current interpreter's and refuses to serve records
+produced by older model code or different reference constants — a
+cached number is only a valid shortcut if re-running the job would
+reproduce it.
+
+Records written before provenance existed carry no stamp and are also
+treated as stale: current code always stamps, so an unstamped record is
+by definition from an older release.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Any, Mapping
+
+from .jobs import canonical_json
+
+#: Record fields carrying the stamp.
+VERSION_FIELD = "repro_version"
+CONFIG_FIELD = "config_hash"
+
+
+def repro_version() -> str:
+    """The running package version (lazy to avoid an import cycle)."""
+    from .. import __version__
+
+    return __version__
+
+
+@lru_cache(maxsize=1)
+def config_content_hash() -> str:
+    """Short content hash of the paper's reference configuration.
+
+    Hashes the canonical-JSON rendering of every default config
+    factory, so editing a Table I constant (or adding a config field)
+    changes the hash and invalidates previously cached results even
+    without a version bump.
+    """
+    from ..config import (
+        disk_18inch,
+        ibm_mems_prototype,
+        micron_ddr_dram,
+        table1_workload,
+    )
+
+    payload = canonical_json(
+        {
+            "device": ibm_mems_prototype(),
+            "disk": disk_18inch(),
+            "dram": micron_ddr_dram(),
+            "workload": table1_workload(),
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def provenance_stamp() -> dict[str, str]:
+    """The stamp current code writes into every stored record."""
+    return {
+        VERSION_FIELD: repro_version(),
+        CONFIG_FIELD: config_content_hash(),
+    }
+
+
+def stamp_record(record: Mapping[str, Any]) -> dict[str, Any]:
+    """Copy ``record`` with the current stamp (existing stamps win).
+
+    Existing values are preserved so migrations and replays never
+    launder an old record into looking current.
+    """
+    stamped = dict(record)
+    for field, value in provenance_stamp().items():
+        stamped.setdefault(field, value)
+    return stamped
+
+
+def is_current(record: Mapping[str, Any]) -> bool:
+    """Whether ``record`` was produced by the running code and config."""
+    return (
+        record.get(VERSION_FIELD) == repro_version()
+        and record.get(CONFIG_FIELD) == config_content_hash()
+    )

@@ -1,95 +1,104 @@
-"""Persistent JSONL result store.
+"""Persistent result store: a facade over pluggable backends.
 
-One append-only JSON-Lines file holds every job record a campaign ever
-produced.  Appends are atomic at line granularity (single ``write`` of a
-line ending in ``\\n``), so a campaign killed mid-run leaves at most one
-truncated trailing line — :meth:`ResultStore.load` tolerates and skips
-it, which is what makes interrupted campaigns resumable.
+:class:`ResultStore` keeps the dumb records-in/records-out contract the
+campaign engine was built on, but delegates persistence to a
+:class:`~repro.runner.backends.base.StoreBackend`:
 
-The store is deliberately dumb: records in, records out, plus small
-query helpers.  Content-addressed lookup semantics (latest ``ok`` record
-per key) live in :mod:`repro.runner.cache`.
+* ``backend="jsonl"`` — one append-only JSON-Lines file; appends are
+  flush+fsync durable and atomic at line granularity, so a killed
+  campaign leaves at most one torn trailing line (skipped on load),
+* ``backend="sqlite"`` — a WAL-mode SQLite database with key/job/time
+  indexes, so ``get``/``latest_by_key`` stay O(log n) at
+  million-record campaign-history scale.
+
+With no explicit ``backend`` the store recognises the on-disk format
+of an existing file, then honours the ``REPRO_STORE_BACKEND``
+environment variable, then the path extension (``.sqlite``/``.db`` →
+SQLite), defaulting to JSONL.
+
+Every appended record is stamped with the package version and the
+reference-config content hash (:mod:`repro.runner.provenance`) so the
+cache can detect and invalidate results produced by older model code.
+Content-addressed lookup semantics (latest ``ok`` record per key) live
+in :mod:`repro.runner.cache`.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Any, Iterator, Mapping
 
 from ..errors import ConfigurationError
+from .backends import StoreBackend, make_backend
+from .provenance import stamp_record
 
 
 class ResultStore:
-    """Append-only JSONL store of job-result records.
+    """Append-only store of job-result records behind a backend.
 
     Parameters
     ----------
     path:
-        File to append records to; parent directories are created.  The
-        conventional extension is ``.jsonl``.
+        File the backend persists to; parent directories are created.
+        Conventional extensions are ``.jsonl`` and ``.sqlite``.
+    backend:
+        ``"jsonl"``, ``"sqlite"``, or ``None`` to resolve automatically
+        (existing format > ``REPRO_STORE_BACKEND`` > extension > jsonl).
     """
 
-    def __init__(self, path: str | os.PathLike[str]):
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        backend: str | None = None,
+    ):
         self.path = os.fspath(path)
         if os.path.isdir(self.path):
             raise ConfigurationError(
                 f"store path {self.path!r} is a directory, need a file"
             )
-        parent = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(parent, exist_ok=True)
+        self._backend = make_backend(self.path, backend)
+
+    @property
+    def backend(self) -> StoreBackend:
+        """The persistence backend instance."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend."""
+        return self._backend.name
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        self._backend.close()
+
+    # -- writes ------------------------------------------------------------
 
     def append(self, record: Mapping[str, Any]) -> None:
-        """Durably append one record."""
-        if "key" not in record or "status" not in record:
-            raise ConfigurationError(
-                "store records need at least 'key' and 'status' fields"
-            )
-        line = json.dumps(dict(record), sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            if handle.tell() > 0 and not self._ends_with_newline():
-                # A previous writer was killed mid-line; start fresh so
-                # the torn fragment doesn't swallow this record too.
-                handle.write("\n")
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        """Durably append one record, stamped with current provenance."""
+        self._backend.append(stamp_record(record))
 
-    def _ends_with_newline(self) -> bool:
-        with open(self.path, "rb") as handle:
-            handle.seek(-1, os.SEEK_END)
-            return handle.read(1) == b"\n"
+    def append_many(self, records: list[dict[str, Any]]) -> None:
+        """Append a stamped batch (one durability barrier per batch)."""
+        self._backend.append_many(
+            [stamp_record(record) for record in records]
+        )
+
+    # -- reads -------------------------------------------------------------
 
     def load(self) -> list[dict[str, Any]]:
-        """All readable records, in append order.
+        """All readable records, in append order."""
+        return self._backend.load()
 
-        A truncated or corrupt trailing line (interrupted writer) is
-        skipped rather than raised, so a resumed campaign can keep the
-        successful prefix.
-        """
-        if not os.path.exists(self.path):
-            return []
-        records = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # interrupted append; drop the partial line
-                if isinstance(record, dict):
-                    records.append(record)
-        return records
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Stream records in append order without materialising them."""
+        return self._backend.iter_records()
 
     def __len__(self) -> int:
-        return len(self.load())
+        return len(self._backend)
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
-        return iter(self.load())
-
-    # -- query helpers -----------------------------------------------------
+        return iter(self._backend)
 
     def latest_by_key(
         self, status: str | None = "ok"
@@ -99,21 +108,100 @@ class ResultStore:
         Later appends win, so a job re-run after a failure supersedes
         the failed record.
         """
-        latest: dict[str, dict[str, Any]] = {}
-        for record in self.load():
-            if status is not None and record.get("status") != status:
-                continue
-            latest[record["key"]] = record
-        return latest
+        return self._backend.latest_by_key(status)
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Latest ``ok`` record for one content key (``None`` if absent)."""
-        return self.latest_by_key().get(key)
+        return self._backend.get(key)
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:
         """All records for one display id, in append order."""
-        return [r for r in self.load() if r.get("job_id") == job_id]
+        return self._backend.for_job(job_id)
 
     def keys(self) -> set[str]:
         """Content keys with at least one ``ok`` record."""
-        return set(self.latest_by_key())
+        return self._backend.keys()
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> int:
+        """Drop superseded history (keep latest + latest-``ok`` per key).
+
+        Returns how many records were removed.  ``get``, ``keys``, and
+        ``latest_by_key`` answer identically before and after, so a
+        campaign re-run against a compacted store still resolves
+        entirely from cache.
+        """
+        return self._backend.compact()
+
+
+def _migration_target_backend(dst: str, src_name: str) -> str:
+    """Destination backend when none was given, ignoring the env var.
+
+    An existing destination keeps its on-disk format, a recognised
+    extension wins for fresh files, and otherwise the migration
+    converts to the *other* backend — the whole point of migrating.
+    """
+    from .backends import SQLITE_EXTENSIONS, detect_format
+
+    detected = detect_format(dst)
+    if detected is not None:
+        return detected
+    lowered = dst.lower()
+    if lowered.endswith(SQLITE_EXTENSIONS):
+        return "sqlite"
+    if lowered.endswith((".jsonl", ".json")):
+        return "jsonl"
+    return "sqlite" if src_name == "jsonl" else "jsonl"
+
+
+def migrate_store(
+    src_path: str | os.PathLike[str],
+    dst_path: str | os.PathLike[str],
+    src_backend: str | None = None,
+    dst_backend: str | None = None,
+) -> int:
+    """Copy every record of one store into a fresh store, verbatim.
+
+    Records keep their original provenance stamps (an old result does
+    not become "current" by being moved), and append order — and
+    therefore every latest-wins query — is preserved.  The destination
+    must not already contain records.  Returns the number migrated.
+
+    Backend resolution: the source is recognised from its on-disk
+    format; the destination follows its extension, falling back to the
+    *other* backend so ``migrate_store("r.jsonl", "r.sqlite")`` does
+    the conversion both directions without explicit arguments.
+    """
+    src = os.fspath(src_path)
+    dst = os.fspath(dst_path)
+    if os.path.abspath(src) == os.path.abspath(dst):
+        raise ConfigurationError(
+            "migration needs distinct source and destination paths"
+        )
+    if not os.path.exists(src):
+        raise ConfigurationError(f"source store {src!r} does not exist")
+    source = make_backend(src, src_backend)
+    if dst_backend is None:
+        dst_backend = _migration_target_backend(dst, source.name)
+    destination = make_backend(dst, dst_backend)
+    if len(destination) > 0:
+        raise ConfigurationError(
+            f"destination store {dst!r} already holds records; "
+            f"refusing to mix histories"
+        )
+    # Stream in batches so a million-record history never has to fit
+    # in memory (the whole point of migrating to the indexed backend).
+    migrated = 0
+    batch: list[dict[str, Any]] = []
+    for record in source.iter_records():
+        batch.append(record)
+        if len(batch) >= 5000:
+            destination.append_many(batch)
+            migrated += len(batch)
+            batch = []
+    destination.append_many(batch)
+    migrated += len(batch)
+    destination.close()
+    source.close()
+    return migrated

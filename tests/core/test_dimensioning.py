@@ -6,7 +6,6 @@ import math
 
 import pytest
 
-from repro import units
 from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
 from repro.core.dimensioning import (
     BufferDimensioner,

@@ -8,7 +8,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import units
 from repro.config import DesignGoal, ibm_mems_prototype, table1_workload
 from repro.core.inverse import InverseSolver, invert_monotone
 from repro.errors import (

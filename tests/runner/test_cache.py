@@ -67,7 +67,7 @@ class TestMemoization:
         cache.put(SPEC, ok_result())
         cache.lookup(SPEC)
         assert cache.stats() == {
-            "hits": 1, "misses": 1, "puts": 1, "size": 1,
+            "hits": 1, "misses": 1, "puts": 1, "stale": 0, "size": 1,
         }
 
 
@@ -96,3 +96,75 @@ class TestPersistence:
         )
         hit = ResultCache(store).lookup(SPEC)
         assert hit is not None and hit.value == 2
+
+
+class TestProvenance:
+    """Stale results from older model code must not be served."""
+
+    def stale_record(self, **overrides):
+        record = {
+            "key": SPEC.key, "job_id": "j", "status": "ok", "value": 1,
+            "repro_version": "0.0.1", "config_hash": "0123456789abcdef",
+        }
+        record.update(overrides)
+        return record
+
+    def test_mismatched_version_is_stale(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        # Backend-level append bypasses the facade's stamping.
+        store.backend.append(self.stale_record())
+        cache = ResultCache(store)
+        assert cache.lookup(SPEC) is None
+        assert cache.stale == 1
+        assert cache.stats()["stale"] == 1
+
+    def test_unstamped_legacy_record_is_stale(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.backend.append(
+            {"key": SPEC.key, "job_id": "j", "status": "ok", "value": 1}
+        )
+        cache = ResultCache(store)
+        assert cache.lookup(SPEC) is None
+        assert cache.stale == 1
+
+    def test_mismatched_config_hash_is_stale(self, tmp_path):
+        from repro.runner.provenance import repro_version
+
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.backend.append(
+            self.stale_record(repro_version=repro_version())
+        )
+        assert ResultCache(store).stale == 1
+
+    def test_current_stamp_is_served(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(
+            {"key": SPEC.key, "job_id": "j", "status": "ok", "value": 7}
+        )
+        cache = ResultCache(store)
+        hit = cache.lookup(SPEC)
+        assert hit is not None and hit.value == 7
+        assert cache.stale == 0
+
+    def test_check_provenance_false_trusts_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.backend.append(self.stale_record())
+        cache = ResultCache(store, check_provenance=False)
+        hit = cache.lookup(SPEC)
+        assert hit is not None and hit.value == 1
+        assert cache.stale == 0
+
+    def test_version_bump_invalidates_campaign_store(
+        self, tmp_path, monkeypatch
+    ):
+        import repro
+        from repro.runner import registry_campaign, run_campaign
+
+        store_path = str(tmp_path / "r.jsonl")
+        run_campaign(registry_campaign(["table1"]), store_path=store_path)
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        rerun = run_campaign(
+            registry_campaign(["table1"]), store_path=store_path
+        )
+        assert rerun.status_counts() == {"ok": 1}
+        assert rerun.cache_stats["stale"] == 1

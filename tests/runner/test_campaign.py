@@ -119,6 +119,30 @@ class TestRunCampaign:
                 store=ResultStore(tmp_path / "b.jsonl"),
             )
 
+    def test_store_backend_requires_store_path(self):
+        with pytest.raises(ConfigurationError, match="store_path"):
+            run_campaign(
+                registry_campaign(["table1"]), store_backend="sqlite"
+            )
+
+    def test_sqlite_store_rerun_matches_jsonl(self, tmp_path):
+        outcomes = {}
+        for backend in ("jsonl", "sqlite"):
+            store_path = str(tmp_path / f"results.{backend}")
+            first = run_campaign(
+                registry_campaign(FAST_IDS),
+                store_path=store_path,
+                store_backend=backend,
+            )
+            rerun = run_campaign(
+                registry_campaign(FAST_IDS),
+                store_path=store_path,
+                store_backend=backend,
+            )
+            assert rerun.status_counts() == {"cached": len(FAST_IDS)}
+            outcomes[backend] = rerun.headlines()
+        assert outcomes["jsonl"] == outcomes["sqlite"]
+
     def test_failure_reported_and_strict_raises(self):
         campaign = Campaign("bad").call("boom", "runner_workers:boom")
         outcome = run_campaign(campaign)

@@ -8,7 +8,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
-from repro.runner.jobs import JobSpec, execute
+from repro.runner.jobs import JobSpec
 from repro.runner.queue import (
     JobEvent,
     parallel_map,

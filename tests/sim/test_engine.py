@@ -9,9 +9,7 @@ from repro.sim.engine import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
     Interrupt,
-    Timeout,
 )
 
 

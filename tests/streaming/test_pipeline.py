@@ -5,11 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro import units
-from repro.config import WorkloadConfig
 from repro.core.energy import EnergyModel
 from repro.errors import BufferUnderrunError, ConfigurationError
 from repro.streaming.pipeline import (
-    AlwaysOnPipeline,
     PipelineConfig,
     StreamingPipeline,
     simulate_always_on,

@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro import units
-from repro.config import ibm_mems_prototype, table1_workload
 from repro.core.energy import EnergyModel
 from repro.errors import BufferUnderrunError, ConfigurationError
 from repro.streaming.pipeline import PipelineConfig, StreamingPipeline

@@ -114,6 +114,82 @@ class TestCampaign:
         assert main(["campaign", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_store_backend_without_store_errors(self, capsys):
+        assert main(
+            ["campaign", "table1", "--store-backend", "sqlite", "--quiet"]
+        ) == 2
+        assert "store_path" in capsys.readouterr().err
+
+    def test_sqlite_store_backend(self, capsys, tmp_path):
+        store = str(tmp_path / "results.sqlite")
+        args = ["campaign", "table1", "--store", store,
+                "--store-backend", "sqlite", "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "1 cached" in capsys.readouterr().out
+
+
+class TestStore:
+    def populate(self, tmp_path, name="results.jsonl"):
+        store = str(tmp_path / name)
+        assert main(
+            ["campaign", "table1", "breakeven", "--store", store,
+             "--quiet"]
+        ) == 0
+        return store
+
+    def test_info_reports_backend_and_counts(self, capsys, tmp_path):
+        store = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "info", store]) == 0
+        out = capsys.readouterr().out
+        assert "records  : 2" in out
+        assert "ok keys  : 2" in out
+        assert "provenance" in out
+
+    def test_compact_drops_superseded(self, capsys, tmp_path):
+        from repro.runner import ResultStore
+
+        store = self.populate(tmp_path)
+        # Duplicate history: re-append the same records.
+        handle = ResultStore(store)
+        handle.append_many(handle.load())
+        capsys.readouterr()
+        assert main(["store", "compact", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 -> 2 records" in out
+        assert len(ResultStore(store)) == 2
+
+    def test_migrate_then_campaign_resolves_from_cache(
+        self, capsys, tmp_path
+    ):
+        store = self.populate(tmp_path)
+        target = str(tmp_path / "results.sqlite")
+        assert main(["store", "migrate", store, target]) == 0
+        assert "migrated 2 records" in capsys.readouterr().out
+        assert main(
+            ["campaign", "table1", "breakeven", "--store", target,
+             "--quiet"]
+        ) == 0
+        assert "2 cached" in capsys.readouterr().out
+
+    def test_migrate_missing_source_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            ["store", "migrate", str(tmp_path / "absent.jsonl"),
+             str(tmp_path / "out.sqlite")]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_compact_and_info_missing_store_fail_cleanly(
+        self, capsys, tmp_path
+    ):
+        for command in ("compact", "info"):
+            code = main(["store", command, str(tmp_path / "absent.jsonl")])
+            assert code == 2
+            assert "does not exist" in capsys.readouterr().err
+
 
 class TestDimension:
     def test_feasible_goal(self, capsys):

@@ -8,14 +8,10 @@ from repro import units
 from repro.config import (
     DRAMConfig,
     DesignGoal,
-    MEMSDeviceConfig,
     MechanicalDeviceConfig,
     TABLE1_RATE_GRID_BPS,
-    WorkloadConfig,
-    disk_18inch,
     ibm_mems_prototype,
     micron_ddr_dram,
-    table1_workload,
 )
 from repro.errors import ConfigurationError
 

@@ -7,8 +7,6 @@ experiment headlines vs direct model calls, equation symmetries.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro import units

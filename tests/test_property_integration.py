@@ -9,8 +9,6 @@ to any particular paper number.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
