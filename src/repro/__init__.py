@@ -49,6 +49,7 @@ from .config import (
     table1_workload,
 )
 from .core import (
+    BatchRequirement,
     BufferDimensioner,
     BufferRequirement,
     CapacityModel,
@@ -93,9 +94,11 @@ from .runner import (
     migrate_store,
     registry_campaign,
     run_campaign,
+    run_sharded_sweep,
+    sharded_sweep_campaign,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "units",
@@ -118,6 +121,7 @@ __all__ = [
     "SpringsModel",
     "ProbesModel",
     "InverseSolver",
+    "BatchRequirement",
     "BufferDimensioner",
     "BufferRequirement",
     "Constraint",
@@ -144,6 +148,8 @@ __all__ = [
     "migrate_store",
     "registry_campaign",
     "run_campaign",
+    "run_sharded_sweep",
+    "sharded_sweep_campaign",
     # errors
     "ReproError",
     "ConfigurationError",

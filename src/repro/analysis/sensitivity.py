@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import DesignGoal, MEMSDeviceConfig, WorkloadConfig
 from ..core.design_space import DesignSpaceExplorer
 from ..core.dimensioning import BufferDimensioner
@@ -106,12 +108,16 @@ def _evaluate(
     energy = EnergyModel(device, workload)
     dimensioner = BufferDimensioner(device, workload)
     explorer = DesignSpaceExplorer(device, workload)
-    requirement = dimensioner.dimension(goal, rate_bps)
+    # Landmarks come from the batch path on a grid of one — the same
+    # code the dense sweeps run, so a perturbed case and a full scan can
+    # never drift apart.
+    rate_grid = np.asarray([rate_bps], dtype=float)
+    requirement = dimensioner.require_batch(goal, rate_grid)
     return SensitivityResult(
         knob=knob,
         factor=factor,
-        break_even_bits=energy.break_even_buffer(rate_bps),
-        required_buffer_bits=requirement.required_buffer_bits,
+        break_even_bits=float(energy.break_even_buffer_batch(rate_grid)[0]),
+        required_buffer_bits=float(requirement.required_buffer_bits[0]),
         energy_wall_bps=explorer.energy_wall_rate(goal),
     )
 

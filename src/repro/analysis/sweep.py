@@ -6,6 +6,11 @@ result queryable.  Metrics that raise
 :class:`~repro.errors.InfeasibleDesignError` record ``inf`` — the sweep
 keeps going (infeasibility is a *result* in this design space, not an
 error).
+
+Metrics come in two flavours: a plain callable is evaluated per grid
+point (optionally across a process pool), while a :class:`BatchMetric`
+wraps an array-in/array-out fast path — e.g. the vectorised model-core
+methods — and is evaluated once for the whole grid.
 """
 
 from __future__ import annotations
@@ -16,7 +21,40 @@ import pickle
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError, InfeasibleDesignError
+
+
+@dataclass(frozen=True)
+class BatchMetric:
+    """An array-in/array-out metric for :func:`sweep_parameter`.
+
+    ``func`` receives the whole grid (as a list) and must return one
+    float per grid point, encoding infeasible points as ``inf`` (the
+    batch model layer already does); a blanket
+    :class:`~repro.errors.InfeasibleDesignError` marks every point
+    infeasible.  Calling the wrapper with a single value still works,
+    so a ``BatchMetric`` drops into any scalar-metric slot.
+    """
+
+    func: Callable[[Sequence[Any]], Any]
+
+    def series(self, values: Sequence[Any]) -> tuple[float, ...]:
+        """Evaluate the whole grid in one vectorised call."""
+        try:
+            out = np.asarray(self.func(list(values)), dtype=float)
+        except InfeasibleDesignError:
+            return tuple(math.inf for _ in values)
+        if out.shape != (len(values),):
+            raise ConfigurationError(
+                f"batch metric returned shape {out.shape}, expected "
+                f"({len(values)},)"
+            )
+        return tuple(float(v) for v in out)
+
+    def __call__(self, value: Any) -> float:
+        return self.series([value])[0]
 
 
 @dataclass(frozen=True)
@@ -31,9 +69,35 @@ class SweepResult:
         """One metric's series across the sweep."""
         return self.metrics[name]
 
-    def finite_mask(self, name: str) -> tuple[bool, ...]:
-        """Which sweep points produced a finite value for ``name``."""
-        return tuple(math.isfinite(v) for v in self.metrics[name])
+    def as_arrays(self) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """The sweep as ``(values, {metric: np.ndarray})``, built once.
+
+        Arrays are cached on the result, so analysis/plotting code can
+        call this freely instead of rebuilding tuples per access.
+        """
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            values = np.asarray(self.values)
+            metrics = {
+                name: np.asarray(series, dtype=float)
+                for name, series in self.metrics.items()
+            }
+            # Shared cache: hand out read-only views so an in-place
+            # edit by one caller cannot corrupt every later access.
+            values.setflags(write=False)
+            for array in metrics.values():
+                array.setflags(write=False)
+            cached = (values, metrics)
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
+    def finite_mask(self, name: str) -> np.ndarray:
+        """Boolean mask of sweep points with a finite value for ``name``.
+
+        Computed via :func:`np.isfinite` on the cached metric array —
+        no per-point Python loop, no tuple rebuilding.
+        """
+        return np.isfinite(self.as_arrays()[1][name])
 
     def argmin(self, name: str) -> Any:
         """Parameter value minimising ``name`` (finite points only)."""
@@ -92,12 +156,14 @@ def sweep_parameter(
 
     ``metrics`` maps a metric name to a callable of the parameter value.
     A callable raising :class:`~repro.errors.InfeasibleDesignError`
-    records ``inf`` for that point.
+    records ``inf`` for that point.  :class:`BatchMetric` entries are
+    evaluated once for the whole grid instead of per point.
 
     ``jobs > 1`` evaluates the grid points over a process pool (results
     stay in grid order, identical to serial).  Metrics or values that
     cannot be pickled — lambdas, closures — fall back to serial
-    evaluation, so ``jobs`` is always safe to pass.
+    evaluation, so ``jobs`` is always safe to pass; batch metrics never
+    enter the pool (one vectorised call needs no fan-out).
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -105,23 +171,42 @@ def sweep_parameter(
         raise ValueError("sweep needs at least one value")
     if not metrics:
         raise ValueError("sweep needs at least one metric")
+    batch_series = {
+        name: metric.series(values)
+        for name, metric in metrics.items()
+        if isinstance(metric, BatchMetric)
+    }
+    scalar_metrics = {
+        name: metric
+        for name, metric in metrics.items()
+        if not isinstance(metric, BatchMetric)
+    }
     points = None
-    if jobs > 1 and _parallelisable(metrics):
-        from ..runner.queue import parallel_map
+    if scalar_metrics:
+        if jobs > 1 and _parallelisable(scalar_metrics):
+            from ..runner.queue import parallel_map
 
-        try:
-            points = parallel_map(
-                functools.partial(_evaluate_point, metrics), values,
-                jobs=jobs,
-            )
-        except (pickle.PicklingError, TypeError, AttributeError):
-            points = None  # an unpicklable grid value; evaluate serially
-    if points is None:
-        points = [_evaluate_point(metrics, value) for value in values]
+            try:
+                points = parallel_map(
+                    functools.partial(_evaluate_point, scalar_metrics),
+                    values,
+                    jobs=jobs,
+                )
+            except (pickle.PicklingError, TypeError, AttributeError):
+                points = None  # an unpicklable grid value; go serial
+        if points is None:
+            points = [
+                _evaluate_point(scalar_metrics, value) for value in values
+            ]
     return SweepResult(
         parameter=parameter,
         values=tuple(values),
         metrics={
-            name: tuple(point[name] for point in points) for name in metrics
+            name: (
+                batch_series[name]
+                if name in batch_series
+                else tuple(point[name] for point in points)
+            )
+            for name in metrics
         },
     )

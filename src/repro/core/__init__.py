@@ -14,7 +14,9 @@ from .energy import EnergyModel, RefillCycle
 from .capacity import CapacityModel
 from .lifetime import LifetimeModel, SpringsModel, ProbesModel
 from .inverse import InverseSolver
+from .batch import break_even_curve, evaluate_rate_grid
 from .dimensioning import (
+    BatchRequirement,
     BufferDimensioner,
     BufferRequirement,
     Constraint,
@@ -25,8 +27,11 @@ from .tradeoff import TradeoffAnalysis, TradeoffPoint
 from .pareto import ParetoFrontier, ParetoPoint, energy_buffer_frontier
 
 __all__ = [
+    "BatchRequirement",
     "EnergyModel",
     "RefillCycle",
+    "break_even_curve",
+    "evaluate_rate_grid",
     "CapacityModel",
     "LifetimeModel",
     "SpringsModel",

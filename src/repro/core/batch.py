@@ -1,0 +1,94 @@
+"""Batch evaluation of the model core: whole grids per call.
+
+The scalar API answers one operating point at a time; the paper's
+artefacts — and the ROADMAP's million-point design-space scans — need
+tens of thousands to millions of them.  Every forward model and inverse
+now carries an array-native twin (``*_batch`` methods on
+:class:`~repro.core.energy.EnergyModel`,
+:class:`~repro.core.capacity.CapacityModel`,
+:class:`~repro.core.lifetime.LifetimeModel`, and
+:meth:`~repro.core.dimensioning.BufferDimensioner.require_batch`) that
+evaluates a whole grid in a handful of vectorised passes: the
+closed-form inverses directly, the exact sector-layout inverse as one
+sorted walk over subsector sizes.  Scalar and batch paths agree to
+float rounding (property-tested), and infeasible points map to ``inf``
+instead of raising — on a grid, infeasibility is a result.
+
+This module adds the grid-level entry points the campaign runner's
+sweep sharding (:mod:`repro.runner.sharding`) imports by dotted path:
+one call evaluates one contiguous shard of a rate grid and returns
+plain per-point metrics, so a sharded million-point scan streams
+through the result store shard by shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import (
+    DesignGoal,
+    MEMSDeviceConfig,
+    WorkloadConfig,
+    ibm_mems_prototype,
+    table1_workload,
+)
+from .dimensioning import BufferDimensioner, Constraint
+
+
+def evaluate_rate_grid(
+    rate_bps,
+    energy_saving: float = 0.80,
+    capacity_utilisation: float = 0.88,
+    lifetime_years: float = 7.0,
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+    include_latency_floor: bool = True,
+) -> dict[str, list]:
+    """Design-space metrics for a goal over a grid of streaming rates.
+
+    The canonical shard target for
+    :func:`~repro.runner.sharding.sharded_sweep_campaign`: importable by
+    dotted path, JSON-safe output, one vectorised pass regardless of
+    grid size.  Defaults reproduce the Figure 3a panel on the Table I
+    device and workload.
+
+    Returns per-metric lists aligned with ``rate_bps``:
+    ``required_buffer_bits`` / ``energy_buffer_bits`` (``inf`` where
+    infeasible), ``feasible`` (bools), and ``dominant`` (Figure 3
+    labels, ``"X"`` where infeasible).
+    """
+    device = device if device is not None else ibm_mems_prototype()
+    workload = workload if workload is not None else table1_workload()
+    goal = DesignGoal(
+        energy_saving=energy_saving,
+        capacity_utilisation=capacity_utilisation,
+        lifetime_years=lifetime_years,
+    )
+    dimensioner = BufferDimensioner(
+        device, workload, include_latency_floor=include_latency_floor
+    )
+    grid = np.atleast_1d(np.asarray(rate_bps, dtype=float))
+    requirement = dimensioner.require_batch(goal, grid)
+    # The energy-only curve is the requirement's energy constraint row.
+    energy_buffers = requirement.buffer_for(Constraint.ENERGY)
+    return {
+        "required_buffer_bits": requirement.required_buffer_bits.tolist(),
+        "energy_buffer_bits": energy_buffers.tolist(),
+        "feasible": [bool(f) for f in requirement.feasible],
+        "dominant": requirement.labels(),
+    }
+
+
+def break_even_curve(
+    rate_bps,
+    device: MEMSDeviceConfig | None = None,
+    workload: WorkloadConfig | None = None,
+) -> dict[str, list]:
+    """Break-even buffer (bits) over a rate grid; shard-target friendly."""
+    device = device if device is not None else ibm_mems_prototype()
+    workload = workload if workload is not None else table1_workload()
+    from .energy import EnergyModel
+
+    grid = np.atleast_1d(np.asarray(rate_bps, dtype=float))
+    model = EnergyModel(device, workload)
+    return {"break_even_bits": model.break_even_buffer_batch(grid).tolist()}

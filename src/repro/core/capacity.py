@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..config import MEMSDeviceConfig
 from ..errors import ConfigurationError, InfeasibleDesignError
 from ..formatting.ecc import FractionalECC
@@ -97,6 +99,39 @@ class CapacityModel:
     def utilisation_supremum(self) -> float:
         """Asymptotic utilisation limit, ``1 / (1 + ECC ratio)``."""
         return self.layout.utilisation_supremum
+
+    # -- batch fast paths ---------------------------------------------------
+
+    def _buffers_to_user_bits_batch(self, buffer_bits) -> np.ndarray:
+        buffers = np.asarray(buffer_bits, dtype=float)
+        if buffers.size and not bool(
+            (np.isfinite(buffers) & (buffers >= 1)).all()
+        ):
+            # Finiteness matters: an inf buffer (e.g. an infeasible
+            # requirement fed back in) would cast to INT64_MIN silently.
+            raise ConfigurationError("buffers must be finite and >= 1 bit")
+        return np.floor(buffers).astype(np.int64)
+
+    def sector_bits_batch(self, buffer_bits) -> np.ndarray:
+        """Vectorised :meth:`sector_bits` over a buffer grid (``Su = B``)."""
+        return self.layout.sector_bits_batch(
+            self._buffers_to_user_bits_batch(buffer_bits)
+        )
+
+    def utilisation_batch(self, buffer_bits) -> np.ndarray:
+        """Vectorised Equation (4) utilisation over a buffer grid."""
+        user_bits = self._buffers_to_user_bits_batch(buffer_bits)
+        return user_bits / self.layout.sector_bits_batch(user_bits)
+
+    def min_buffer_for_utilisation_batch(self, targets) -> np.ndarray:
+        """Vectorised capacity inverse over a grid of utilisation targets.
+
+        Unlike the scalar inverse, unreachable targets map to ``inf``
+        instead of raising — on a grid, infeasibility is a result.
+        """
+        return self.layout.min_user_bits_for_utilisation_batch(
+            np.asarray(targets, dtype=float)
+        )
 
     # -- inverse ------------------------------------------------------------
 

@@ -169,19 +169,18 @@ class DesignSpaceExplorer:
             else self.workload.stream_rate_max_bps
         )
         grid = log_rate_grid(rate_min, rate_max, self.points_per_decade)
-        points = []
-        for rate in grid:
-            requirement = self.dimensioner.dimension(goal, float(rate))
-            energy_buffer = self.dimensioner.energy_efficiency_buffer(
-                goal, float(rate)
+        batch = self.dimensioner.require_batch(goal, grid)
+        # The energy-efficiency curve IS the energy constraint row of
+        # the batch requirement (inf where the goal is unreachable).
+        energy_buffers = batch.buffer_for(Constraint.ENERGY)
+        points = [
+            DesignSpacePoint(
+                stream_rate_bps=float(rate),
+                requirement=batch.requirement_at(index),
+                energy_buffer_bits=float(energy_buffers[index]),
             )
-            points.append(
-                DesignSpacePoint(
-                    stream_rate_bps=float(rate),
-                    requirement=requirement,
-                    energy_buffer_bits=energy_buffer,
-                )
-            )
+            for index, rate in enumerate(grid)
+        ]
         regions = self._extract_regions(goal, points)
         return DesignSpaceResult(
             goal=goal, points=tuple(points), regions=tuple(regions)
@@ -198,6 +197,14 @@ class DesignSpaceExplorer:
         """Merge consecutive samples with equal state; refine boundaries."""
         if not points:
             return []
+        # Memo shared by every boundary refinement of this sweep: once
+        # a bisection interval collapses to adjacent floats the same mid
+        # rate is produced again and again, and neighbouring boundaries
+        # re-probe each other's endpoints — each distinct rate is
+        # dimensioned once.
+        memo: dict[float, BufferRequirement] = {
+            point.stream_rate_bps: point.requirement for point in points
+        }
         regions: list[DominanceRegion] = []
         run_start = points[0].stream_rate_bps
         state = self._point_state(points[0])
@@ -206,7 +213,7 @@ class DesignSpaceExplorer:
             current = self._point_state(point)
             if current != state:
                 boundary = self._refine_boundary(
-                    goal, previous_rate, point.stream_rate_bps, state
+                    goal, previous_rate, point.stream_rate_bps, state, memo
                 )
                 regions.append(
                     DominanceRegion(
@@ -229,19 +236,32 @@ class DesignSpaceExplorer:
         )
         return regions
 
+    def _dimension_memoized(
+        self,
+        goal: DesignGoal,
+        rate: float,
+        memo: dict[float, BufferRequirement],
+    ) -> BufferRequirement:
+        """One :meth:`BufferDimensioner.dimension` call per distinct rate."""
+        requirement = memo.get(rate)
+        if requirement is None:
+            requirement = memo[rate] = self.dimensioner.dimension(goal, rate)
+        return requirement
+
     def _refine_boundary(
         self,
         goal: DesignGoal,
         rate_low: float,
         rate_high: float,
         low_state: tuple[Constraint, bool],
+        memo: dict[float, BufferRequirement],
         iterations: int = 40,
     ) -> float:
         """Bisect the rate at which the dominance state changes."""
         lo, hi = rate_low, rate_high
         for _ in range(iterations):
             mid = math.sqrt(lo * hi)  # bisect in log space
-            requirement = self.dimensioner.dimension(goal, mid)
+            requirement = self._dimension_memoized(goal, mid, memo)
             if (requirement.dominant, requirement.feasible) == low_state:
                 lo = mid
             else:

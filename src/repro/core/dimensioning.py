@@ -17,6 +17,8 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .. import units
 from ..config import DesignGoal, MEMSDeviceConfig, WorkloadConfig
 from ..errors import InfeasibleDesignError
@@ -126,6 +128,96 @@ class BufferRequirement:
         )
 
 
+@dataclass(frozen=True)
+class BatchRequirement:
+    """Buffer requirements over a whole rate grid, array-natively.
+
+    The batch twin of :class:`BufferRequirement`: one row of
+    ``constraint_buffers`` per constraint (in :attr:`constraints`
+    order), one column per rate.  Infeasible points carry ``inf``;
+    derived arrays are computed lazily and cached, and
+    :meth:`requirement_at` rebuilds the scalar object for any column so
+    point-wise consumers keep their API.
+    """
+
+    goal: DesignGoal
+    rates_bps: np.ndarray
+    constraints: tuple[Constraint, ...]
+    constraint_buffers: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.constraint_buffers.shape != (
+            len(self.constraints),
+            self.rates_bps.size,
+        ):
+            raise ValueError(
+                "constraint_buffers must be (n_constraints, n_rates)"
+            )
+
+    def __len__(self) -> int:
+        return int(self.rates_bps.size)
+
+    def _cached(self, name: str, compute) -> np.ndarray:
+        value = self.__dict__.get(name)
+        if value is None:
+            value = compute()
+            value.setflags(write=False)
+            object.__setattr__(self, name, value)
+        return value
+
+    @property
+    def required_buffer_bits(self) -> np.ndarray:
+        """Minimal buffer meeting all constraints, per rate (``inf`` = X)."""
+        return self._cached(
+            "_required", lambda: self.constraint_buffers.max(axis=0)
+        )
+
+    @property
+    def feasible(self) -> np.ndarray:
+        """Boolean mask of rates where every constraint admits a buffer."""
+        return self._cached(
+            "_feasible", lambda: np.isfinite(self.required_buffer_bits)
+        )
+
+    @property
+    def dominant_index(self) -> np.ndarray:
+        """Index into :attr:`constraints` of the dictating constraint.
+
+        First-of-equal-maxima, matching the scalar
+        :attr:`BufferRequirement.dominant` tie-break; for infeasible
+        points this is the first infeasible constraint (the "X" wall).
+        """
+        return self._cached(
+            "_dominant", lambda: np.argmax(self.constraint_buffers, axis=0)
+        )
+
+    def buffer_for(self, constraint: Constraint) -> np.ndarray:
+        """One constraint's minimal-buffer curve over the grid (bits)."""
+        return self.constraint_buffers[self.constraints.index(constraint)]
+
+    def labels(self) -> list[str]:
+        """Per-rate dominance label (``"X"`` where infeasible)."""
+        feasible = self.feasible
+        return [
+            self.constraints[index].value if feasible[i] else "X"
+            for i, index in enumerate(self.dominant_index)
+        ]
+
+    def requirement_at(self, index: int) -> BufferRequirement:
+        """Rebuild the scalar :class:`BufferRequirement` for one column."""
+        outcomes = tuple(
+            ConstraintOutcome(
+                constraint, float(self.constraint_buffers[row, index])
+            )
+            for row, constraint in enumerate(self.constraints)
+        )
+        return BufferRequirement(
+            goal=self.goal,
+            stream_rate_bps=float(self.rates_bps[index]),
+            outcomes=outcomes,
+        )
+
+
 class BufferDimensioner:
     """Answers §IV.C design questions for one device/workload pair.
 
@@ -177,6 +269,27 @@ class BufferDimensioner:
         )
         return BufferRequirement(
             goal=goal, stream_rate_bps=stream_rate_bps, outcomes=outcomes
+        )
+
+    def require_batch(self, goal: DesignGoal, stream_rates_bps) -> BatchRequirement:
+        """Buffer requirements for ``goal`` over a whole rate grid.
+
+        The batch twin of :meth:`dimension`: all constraint curves are
+        computed in a handful of vectorised passes
+        (:meth:`~repro.core.inverse.InverseSolver.buffers_for_goal_batch`),
+        so dense design-space scans cost array arithmetic instead of
+        per-point Python calls.  Agrees with the scalar path to float
+        rounding; infeasible points carry ``inf``.
+        """
+        rates = np.atleast_1d(np.asarray(stream_rates_bps, dtype=float))
+        buffers = self.solver.buffers_for_goal_batch(goal, rates)
+        constraints = self.constraints
+        stack = np.vstack([buffers[c.key] for c in constraints])
+        return BatchRequirement(
+            goal=goal,
+            rates_bps=rates,
+            constraints=constraints,
+            constraint_buffers=stack,
         )
 
     def require(self, goal: DesignGoal, stream_rate_bps: float) -> float:

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import MechanicalDeviceConfig, WorkloadConfig
 from ..errors import ConfigurationError
 
@@ -119,6 +121,22 @@ class EnergyModel:
     def _check_buffer(self, buffer_bits: float) -> None:
         if buffer_bits <= 0:
             raise ConfigurationError(f"buffer must be > 0 bits, got {buffer_bits!r}")
+
+    def _as_rate_array(self, stream_rate_bps) -> np.ndarray:
+        rates = np.asarray(stream_rate_bps, dtype=float)
+        rm = self.device.transfer_rate_bps
+        if rates.size and not bool(((rates > 0) & (rates < rm)).all()):
+            raise ConfigurationError(
+                f"stream rates must lie in (0, rm={rm:g}) bit/s"
+            )
+        return rates
+
+    @staticmethod
+    def _as_buffer_array(buffer_bits) -> np.ndarray:
+        buffers = np.asarray(buffer_bits, dtype=float)
+        if buffers.size and not bool((buffers > 0).all()):
+            raise ConfigurationError("buffers must be > 0 bits")
+        return buffers
 
     # -- cycle timing ---------------------------------------------------------
 
@@ -310,6 +328,101 @@ class EnergyModel:
             self.break_even_buffer(rate_min_bps),
             self.break_even_buffer(rate_max_bps),
         )
+
+    # -- batch fast paths (array-in/array-out) --------------------------------
+    #
+    # The design-space artefacts are grids of tens of thousands of
+    # operating points; these NumPy twins of the scalar methods above
+    # evaluate a whole grid in a handful of vectorised passes.  Inputs
+    # broadcast against each other (a buffer grid at one rate, a rate
+    # grid at one buffer, or matching grids); the arithmetic mirrors the
+    # scalar expressions term for term so the two paths agree to float
+    # rounding (property-tested in tests/core/test_batch.py).
+
+    def per_bit_energy_batch(self, buffer_bits, stream_rate_bps) -> np.ndarray:
+        """Vectorised Equation (1): ``Em(B)`` in J/bit over grids."""
+        buffers = self._as_buffer_array(buffer_bits)
+        rates = self._as_rate_array(stream_rate_bps)
+        dev = self.device
+        rm = dev.transfer_rate_bps
+        t_rw = buffers / (rm - rates)
+        t_m = t_rw * rm / rates
+        t_be = self.workload.best_effort_fraction * t_m
+        t_sb = t_m - t_rw - t_be - dev.overhead_time_s
+        total = (
+            dev.seek_power_w * dev.seek_time_s
+            + dev.read_write_power_w * t_rw
+            + dev.read_write_power_w * t_be
+            + dev.shutdown_power_w * dev.shutdown_time_s
+            + dev.standby_power_w * t_sb
+        )
+        return total / buffers
+
+    def always_on_per_bit_energy_batch(self, stream_rate_bps) -> np.ndarray:
+        """Vectorised always-on reference energy (J/bit) over a rate grid."""
+        rates = self._as_rate_array(stream_rate_bps)
+        dev = self.device
+        net = dev.transfer_rate_bps - rates
+        return dev.read_write_power_w / net + dev.idle_power_w / rates
+
+    def asymptotic_per_bit_energy_batch(self, stream_rate_bps) -> np.ndarray:
+        """Vectorised buffer->infinity limit of ``Em(B)`` over a rate grid."""
+        rates = self._as_rate_array(stream_rate_bps)
+        dev = self.device
+        rm = dev.transfer_rate_bps
+        net = rm - rates
+        cycle_per_bit = rm / (rates * net)  # Tm / B
+        transfer = (1.0 / net) * (dev.read_write_power_w - dev.standby_power_w)
+        best_effort = (
+            self.workload.best_effort_fraction
+            * cycle_per_bit
+            * (dev.read_write_power_w - dev.standby_power_w)
+        )
+        standby = cycle_per_bit * dev.standby_power_w
+        return transfer + best_effort + standby
+
+    def energy_saving_batch(self, buffer_bits, stream_rate_bps) -> np.ndarray:
+        """Vectorised energy saving ``E(B) = 1 - Em(B)/E_on`` over grids."""
+        return 1.0 - (
+            self.per_bit_energy_batch(buffer_bits, stream_rate_bps)
+            / self.always_on_per_bit_energy_batch(stream_rate_bps)
+        )
+
+    def max_energy_saving_batch(self, stream_rate_bps) -> np.ndarray:
+        """Vectorised supremum of the energy saving over a rate grid."""
+        return 1.0 - (
+            self.asymptotic_per_bit_energy_batch(stream_rate_bps)
+            / self.always_on_per_bit_energy_batch(stream_rate_bps)
+        )
+
+    def break_even_buffer_batch(self, stream_rate_bps) -> np.ndarray:
+        """Vectorised break-even buffer ``B_be`` (bits) over a rate grid."""
+        rates = self._as_rate_array(stream_rate_bps)
+        dev = self.device
+        surplus = dev.overhead_energy_j - dev.standby_power_w * dev.overhead_time_s
+        if surplus <= 0:
+            return np.zeros(rates.shape)
+        return rates * surplus / (dev.idle_power_w - dev.standby_power_w)
+
+    def latency_floor_batch(self, stream_rate_bps) -> np.ndarray:
+        """Vectorised latency floor (bits) over a rate grid.
+
+        Rates whose best-effort share leaves no drain time map to
+        ``inf`` (the scalar path raises instead — on a grid the point is
+        simply infeasible, not a caller error).
+        """
+        rates = self._as_rate_array(stream_rate_bps)
+        rm = self.device.transfer_rate_bps
+        be_share = self.workload.best_effort_fraction * rm / (rm - rates)
+        out = np.full(np.shape(be_share), np.inf)
+        drains = be_share < 1.0
+        np.divide(
+            self.device.overhead_time_s * rates,
+            1.0 - be_share,
+            out=out,
+            where=drains,
+        )
+        return out
 
     # -- misc -----------------------------------------------------------------
 

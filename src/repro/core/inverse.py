@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
 from scipy.optimize import brentq
 
 from ..config import DesignGoal, MEMSDeviceConfig, WorkloadConfig
@@ -197,7 +198,10 @@ class InverseSolver:
         Infeasible constraints are reported as ``math.inf`` so callers can
         distinguish "large" from "impossible" without exception handling;
         :class:`~repro.core.dimensioning.BufferDimensioner` adds richer
-        reporting on top.
+        reporting on top.  That includes the latency floor: a rate whose
+        best-effort share leaves no drain time is an infeasible operating
+        point (``inf``), matching the batch path — only a rate outside
+        ``(0, rm)`` is a caller error.
         """
         results: dict[str, float] = {}
         try:
@@ -221,5 +225,75 @@ class InverseSolver:
             )
         except InfeasibleDesignError:
             results["probes"] = math.inf
-        results["latency"] = self.buffer_for_latency(stream_rate_bps)
+        # The batch twin of the latency floor: identical arithmetic, but
+        # the no-drain-time wall comes back as inf instead of raising,
+        # so dominance-boundary bisection can probe past it.
+        results["latency"] = float(
+            self.buffer_for_latency_batch(np.asarray([stream_rate_bps]))[0]
+        )
+        return results
+
+    # -- batch fast paths ---------------------------------------------------
+
+    def buffer_for_energy_saving_batch(
+        self, saving, stream_rate_bps
+    ) -> np.ndarray:
+        """Vectorised energy inverse over saving and/or rate grids.
+
+        The closed form of :meth:`buffer_for_energy_saving` evaluated
+        array-natively; ``saving`` and ``stream_rate_bps`` broadcast
+        against each other.  Unreachable savings map to ``inf`` instead
+        of raising — the "X" wall becomes a masked region of the grid.
+        """
+        savings = np.asarray(saving, dtype=float)
+        if savings.size and not bool(
+            ((savings >= 0) & (savings < 1)).all()
+        ):
+            raise ConfigurationError("savings must lie in [0, 1)")
+        headroom = (1.0 - savings) * self.energy.always_on_per_bit_energy_batch(
+            stream_rate_bps
+        ) - self.energy.asymptotic_per_bit_energy_batch(stream_rate_bps)
+        dev = self.device
+        numerator = dev.overhead_time_s * (
+            dev.overhead_power_w - dev.standby_power_w
+        )
+        out = np.full(np.shape(headroom), np.inf)
+        reachable = headroom > 0
+        if numerator <= 0:
+            out[reachable] = 0.0
+        else:
+            np.divide(numerator, headroom, out=out, where=reachable)
+        return out
+
+    def buffer_for_latency_batch(self, stream_rate_bps) -> np.ndarray:
+        """Vectorised latency floor over a rate grid (``inf`` = no drain)."""
+        return self.energy.latency_floor_batch(stream_rate_bps)
+
+    def buffers_for_goal_batch(
+        self, goal: DesignGoal, stream_rates_bps
+    ) -> dict[str, np.ndarray]:
+        """Per-constraint minimal-buffer curves over a whole rate grid.
+
+        The batch twin of :meth:`buffers_for_goal`: every constraint is
+        evaluated in a handful of vectorised passes (the closed-form
+        inverses directly; the sector-layout inverse as one sorted
+        walk), with infeasible points mapping to ``inf``.
+        """
+        rates = np.atleast_1d(np.asarray(stream_rates_bps, dtype=float))
+        results: dict[str, np.ndarray] = {}
+        results["energy"] = self.buffer_for_energy_saving_batch(
+            goal.energy_saving, rates
+        )
+        try:
+            capacity = self.buffer_for_capacity(goal.capacity_utilisation)
+        except InfeasibleDesignError:
+            capacity = math.inf
+        results["capacity"] = np.full(rates.shape, capacity)
+        results["springs"] = self.lifetime.springs.min_buffer_for_lifetime_batch(
+            goal.lifetime_years, rates
+        )
+        results["probes"] = self.lifetime.probes.min_buffer_for_lifetime_batch(
+            goal.lifetime_years, rates
+        )
+        results["latency"] = self.buffer_for_latency_batch(rates)
         return results

@@ -29,9 +29,18 @@ volume, e.g. 2.0 for a write-verify pass; see DESIGN.md §4.5.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import MEMSDeviceConfig, WorkloadConfig
 from ..errors import ConfigurationError, InfeasibleDesignError
 from .capacity import CapacityModel
+
+
+def _as_positive_rates(stream_rate_bps) -> np.ndarray:
+    rates = np.asarray(stream_rate_bps, dtype=float)
+    if rates.size and not bool((rates > 0).all()):
+        raise ConfigurationError("stream rates must be > 0")
+    return rates
 
 
 class SpringsModel:
@@ -75,6 +84,33 @@ class SpringsModel:
             lifetime_years
             * self.workload.playback_seconds_per_year
             * stream_rate_bps
+            / self.device.springs_duty_cycles
+        )
+
+    # -- batch fast paths ---------------------------------------------------
+
+    def lifetime_years_batch(self, buffer_bits, stream_rate_bps) -> np.ndarray:
+        """Vectorised Equation (5) over buffer/rate grids (broadcast)."""
+        buffers = np.asarray(buffer_bits, dtype=float)
+        if buffers.size and not bool((buffers > 0).all()):
+            raise ConfigurationError("buffers must be > 0 bits")
+        rates = _as_positive_rates(stream_rate_bps)
+        refills = (
+            self.workload.playback_seconds_per_year * rates / buffers
+        )
+        return self.device.springs_duty_cycles / refills
+
+    def min_buffer_for_lifetime_batch(
+        self, lifetime_years: float, stream_rate_bps
+    ) -> np.ndarray:
+        """Vectorised inverse of Equation (5) over a rate grid."""
+        if lifetime_years <= 0:
+            raise ConfigurationError("lifetime must be > 0 years")
+        rates = _as_positive_rates(stream_rate_bps)
+        return (
+            lifetime_years
+            * self.workload.playback_seconds_per_year
+            * rates
             / self.device.springs_duty_cycles
         )
 
@@ -201,6 +237,55 @@ class ProbesModel:
                 constraint="probes",
             )
         return self.capacity.min_buffer_for_utilisation(required_ratio)
+
+    # -- batch fast paths ---------------------------------------------------
+
+    def lifetime_years_batch(self, buffer_bits, stream_rate_bps) -> np.ndarray:
+        """Vectorised Equation (6) over buffer/rate grids (broadcast)."""
+        buffers = np.asarray(buffer_bits, dtype=float)
+        rates = _as_positive_rates(stream_rate_bps)
+        sector_bits = self.capacity.sector_bits_batch(buffers)
+        refills = (
+            self.workload.playback_seconds_per_year
+            * rates
+            / np.floor(buffers)
+        )
+        written = (
+            self.workload.write_fraction
+            * self.device.probe_wear_factor
+            * sector_bits
+            * refills
+        )
+        budget = self.device.capacity_bits * self.device.probe_write_cycles
+        out = np.full(np.shape(written), np.inf)
+        np.divide(budget, written, out=out, where=written != 0)
+        return out
+
+    def min_buffer_for_lifetime_batch(
+        self, lifetime_years: float, stream_rate_bps
+    ) -> np.ndarray:
+        """Vectorised inverse of Equation (6) over a rate grid.
+
+        Rates whose lifetime ceiling is below the target (the Lpb wall
+        of Figure 3b) map to ``inf`` instead of raising; the exact
+        sector-layout inverse resolves the rest in one sorted pass.
+        """
+        if lifetime_years <= 0:
+            raise ConfigurationError("lifetime must be > 0 years")
+        rates = _as_positive_rates(stream_rate_bps)
+        wear = (
+            self.workload.write_fraction
+            * self.device.probe_wear_factor
+            * self.workload.playback_seconds_per_year
+            * rates
+        )
+        if (
+            self.workload.write_fraction * self.device.probe_wear_factor == 0
+        ):
+            return np.zeros(rates.shape)
+        budget = self.device.capacity_bits * self.device.probe_write_cycles
+        required_ratio = lifetime_years * wear / budget
+        return self.capacity.min_buffer_for_utilisation_batch(required_ratio)
 
 
 class LifetimeModel:

@@ -123,21 +123,37 @@ def energy_buffer_frontier(
         ]
     )
     targets = np.unique(np.clip(targets, 0.0, 0.999999))
-    frontier_points = []
-    for target in targets:
-        goal = DesignGoal(
+    # Only the energy constraint varies along the frontier: evaluate the
+    # capacity/lifetime/latency floors once at this operating point and
+    # vectorise the closed-form energy inverse over all targets.
+    floor_goal = DesignGoal(
+        energy_saving=0.0,
+        capacity_utilisation=capacity_utilisation,
+        lifetime_years=lifetime_years,
+    )
+    floors = dimensioner.solver.buffers_for_goal(floor_goal, stream_rate_bps)
+    constraints = dimensioner.constraints
+    energy_buffers = dimensioner.solver.buffer_for_energy_saving_batch(
+        targets, stream_rate_bps
+    )
+    stack = np.vstack(
+        [
+            energy_buffers
+            if constraint is Constraint.ENERGY
+            else np.full(targets.shape, floors[constraint.key])
+            for constraint in constraints
+        ]
+    )
+    required = stack.max(axis=0)
+    dominant = np.argmax(stack, axis=0)  # first max = scalar tie-break
+    frontier_points = [
+        ParetoPoint(
             energy_saving=float(target),
-            capacity_utilisation=capacity_utilisation,
-            lifetime_years=lifetime_years,
+            buffer_bits=float(buffer_bits),
+            dominant=constraints[int(index)],
         )
-        requirement = dimensioner.dimension(goal, stream_rate_bps)
-        frontier_points.append(
-            ParetoPoint(
-                energy_saving=float(target),
-                buffer_bits=requirement.required_buffer_bits,
-                dominant=requirement.dominant,
-            )
-        )
+        for target, buffer_bits, index in zip(targets, required, dominant)
+    ]
     return ParetoFrontier(
         stream_rate_bps=stream_rate_bps,
         capacity_utilisation=capacity_utilisation,

@@ -136,17 +136,20 @@ def compare_energy_goals(
         ]
         grid = np.unique(np.concatenate([grid, in_range]))
 
-    points = []
-    for rate in grid:
-        high = dimensioner.dimension(goal_high, float(rate))
-        low = dimensioner.dimension(goal_low, float(rate))
-        points.append(
-            TradeoffPoint(
-                stream_rate_bps=float(rate),
-                buffer_high_bits=high.required_buffer_bits,
-                buffer_low_bits=low.required_buffer_bits,
-            )
+    # Both goals evaluated array-natively over the whole grid: two
+    # batch passes replace 2 x len(grid) scalar dimensioning calls.
+    high = dimensioner.require_batch(goal_high, grid)
+    low = dimensioner.require_batch(goal_low, grid)
+    points = [
+        TradeoffPoint(
+            stream_rate_bps=float(rate),
+            buffer_high_bits=float(high_bits),
+            buffer_low_bits=float(low_bits),
         )
+        for rate, high_bits, low_bits in zip(
+            grid, high.required_buffer_bits, low.required_buffer_bits
+        )
+    ]
     return TradeoffAnalysis(
         goal_high=goal_high, goal_low=goal_low, points=tuple(points)
     )

@@ -93,25 +93,17 @@ def _panel(
 
 
 def _result_table(title: str, result: DesignSpaceResult) -> Table:
-    rows = []
-    for point in result.points:
-        requirement = point.requirement
-        rows.append(
-            (
-                point.stream_rate_bps / 1000,
-                (
-                    units.bits_to_kb(requirement.required_buffer_bits)
-                    if requirement.feasible
-                    else float("inf")
-                ),
-                (
-                    units.bits_to_kb(point.energy_buffer_bits)
-                    if math.isfinite(point.energy_buffer_bits)
-                    else float("inf")
-                ),
-                requirement.dominant.value if requirement.feasible else "X",
-            )
+    # Array-native: the sweep already carries its series as arrays, and
+    # infeasible entries are inf by construction — no per-point guards.
+    rates_kbps = result.rates_bps / 1000
+    required_kb = units.bits_to_kb(result.required_buffer_bits)
+    energy_kb = units.bits_to_kb(result.energy_buffer_bits)
+    rows = [
+        (float(rate), float(required), float(energy), label)
+        for rate, required, energy, label in zip(
+            rates_kbps, required_kb, energy_kb, result.dominant_labels
         )
+    ]
     return Table(
         title=title,
         headers=(

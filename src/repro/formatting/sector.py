@@ -29,8 +29,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError, InfeasibleDesignError
-from .ecc import ECCScheme, FractionalECC
+from .ecc import ECCScheme, FractionalECC, NoECC
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,35 @@ class SectorLayout:
     def utilisation(self, user_bits: int) -> float:
         """Capacity utilisation ``u(Su) = Su / S`` (Equation 4)."""
         return user_bits / self.sector_bits(user_bits)
+
+    def ecc_bits_batch(self, user_bits: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`ECCScheme.ecc_bits` over an integer array.
+
+        Exact integer arithmetic for the built-in schemes (the paper's
+        fractional model and the no-ECC baseline); arbitrary schemes
+        fall back to a per-element loop so the batch path never changes
+        an answer, only its speed.
+        """
+        user_bits = np.asarray(user_bits, dtype=np.int64)
+        if isinstance(self.ecc, FractionalECC):
+            num, den = self.ecc.numerator, self.ecc.denominator
+            return -((-user_bits * num) // den)  # ceil for positive inputs
+        if isinstance(self.ecc, NoECC):
+            return np.zeros_like(user_bits)
+        flat = np.array(
+            [self.ecc.ecc_bits(int(u)) for u in user_bits.ravel()],
+            dtype=np.int64,
+        )
+        return flat.reshape(user_bits.shape)
+
+    def sector_bits_batch(self, user_bits: np.ndarray) -> np.ndarray:
+        """Vectorised Equations (2)-(3): stored sector sizes for a grid."""
+        user_bits = np.asarray(user_bits, dtype=np.int64)
+        if user_bits.size and int(user_bits.min()) <= 0:
+            raise ConfigurationError("user_bits must be > 0")
+        payload = user_bits + self.ecc_bits_batch(user_bits)
+        subsector = -((-payload) // self.stripe_width) + self.sync_bits_per_subsector
+        return self.stripe_width * subsector
 
     def format_sector(self, user_bits: int) -> SectorFormat:
         """Resolve the complete layout for a sector of ``user_bits``."""
@@ -209,13 +240,7 @@ class SectorLayout:
 
         c = self.sync_bits_per_subsector
         k = self.stripe_width
-        # Smooth-envelope estimate of the required subsector size; the exact
-        # answer can only be >= this (ceilings never help), so start there.
-        denominator = 1.0 - target * (1.0 + self.ecc.overhead_ratio())
-        if c == 0:
-            s_start = 1
-        else:
-            s_start = max(1 + c, math.floor(c / denominator))
+        s_start = self._start_subsector(target)
         # The envelope also bounds how far we may have to look: utilisation
         # within a subsector class s is at most (1 - c/s)/(1 + e) + slack of
         # one payload column, so a proportional safety margin suffices.
@@ -234,6 +259,85 @@ class SectorLayout:
             f"{target:.4f}; supremum is {supremum:.4f}",
             constraint="capacity",
         )
+
+    def _start_subsector(self, target: float) -> int:
+        """Smooth-envelope estimate of the subsector size ``target`` needs.
+
+        The exact answer can only be >= this (ceilings never help), so
+        the inverse search starts here.  Monotone non-decreasing in the
+        target, which is what lets the batch inverse walk a sorted grid
+        of targets in one forward pass.
+        """
+        c = self.sync_bits_per_subsector
+        if c == 0:
+            return 1
+        denominator = 1.0 - target * (1.0 + self.ecc.overhead_ratio())
+        return max(1 + c, math.floor(c / denominator))
+
+    def min_user_bits_for_utilisation_batch(
+        self, targets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`min_user_bits_for_utilisation` over a grid.
+
+        Returns a float array of minimal ``Su`` values; targets at or
+        above the ECC supremum — or unreachable within the scalar
+        search bound, which chunky ECC schemes can produce below it —
+        map to ``inf`` (infeasibility is a result on a grid, not an
+        error).  Exactness is preserved: targets are
+        sorted and resolved in one forward walk over subsector sizes,
+        using the prefix property that within a subsector class a
+        smaller target is admitted whenever a larger one is — so every
+        point gets the same first-admitting subsector (and hence the
+        same answer, bit for bit) as the scalar search.
+        """
+        t = np.asarray(targets, dtype=float)
+        flat = t.ravel()
+        out = np.full(flat.shape, math.inf)
+        if flat.size == 0:
+            return out.reshape(t.shape)
+        if np.any(np.isnan(flat)) or not bool((flat > 0).all()):
+            raise ConfigurationError("targets must be positive")
+        feasible = np.flatnonzero(flat < self.utilisation_supremum)
+        if feasible.size:
+            order = feasible[np.argsort(flat[feasible], kind="stable")]
+            self._resolve_sorted_targets(flat, order, out)
+        return out.reshape(t.shape)
+
+    def _resolve_sorted_targets(
+        self, targets: np.ndarray, order: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Resolve ``targets[order]`` (ascending) into ``out`` in place.
+
+        Walks subsector sizes upward once, resolving the prefix of
+        still-open targets each size admits; jumping to the next
+        target's envelope start skips only sizes the scalar search
+        would never have visited for any remaining target.
+        """
+        c = self.sync_bits_per_subsector
+        k = self.stripe_width
+        pos = 0
+        s = 0
+        while pos < order.size:
+            s = max(
+                s, self._start_subsector(float(targets[order[pos]])), c + 1
+            )
+            su_max = self._max_user_bits_with_payload(k * (s - c))
+            while pos < order.size:
+                target = float(targets[order[pos]])
+                if s > max(self._start_subsector(target) * 4 + 64, 1024):
+                    # Past this target's scalar search bound without an
+                    # admitting subsector: the scalar path raises per
+                    # target (callers fold it to inf per point), so the
+                    # batch leaves inf and moves on — one chunky-ECC
+                    # target must not poison the rest of the grid.
+                    pos += 1
+                    continue
+                su_needed = math.ceil(target * k * s)
+                if su_max <= 0 or su_needed > su_max:
+                    break
+                out[order[pos]] = float(su_needed)
+                pos += 1
+            s += 1
 
     def _max_user_bits_with_payload(self, payload_capacity: int) -> int:
         """Largest ``Su`` with ``Su + ecc_bits(Su) <= payload_capacity``."""

@@ -16,6 +16,8 @@ content-addressed memoization, and a persistent JSONL result store:
 * :mod:`~repro.runner.provenance` — version + config-hash stamps that
   detect results produced by older model code,
 * :mod:`~repro.runner.campaign` — the declarative high-level API,
+* :mod:`~repro.runner.sharding` — million-point sweeps as sharded,
+  resumable campaigns over the batch-evaluation fast paths,
 * :mod:`~repro.runner.monitor` — progress hooks in the
   :mod:`repro.sim.monitor` idiom.
 
@@ -57,6 +59,12 @@ from .jobs import (
 from .monitor import ProgressMonitor
 from .provenance import config_content_hash, provenance_stamp
 from .queue import JobEvent, parallel_map, run_jobs, topological_order
+from .sharding import (
+    collect_points,
+    run_sharded_sweep,
+    shard_grid,
+    sharded_sweep_campaign,
+)
 from .store import ResultStore, migrate_store
 
 __all__ = [
@@ -77,6 +85,7 @@ __all__ = [
     "STATUS_SKIPPED",
     "SqliteBackend",
     "StoreBackend",
+    "collect_points",
     "config_content_hash",
     "content_key",
     "migrate_store",
@@ -85,5 +94,8 @@ __all__ = [
     "registry_campaign",
     "run_campaign",
     "run_jobs",
+    "run_sharded_sweep",
+    "shard_grid",
+    "sharded_sweep_campaign",
     "topological_order",
 ]

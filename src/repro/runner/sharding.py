@@ -1,0 +1,376 @@
+"""Sharded sweeps: million-point grids as resumable, cached campaigns.
+
+One ``sweep_parameter(jobs=N)`` call parallelises a grid but lives and
+dies with its process.  Sharding instead splits a grid into contiguous
+shards and expresses the sweep *as a campaign*: one content-hash-keyed
+:class:`~repro.runner.jobs.JobSpec` per shard plus an ``after``-merge
+job, all streamed through the persistent
+:class:`~repro.runner.store.ResultStore`.  That buys, for free, every
+property the campaign engine already has:
+
+* **resumable** — each completed shard is cache-put under its content
+  key the moment it finishes, so re-running an interrupted sweep
+  resolves finished shards from cache and computes only the rest;
+* **cached** — an unchanged grid re-run is pure cache hits, and a grid
+  edit re-computes only the shards whose values changed (content keys
+  hash the shard's values, not its position);
+* **parallel** — shards fan out across the worker pool like any other
+  jobs.
+
+Shard jobs call an importable target once per shard.  With
+``batch=True`` (the default) the target receives the whole shard as an
+array-ready list — the natural fit for the model core's vectorised
+fast paths (e.g. ``"repro.core.batch:evaluate_rate_grid"``) — and
+returns either a mapping of metric name to per-point series or one
+value per point.  With ``batch=False`` the target is called per point,
+with :class:`~repro.errors.InfeasibleDesignError` recorded as ``inf``.
+
+The merge job runs after every shard, reads their records back from
+the store, flushes one record per grid point in batched
+``append_many`` transactions (point records carry a deterministic
+content key — :func:`point_key` — so any point of a swept grid is an
+O(log n) store lookup), and returns a compact summary — never the
+million-point payload itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from ..errors import ConfigurationError, InfeasibleDesignError
+from .campaign import Campaign
+from .jobs import content_key, json_safe, resolve_callable
+from .store import ResultStore
+
+#: Dotted paths the shard and merge jobs resolve in worker processes.
+SHARD_TARGET = "repro.runner.sharding:evaluate_shard"
+MERGE_TARGET = "repro.runner.sharding:merge_shards"
+
+#: Pseudo-kind hashed into per-point record keys.  Deliberately NOT a
+#: schedulable job kind: a point record holds one point's metrics, not
+#: what a single-point *job* of the target would return (that job sees
+#: a scalar argument and may shape its output differently), so these
+#: records must never be served as cache hits for real jobs.
+POINT_KIND = "point"
+
+#: Point records are flushed to the store in batches of this many, so a
+#: million-point merge never holds more than one batch of JSON lines /
+#: SQL rows beyond the decoded shard payloads.
+FLUSH_CHUNK = 50_000
+
+
+def shard_grid(values: Sequence[Any], shards: int) -> list[list[Any]]:
+    """Split a grid into at most ``shards`` contiguous, non-empty chunks.
+
+    Chunk sizes differ by at most one and concatenate back to the
+    original grid in order.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    count = len(values)
+    if count == 0:
+        raise ConfigurationError("cannot shard an empty grid")
+    shards = min(shards, count)
+    return [
+        list(values[index * count // shards : (index + 1) * count // shards])
+        for index in range(shards)
+    ]
+
+
+def _per_point(result: Any, count: int) -> list[Any]:
+    """Normalise a batch target's return value to one entry per point."""
+    if isinstance(result, Mapping):
+        series = {}
+        for name, values in result.items():
+            values = list(values)
+            if len(values) != count:
+                raise ConfigurationError(
+                    f"batch target metric {name!r} returned {len(values)} "
+                    f"values for a {count}-point shard"
+                )
+            series[name] = values
+        return [
+            {name: series[name][index] for name in series}
+            for index in range(count)
+        ]
+    points = list(result)
+    if len(points) != count:
+        raise ConfigurationError(
+            f"batch target returned {len(points)} values for a "
+            f"{count}-point shard"
+        )
+    return points
+
+
+def evaluate_shard(
+    sweep_target: str,
+    parameter: str,
+    values: Sequence[Any],
+    common: Mapping[str, Any] | None = None,
+    batch: bool = True,
+) -> dict[str, Any]:
+    """Evaluate one contiguous shard of a sweep grid (worker entry point).
+
+    Returns a JSON-safe payload carrying the shard's grid values and one
+    result per point, which the merge job later reassembles in shard
+    order.
+    """
+    func = resolve_callable(sweep_target)
+    kwargs = dict(common or {})
+    values = list(values)
+    if batch:
+        points = _per_point(func(**{parameter: values}, **kwargs), len(values))
+    else:
+        points = []
+        for value in values:
+            try:
+                points.append(func(**{parameter: value}, **kwargs))
+            except InfeasibleDesignError:
+                points.append(math.inf)
+    return {
+        "parameter": parameter,
+        "values": json_safe(values),
+        "points": json_safe(points),
+    }
+
+
+def _point_summary(points: list[Any]) -> dict[str, dict[str, Any]]:
+    """Finite-count/min/max per numeric metric of the merged points."""
+    series: dict[str, list[float]] = {}
+    for point in points:
+        items = (
+            point.items()
+            if isinstance(point, Mapping)
+            else [("value", point)]
+        )
+        for name, value in items:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                series.setdefault(name, []).append(float(value))
+    summary = {}
+    for name, values in series.items():
+        finite = [v for v in values if math.isfinite(v)]
+        summary[name] = {
+            "finite": len(finite),
+            "min": min(finite) if finite else None,
+            "max": max(finite) if finite else None,
+        }
+    return summary
+
+
+def _read_shard_payloads(
+    store: ResultStore, shard_keys: Sequence[str], store_path: str
+) -> tuple[list[Any], list[Any]]:
+    """Concatenate shard payloads from the store, in shard order.
+
+    Raises :class:`~repro.errors.ConfigurationError` when a shard has
+    no ``ok`` record — the sweep was not (fully) run against this
+    store.
+    """
+    values: list[Any] = []
+    points: list[Any] = []
+    for key in shard_keys:
+        record = store.get(key)
+        if record is None:
+            raise ConfigurationError(
+                f"shard {key} has no ok record in {store_path!r}; "
+                "run the sweep campaign against this store first"
+            )
+        payload = record["value"]
+        values.extend(payload["values"])
+        points.extend(payload["points"])
+    return values, points
+
+
+def point_key(
+    sweep_target: str,
+    parameter: str,
+    value: Any,
+    common: Mapping[str, Any] | None = None,
+) -> str:
+    """Deterministic content key of one grid point of one sweep.
+
+    The merge job files every grid point under this key, so any point
+    of an already-swept grid is one indexed ``store.get`` away.  The
+    key hashes :data:`POINT_KIND`, never a schedulable job kind — point
+    records are a query surface, not cache entries for real jobs.
+    """
+    return content_key(
+        POINT_KIND, sweep_target, {parameter: value, **dict(common or {})}
+    )
+
+
+def merge_shards(
+    store_path: str,
+    shard_keys: Sequence[str],
+    sweep_target: str,
+    parameter: str,
+    prefix: str,
+    common: Mapping[str, Any] | None = None,
+    store_backend: str | None = None,
+) -> dict[str, Any]:
+    """Merge shard records from the store into per-point records + summary.
+
+    Reads each shard's stored payload (every shard record is in the
+    store by the time this job is scheduled — the scheduler cache-puts
+    results before releasing dependents), concatenates them in shard
+    order, and flushes one record per grid point through
+    ``ResultStore.append_many`` in :data:`FLUSH_CHUNK`-sized batches —
+    one durability barrier (JSONL) or one transaction (SQLite) per
+    batch instead of a commit per record.  Re-merging after an
+    interrupt may append duplicate point records; latest-wins store
+    semantics make that harmless and ``compact()`` reclaims them.
+    """
+    store = ResultStore(store_path, backend=store_backend)
+    try:
+        merged_values, merged_points = _read_shard_payloads(
+            store, shard_keys, store_path
+        )
+        flushed = 0
+        chunk: list[dict[str, Any]] = []
+        for value, point in zip(merged_values, merged_points):
+            chunk.append(
+                {
+                    "key": point_key(sweep_target, parameter, value, common),
+                    "job_id": f"{prefix}[{value}]",
+                    "status": "ok",
+                    "value": point,
+                }
+            )
+            if len(chunk) >= FLUSH_CHUNK:
+                store.append_many(chunk)
+                flushed += len(chunk)
+                chunk = []
+        store.append_many(chunk)
+        flushed += len(chunk)
+    finally:
+        store.close()
+    return {
+        "parameter": parameter,
+        "points": len(merged_points),
+        "shards": len(shard_keys),
+        "point_records": flushed,
+        "metrics": _point_summary(merged_points),
+    }
+
+
+def sharded_sweep_campaign(
+    name: str,
+    target: str,
+    parameter: str,
+    values: Sequence[Any],
+    *,
+    store_path: str,
+    shards: int = 8,
+    store_backend: str | None = None,
+    common: Mapping[str, Any] | None = None,
+    retries: int = 0,
+    batch: bool = True,
+) -> Campaign:
+    """Build the campaign for one sharded sweep.
+
+    Jobs ``{name}/shard0000 ... {name}/shardNNNN`` each evaluate one
+    contiguous chunk of ``values`` via :func:`evaluate_shard`;
+    ``{name}/merge`` runs ``after`` all of them and streams the
+    per-point records into the store at ``store_path``.  Run it with
+    ``run_campaign(campaign, store_path=store_path, jobs=N)`` — the
+    same store makes the sweep resumable and re-runs cached.
+    """
+    common = dict(common or {})
+    campaign = Campaign(name)
+    shard_ids: list[str] = []
+    shard_keys: list[str] = []
+    for index, chunk in enumerate(shard_grid(values, shards)):
+        job_id = f"{name}/shard{index:04d}"
+        campaign.call(
+            job_id,
+            SHARD_TARGET,
+            retries=retries,
+            sweep_target=target,
+            parameter=parameter,
+            values=chunk,
+            common=common,
+            batch=batch,
+        )
+        shard_ids.append(job_id)
+        shard_keys.append(campaign.specs[-1].key)
+    campaign.call(
+        f"{name}/merge",
+        MERGE_TARGET,
+        after=shard_ids,
+        retries=retries,
+        store_path=str(store_path),
+        shard_keys=shard_keys,
+        sweep_target=target,
+        parameter=parameter,
+        prefix=name,
+        common=common,
+        store_backend=store_backend,
+    )
+    return campaign
+
+
+def run_sharded_sweep(
+    name: str,
+    target: str,
+    parameter: str,
+    values: Sequence[Any],
+    *,
+    store_path: str,
+    shards: int = 8,
+    jobs: int = 1,
+    store_backend: str | None = None,
+    common: Mapping[str, Any] | None = None,
+    retries: int = 0,
+    batch: bool = True,
+    monitor: Any = None,
+    strict: bool = True,
+):
+    """Build and execute a sharded sweep; return its ``CampaignResult``.
+
+    The merge summary is at ``result.results[f"{name}/merge"].value``;
+    the full per-point series reassembles with :func:`collect_points`.
+    """
+    from .campaign import run_campaign
+
+    campaign = sharded_sweep_campaign(
+        name,
+        target,
+        parameter,
+        values,
+        store_path=store_path,
+        shards=shards,
+        store_backend=store_backend,
+        common=common,
+        retries=retries,
+        batch=batch,
+    )
+    return run_campaign(
+        campaign,
+        jobs=jobs,
+        store_path=store_path,
+        store_backend=store_backend,
+        monitor=monitor,
+        strict=strict,
+    )
+
+
+def collect_points(
+    store_path: str,
+    campaign: Campaign,
+    store_backend: str | None = None,
+) -> tuple[list[Any], list[Any]]:
+    """Reassemble a sharded sweep's full ``(values, points)`` from its store.
+
+    Streams shard records in shard order, so the caller gets the same
+    series a monolithic sweep would have produced without the merge
+    record ever having to carry it.
+    """
+    shard_keys = [
+        spec.key for spec in campaign.specs if spec.target == SHARD_TARGET
+    ]
+    store = ResultStore(store_path, backend=store_backend)
+    try:
+        return _read_shard_payloads(store, shard_keys, store_path)
+    finally:
+        store.close()

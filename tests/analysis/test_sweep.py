@@ -29,7 +29,7 @@ class TestSweep:
 
         result = sweep_parameter("x", [1, 2, 3], {"m": sometimes})
         assert result.metric("m") == (1.0, 2.0, math.inf)
-        assert result.finite_mask("m") == (True, True, False)
+        assert result.finite_mask("m").tolist() == [True, True, False]
 
     def test_argmin_argmax_ignore_inf(self):
         def metric(x):
@@ -54,3 +54,71 @@ class TestSweep:
             sweep_parameter("x", [], {"m": float})
         with pytest.raises(ValueError):
             sweep_parameter("x", [1], {})
+
+    def test_as_arrays_cached(self):
+        result = sweep_parameter("x", [1, 2, 3], {"m": lambda x: float(x)})
+        values, metrics = result.as_arrays()
+        assert values.tolist() == [1, 2, 3]
+        assert metrics["m"].tolist() == [1.0, 2.0, 3.0]
+        # Cached: repeated access returns the same arrays, no rebuild.
+        assert result.as_arrays()[1]["m"] is metrics["m"]
+
+
+class TestBatchMetric:
+    def test_evaluated_once_for_whole_grid(self):
+        from repro.analysis.sweep import BatchMetric
+
+        calls = []
+
+        def batch(values):
+            calls.append(len(values))
+            return [v * v for v in values]
+
+        result = sweep_parameter(
+            "x",
+            [1, 2, 3],
+            {"batch": BatchMetric(batch), "scalar": lambda x: 2.0 * x},
+        )
+        assert calls == [3]
+        assert result.metric("batch") == (1.0, 4.0, 9.0)
+        assert result.metric("scalar") == (2.0, 4.0, 6.0)
+
+    def test_model_core_batch_metric(self):
+        from repro.analysis.sweep import BatchMetric
+        from repro.config import ibm_mems_prototype, table1_workload
+        from repro.core.energy import EnergyModel
+
+        model = EnergyModel(ibm_mems_prototype(), table1_workload())
+        grid = [32_000.0, 1_024_000.0, 4_000_000.0]
+        result = sweep_parameter(
+            "rate_bps",
+            grid,
+            {"break_even": BatchMetric(model.break_even_buffer_batch)},
+        )
+        assert result.metric("break_even") == tuple(
+            model.break_even_buffer(r) for r in grid
+        )
+
+    def test_blanket_infeasibility_maps_to_inf(self):
+        from repro.analysis.sweep import BatchMetric
+
+        def never(values):
+            raise InfeasibleDesignError("nope")
+
+        result = sweep_parameter("x", [1, 2], {"m": BatchMetric(never)})
+        assert result.metric("m") == (math.inf, math.inf)
+
+    def test_shape_mismatch_rejected(self):
+        from repro.analysis.sweep import BatchMetric
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(
+                "x", [1, 2], {"m": BatchMetric(lambda values: [1.0])}
+            )
+
+    def test_scalar_call_fallback(self):
+        from repro.analysis.sweep import BatchMetric
+
+        metric = BatchMetric(lambda values: [v + 1 for v in values])
+        assert metric(41) == 42.0

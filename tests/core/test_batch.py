@@ -1,0 +1,361 @@
+"""Scalar <-> batch parity: the vectorised fast paths change speed only.
+
+Every ``*_batch`` method must agree with its scalar twin — to float
+rounding (1e-9 relative) for the closed forms, bit for bit for the
+exact integer inverses — over random configs, goals, and grids,
+including infeasible points, which the batch paths encode as ``inf``
+where the scalar paths raise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DesignGoal, WorkloadConfig, ibm_mems_prototype, table1_workload
+from repro.core.capacity import CapacityModel
+from repro.core.dimensioning import BufferDimensioner
+from repro.core.energy import EnergyModel
+from repro.core.lifetime import LifetimeModel
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.formatting.ecc import FractionalECC
+from repro.formatting.sector import SectorLayout
+
+DEVICE = ibm_mems_prototype()
+WORKLOAD = table1_workload()
+RM = DEVICE.transfer_rate_bps
+
+RTOL = 1e-9
+
+
+def close(batch, scalar):
+    """Parity check tolerating inf==inf (infeasible on both paths)."""
+    return np.allclose(
+        np.asarray(batch, dtype=float),
+        np.asarray(scalar, dtype=float),
+        rtol=RTOL,
+        atol=0.0,
+    )
+
+
+# Random-but-valid model inputs.  Devices perturb the Table I prototype
+# within its physical envelope (standby < idle is enforced by config
+# validation, so scale idle upward only).
+devices = st.builds(
+    lambda seek, rw, idle_f, sync, springs, probes, wear: DEVICE.replace(
+        seek_time_s=seek,
+        read_write_power_w=rw,
+        idle_power_w=DEVICE.idle_power_w * idle_f,
+        sync_bits_per_subsector=sync,
+        springs_duty_cycles=springs,
+        probe_write_cycles=probes,
+        probe_wear_factor=wear,
+    ),
+    seek=st.floats(min_value=1e-4, max_value=0.05),
+    rw=st.floats(min_value=0.05, max_value=1.0),
+    idle_f=st.floats(min_value=1.0, max_value=4.0),
+    sync=st.integers(min_value=0, max_value=8),
+    springs=st.floats(min_value=1e6, max_value=1e12),
+    probes=st.floats(min_value=10.0, max_value=1000.0),
+    wear=st.floats(min_value=0.5, max_value=2.0),
+)
+workloads = st.builds(
+    WorkloadConfig,
+    hours_per_day=st.floats(min_value=1.0, max_value=24.0),
+    # Exactly zero (pure read) or sane: a denormal write fraction
+    # underflows the probes ratio to 0.0, which both paths reject.
+    write_fraction=st.one_of(
+        st.just(0.0), st.floats(min_value=1e-9, max_value=1.0)
+    ),
+    best_effort_fraction=st.floats(min_value=0.0, max_value=0.25),
+)
+goals = st.builds(
+    DesignGoal,
+    energy_saving=st.floats(min_value=0.0, max_value=0.95),
+    capacity_utilisation=st.floats(min_value=0.05, max_value=0.95),
+    lifetime_years=st.floats(min_value=0.25, max_value=25.0),
+)
+rate_grids = st.lists(
+    st.floats(min_value=1_000.0, max_value=RM * 0.999),
+    min_size=1,
+    max_size=40,
+).map(np.asarray)
+buffer_grids = st.lists(
+    st.floats(min_value=1.0, max_value=1e12),
+    min_size=1,
+    max_size=40,
+).map(np.asarray)
+
+
+class TestEnergyParity:
+    @given(devices, workloads, buffer_grids, rate_grids)
+    @settings(max_examples=80, deadline=None)
+    def test_forward_curves(self, device, workload, buffers, rates):
+        model = EnergyModel(device, workload)
+        rate = float(rates[0])
+        assert close(
+            model.per_bit_energy_batch(buffers, rate),
+            [model.per_bit_energy(float(b), rate) for b in buffers],
+        )
+        assert close(
+            model.energy_saving_batch(buffers, rate),
+            [model.energy_saving(float(b), rate) for b in buffers],
+        )
+
+    @given(devices, workloads, rate_grids)
+    @settings(max_examples=80, deadline=None)
+    def test_rate_curves(self, device, workload, rates):
+        model = EnergyModel(device, workload)
+        assert close(
+            model.always_on_per_bit_energy_batch(rates),
+            [model.always_on_per_bit_energy(float(r)) for r in rates],
+        )
+        assert close(
+            model.asymptotic_per_bit_energy_batch(rates),
+            [model.asymptotic_per_bit_energy(float(r)) for r in rates],
+        )
+        assert close(
+            model.max_energy_saving_batch(rates),
+            [model.max_energy_saving(float(r)) for r in rates],
+        )
+        assert close(
+            model.break_even_buffer_batch(rates),
+            [model.break_even_buffer(float(r)) for r in rates],
+        )
+
+    @given(devices, workloads, rate_grids)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_floor(self, device, workload, rates):
+        model = EnergyModel(device, workload)
+        scalar = []
+        for rate in rates:
+            try:
+                scalar.append(model.latency_floor(float(rate)))
+            except ConfigurationError:
+                scalar.append(math.inf)  # batch encodes "no drain" as inf
+        assert close(model.latency_floor_batch(rates), scalar)
+
+    def test_invalid_rates_rejected(self):
+        model = EnergyModel(DEVICE, WORKLOAD)
+        with pytest.raises(ConfigurationError):
+            model.break_even_buffer_batch(np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            model.per_bit_energy_batch(np.array([8.0]), np.array([RM]))
+        with pytest.raises(ConfigurationError):
+            model.per_bit_energy_batch(np.array([0.0]), np.array([RM / 2]))
+
+
+class TestSectorAndCapacityParity:
+    layouts = st.builds(
+        SectorLayout,
+        stripe_width=st.integers(min_value=1, max_value=2048),
+        sync_bits_per_subsector=st.integers(min_value=0, max_value=8),
+        ecc=st.builds(
+            FractionalECC,
+            numerator=st.integers(min_value=0, max_value=3),
+            denominator=st.integers(min_value=4, max_value=16),
+        ),
+    )
+
+    @given(
+        layouts,
+        st.lists(
+            st.integers(min_value=1, max_value=10_000_000),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sector_bits_batch_exact(self, layout, user_bits):
+        batch = layout.sector_bits_batch(np.asarray(user_bits))
+        assert batch.tolist() == [layout.sector_bits(u) for u in user_bits]
+
+    @given(
+        layouts,
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1.5),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_inverse_batch_exact(self, layout, targets):
+        batch = layout.min_user_bits_for_utilisation_batch(
+            np.asarray(targets)
+        )
+        for target, got in zip(targets, batch):
+            if target >= layout.utilisation_supremum or target > 1:
+                assert math.isinf(got)
+            else:
+                # Bit-for-bit: same first-admitting subsector class.
+                assert got == float(
+                    layout.min_user_bits_for_utilisation(target)
+                )
+
+    def test_chunky_ecc_unreachable_target_is_inf_not_error(self):
+        """One unreachable target must not poison the rest of the grid.
+
+        Reed-Solomon parity is chunky: some targets below the
+        asymptotic supremum are unreachable within the scalar search
+        bound, where the scalar inverse raises per target.  The batch
+        inverse must mirror that as a per-point inf and still resolve
+        every other target exactly.
+        """
+        from repro.formatting.ecc import ReedSolomonECC
+
+        layout = SectorLayout(
+            stripe_width=1, sync_bits_per_subsector=16, ecc=ReedSolomonECC()
+        )
+        targets = np.array([0.3, 0.738, 0.5, 0.86])
+        assert targets[1] < layout.utilisation_supremum
+        batch = layout.min_user_bits_for_utilisation_batch(targets)
+        for target, got in zip(targets, batch):
+            try:
+                scalar = float(layout.min_user_bits_for_utilisation(float(target)))
+            except InfeasibleDesignError:
+                scalar = math.inf
+            assert got == scalar
+        assert math.isinf(batch[1])
+        assert np.isfinite(batch[[0, 2, 3]]).all()
+
+    def test_non_finite_buffers_rejected(self):
+        model = CapacityModel(DEVICE)
+        with pytest.raises(ConfigurationError):
+            model.sector_bits_batch(np.array([8000.0, np.inf]))
+        with pytest.raises(ConfigurationError):
+            model.utilisation_batch(np.array([np.nan]))
+
+    @given(devices, buffer_grids)
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_model_batch(self, device, buffers):
+        model = CapacityModel(device)
+        assert model.sector_bits_batch(buffers).tolist() == [
+            model.sector_bits(float(b)) for b in buffers
+        ]
+        assert close(
+            model.utilisation_batch(buffers),
+            [model.utilisation(float(b)) for b in buffers],
+        )
+
+
+class TestLifetimeParity:
+    @given(devices, workloads, buffer_grids, rate_grids)
+    @settings(max_examples=60, deadline=None)
+    def test_forward_curves(self, device, workload, buffers, rates):
+        model = LifetimeModel(device, workload)
+        rate = float(rates[0])
+        assert close(
+            model.springs.lifetime_years_batch(buffers, rate),
+            [model.springs.lifetime_years(float(b), rate) for b in buffers],
+        )
+        assert close(
+            model.probes.lifetime_years_batch(buffers, rate),
+            [model.probes.lifetime_years(float(b), rate) for b in buffers],
+        )
+
+    @given(devices, workloads, rate_grids, st.floats(min_value=0.25, max_value=25.0))
+    @settings(max_examples=60, deadline=None)
+    def test_inverses(self, device, workload, rates, lifetime):
+        model = LifetimeModel(device, workload)
+        assert close(
+            model.springs.min_buffer_for_lifetime_batch(lifetime, rates),
+            [
+                model.springs.min_buffer_for_lifetime(lifetime, float(r))
+                for r in rates
+            ],
+        )
+        scalar_probes = []
+        for rate in rates:
+            try:
+                scalar_probes.append(
+                    model.probes.min_buffer_for_lifetime(lifetime, float(rate))
+                )
+            except InfeasibleDesignError:
+                scalar_probes.append(math.inf)
+        assert close(
+            model.probes.min_buffer_for_lifetime_batch(lifetime, rates),
+            scalar_probes,
+        )
+
+
+class TestRequirementParity:
+    @given(devices, workloads, goals, rate_grids)
+    @settings(max_examples=60, deadline=None)
+    def test_full_requirement(self, device, workload, goal, rates):
+        dimensioner = BufferDimensioner(device, workload)
+        batch = dimensioner.require_batch(goal, rates)
+        for index, rate in enumerate(rates):
+            rebuilt = batch.requirement_at(index)
+            try:
+                scalar = dimensioner.dimension(goal, float(rate))
+            except ConfigurationError:
+                # Best-effort leaves no drain time at this rate: the
+                # scalar path raises, the batch path masks with inf.
+                assert not batch.feasible[index]
+                assert math.isinf(rebuilt.required_buffer_bits)
+                continue
+            assert close(
+                [rebuilt.required_buffer_bits],
+                [scalar.required_buffer_bits],
+            )
+            assert rebuilt.feasible == scalar.feasible
+            assert rebuilt.dominant == scalar.dominant
+            for outcome, batch_outcome in zip(
+                scalar.outcomes, rebuilt.outcomes
+            ):
+                assert batch_outcome.constraint is outcome.constraint
+                assert close(
+                    [batch_outcome.min_buffer_bits],
+                    [outcome.min_buffer_bits],
+                )
+
+    @given(devices, workloads, goals, rate_grids)
+    @settings(max_examples=40, deadline=None)
+    def test_energy_inverse_and_masks(self, device, workload, goal, rates):
+        dimensioner = BufferDimensioner(device, workload)
+        solver = dimensioner.solver
+        batch = solver.buffer_for_energy_saving_batch(
+            goal.energy_saving, np.asarray(rates, dtype=float)
+        )
+        scalar = []
+        for rate in rates:
+            try:
+                scalar.append(
+                    solver.buffer_for_energy_saving(
+                        goal.energy_saving, float(rate)
+                    )
+                )
+            except InfeasibleDesignError:
+                scalar.append(math.inf)
+        assert close(batch, scalar)
+        requirement = dimensioner.require_batch(goal, rates)
+        scalar_feasible = []
+        for rate in rates:
+            try:
+                scalar_feasible.append(
+                    dimensioner.dimension(goal, float(rate)).feasible
+                )
+            except ConfigurationError:
+                scalar_feasible.append(False)  # no drain time: masked
+        assert requirement.feasible.tolist() == scalar_feasible
+
+    def test_batch_requirement_shape_guard(self):
+        dimensioner = BufferDimensioner(DEVICE, WORKLOAD)
+        batch = dimensioner.require_batch(DesignGoal(), np.array([1e6, 2e6]))
+        assert len(batch) == 2
+        assert batch.constraint_buffers.shape == (
+            len(dimensioner.constraints),
+            2,
+        )
+        labels = batch.labels()
+        assert len(labels) == 2
+        # Readback helpers agree with the stacked matrix.
+        for row, constraint in enumerate(batch.constraints):
+            assert np.array_equal(
+                batch.buffer_for(constraint),
+                batch.constraint_buffers[row],
+            )

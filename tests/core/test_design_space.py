@@ -210,3 +210,120 @@ class TestResultAccessors:
         )
         assert result.rates_bps[0] == pytest.approx(100_000)
         assert result.rates_bps[-1] == pytest.approx(200_000)
+
+
+class TestPreRefactorReference:
+    """The batch-path sweep reproduces the scalar-path output verbatim.
+
+    The numbers below were captured from the per-point scalar
+    implementation immediately before the vectorised rewrite (reference
+    config: Table I device and workload, 24 points/decade).  Rates and
+    buffers must match to float rounding; region boundaries are refined
+    by bisection, so they get a small relative tolerance.
+    """
+
+    # (goal, region sequence, region boundary rates in bit/s)
+    REFERENCE_REGIONS = {
+        0.80: (["C", "E", "X"], [32000.0, 343922.2647398333,
+                                 1299779.2494480691, 4096000.0]),
+        0.70: (["C", "Lsp", "X"], [32000.0, 367384.21395959007,
+                                   2895468.841832232, 4096000.0]),
+    }
+    # index -> (rate_bps, required_buffer_bits, dominant, feasible,
+    #           energy_buffer_bits)
+    REFERENCE_POINTS = {
+        0.80: {
+            0: (32000.0, 270336.0, "C", True, 19022.526327519983),
+            7: (62283.76768146173, 270336.0, "C", True,
+                37919.675435001125),
+            19: (195069.32744344094, 270336.0, "C", True,
+                 132864.88506346525),
+            26: (379676.64600832044, 309928.8157459925, "E", True,
+                 309928.8157459925),
+            31: (610946.3817899756, 664642.2554151175, "E", True,
+                 664642.2554151175),
+            51: (4096000.0, math.inf, "E", False, math.inf),
+        },
+        0.70: {
+            0: (32000.0, 270336.0, "C", True, 4164.414102684),
+            7: (62283.76768146173, 270336.0, "C", True,
+                8142.593706430403),
+            26: (379676.64600832044, 279381.2631987625, "Lsp", True,
+                 52147.5279302581),
+            31: (610946.3817899756, 449558.7855763356, "Lsp", True,
+                 87141.14476105515),
+            51: (4096000.0, math.inf, "Lpb", False, 1467409.951510631),
+        },
+    }
+
+    @pytest.mark.parametrize("energy_saving", [0.80, 0.70])
+    def test_regions_and_points_identical(self, energy_saving):
+        explorer = DesignSpaceExplorer(
+            ibm_mems_prototype(), table1_workload(), points_per_decade=24
+        )
+        result = explorer.sweep(DesignGoal(energy_saving=energy_saving))
+
+        sequence, boundaries = self.REFERENCE_REGIONS[energy_saving]
+        assert result.region_sequence() == sequence
+        edges = [result.regions[0].rate_low_bps] + [
+            region.rate_high_bps for region in result.regions
+        ]
+        assert edges == pytest.approx(boundaries, rel=1e-9)
+
+        for index, (rate, buffer_bits, dominant, feasible,
+                    energy_bits) in self.REFERENCE_POINTS[
+                        energy_saving].items():
+            point = result.points[index]
+            assert point.stream_rate_bps == pytest.approx(rate, rel=1e-12)
+            requirement = point.requirement
+            assert requirement.feasible == feasible
+            label = requirement.dominant.value if feasible else None
+            if feasible:
+                assert label == dominant
+                assert requirement.required_buffer_bits == pytest.approx(
+                    buffer_bits, rel=1e-9
+                )
+                assert point.energy_buffer_bits == pytest.approx(
+                    energy_bits, rel=1e-9
+                )
+            else:
+                assert math.isinf(requirement.required_buffer_bits)
+                assert requirement.dominant.value == dominant
+                if math.isfinite(energy_bits):
+                    assert point.energy_buffer_bits == pytest.approx(
+                        energy_bits, rel=1e-9
+                    )
+                else:
+                    assert math.isinf(point.energy_buffer_bits)
+
+
+class TestLatencyWall:
+    def test_sweep_crosses_latency_wall_without_raising(self):
+        """A dominance boundary straddling the no-drain wall refines cleanly.
+
+        Past ``rs = rm * (1 - f_be)`` the buffer drains slower than
+        best-effort + overhead consume it — no buffer helps.  The sweep
+        must report that stretch as an "X" region attributed to the
+        latency constraint (and bisect its boundary to the wall), not
+        crash when refinement probes past the wall.
+        """
+        from repro.config import WorkloadConfig
+        from repro.core.dimensioning import Constraint
+
+        device = ibm_mems_prototype().replace(idle_power_w=0.12 * 50)
+        rm = device.transfer_rate_bps
+        workload = WorkloadConfig(
+            best_effort_fraction=0.05,
+            stream_rate_min_bps=32_000.0,
+            stream_rate_max_bps=rm * 0.99,
+        )
+        goal = DesignGoal(
+            energy_saving=0.0, capacity_utilisation=0.5, lifetime_years=0.01
+        )
+        explorer = DesignSpaceExplorer(device, workload, points_per_decade=8)
+        result = explorer.sweep(goal)
+        last = result.regions[-1]
+        assert last.label == "X"
+        assert last.constraint is Constraint.LATENCY
+        wall = rm * (1.0 - workload.best_effort_fraction)
+        assert last.rate_low_bps == pytest.approx(wall, rel=1e-9)

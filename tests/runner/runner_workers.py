@@ -64,3 +64,17 @@ def break_even_kb(rate_bps):
     """A real model evaluation (picklable, deterministic)."""
     model = EnergyModel(ibm_mems_prototype(), table1_workload())
     return bits_to_kb(model.break_even_buffer(rate_bps))
+
+
+def drop_last(values):
+    """Mis-sized batch target: returns one entry too few."""
+    return list(values)[:-1]
+
+
+def infeasible_above_two(x):
+    """Scalar sweep target that turns infeasible past x=2."""
+    from repro.errors import InfeasibleDesignError
+
+    if x > 2:
+        raise InfeasibleDesignError("too big")
+    return float(x)

@@ -1,0 +1,231 @@
+"""Sharded-sweep tests: splitting, merging, resumability, cache seeding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    Campaign,
+    ResultStore,
+    collect_points,
+    run_campaign,
+    run_sharded_sweep,
+    shard_grid,
+    sharded_sweep_campaign,
+)
+from repro.runner.sharding import evaluate_shard, point_key
+
+GRID = [float(v) for v in range(32_000, 32_000 + 40)]
+TARGET_SCALAR = "runner_workers:break_even_kb"
+TARGET_BATCH = "repro.core.batch:break_even_curve"
+TARGET_DSPACE = "repro.core.batch:evaluate_rate_grid"
+
+
+class TestShardGrid:
+    def test_contiguous_partition(self):
+        chunks = shard_grid(GRID, 7)
+        assert [v for chunk in chunks for v in chunk] == GRID
+        sizes = {len(chunk) for chunk in chunks}
+        assert len(chunks) == 7
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_points(self):
+        chunks = shard_grid([1, 2], 8)
+        assert chunks == [[1], [2]]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            shard_grid(GRID, 0)
+        with pytest.raises(ConfigurationError):
+            shard_grid([], 4)
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, values, shards):
+        chunks = shard_grid(values, shards)
+        assert [v for chunk in chunks for v in chunk] == values
+        assert all(chunks)
+        assert len(chunks) == min(shards, len(values))
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+
+class TestEvaluateShard:
+    def test_scalar_and_batch_targets_agree(self):
+        scalar = evaluate_shard(
+            TARGET_SCALAR, "rate_bps", GRID[:5], batch=False
+        )
+        batch = evaluate_shard(TARGET_BATCH, "rate_bps", GRID[:5], batch=True)
+        assert scalar["values"] == batch["values"] == GRID[:5]
+        # break_even_curve reports bits, break_even_kb kilobytes.
+        scaled = [p["break_even_bits"] / 8000.0 for p in batch["points"]]
+        assert scaled == pytest.approx(scalar["points"], rel=1e-12)
+
+    def test_batch_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_shard("runner_workers:drop_last", "values", [1, 2, 3])
+
+    def test_per_point_infeasibility_is_inf(self):
+        result = evaluate_shard(
+            "runner_workers:infeasible_above_two", "x", [1, 2, 3], batch=False
+        )
+        assert result["points"] == [1.0, 2.0, math.inf]
+
+
+class TestShardedSweepCampaign:
+    def _campaign(self, store_path, shards=4, **kwargs):
+        return sharded_sweep_campaign(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            GRID,
+            store_path=str(store_path),
+            shards=shards,
+            **kwargs,
+        )
+
+    def test_shard_jobs_plus_merge(self, tmp_path):
+        campaign = self._campaign(tmp_path / "s.sqlite")
+        assert len(campaign.specs) == 5
+        merge = campaign.specs[-1]
+        assert merge.after == tuple(
+            spec.job_id for spec in campaign.specs[:-1]
+        )
+
+    def test_merge_and_collect_match_monolithic(self, tmp_path):
+        store_path = tmp_path / "s.sqlite"
+        result = run_sharded_sweep(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            GRID,
+            store_path=str(store_path),
+            shards=4,
+        )
+        assert result.ok
+        summary = result.results["sweep/merge"].value
+        assert summary["points"] == len(GRID)
+        assert summary["shards"] == 4
+        assert summary["point_records"] == len(GRID)
+        assert summary["metrics"]["required_buffer_bits"]["finite"] > 0
+
+        campaign = self._campaign(store_path)
+        values, points = collect_points(str(store_path), campaign)
+        assert values == GRID
+        # Identical to one unsharded batch evaluation of the grid.
+        from repro.core.batch import evaluate_rate_grid
+
+        whole = evaluate_rate_grid(GRID)
+        assert [p["required_buffer_bits"] for p in points] == whole[
+            "required_buffer_bits"
+        ]
+        assert [p["dominant"] for p in points] == whole["dominant"]
+
+    def test_interrupted_sweep_resumes_from_cache(self, tmp_path):
+        store_path = str(tmp_path / "s.sqlite")
+        full = self._campaign(store_path)
+        # "Interrupt": only the first two shards complete.
+        partial = Campaign("sweep-partial", specs=list(full.specs[:2]))
+        first = run_campaign(partial, store_path=store_path)
+        assert first.status_counts() == {"ok": 2}
+
+        resumed = run_campaign(full, store_path=store_path)
+        counts = resumed.status_counts()
+        assert counts == {"cached": 2, "ok": 3}
+        assert resumed.results["sweep/merge"].value["points"] == len(GRID)
+
+        # And an unchanged re-run is pure cache hits.
+        rerun = run_campaign(full, store_path=store_path)
+        assert rerun.status_counts() == {"cached": 5}
+
+    def test_grid_edit_recomputes_only_changed_shards(self, tmp_path):
+        store_path = str(tmp_path / "s.jsonl")
+        run_campaign(self._campaign(store_path), store_path=store_path)
+        edited = GRID[:-1] + [GRID[-1] + 1.0]  # touch the last shard only
+        campaign = sharded_sweep_campaign(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            edited,
+            store_path=store_path,
+            shards=4,
+        )
+        result = run_campaign(campaign, store_path=store_path)
+        counts = result.status_counts()
+        assert counts["cached"] == 3  # untouched shards
+        assert counts["ok"] == 2  # edited shard + merge
+
+    def test_point_records_queryable_by_content_key(self, tmp_path):
+        store_path = str(tmp_path / "s.sqlite")
+        run_sharded_sweep(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            GRID,
+            store_path=store_path,
+            shards=4,
+        )
+        # Every grid point is one indexed lookup away...
+        store = ResultStore(store_path)
+        record = store.get(point_key(TARGET_DSPACE, "rate_bps", GRID[7]))
+        store.close()
+        assert record is not None
+        assert record["value"]["dominant"] in ("E", "C", "Lsp", "Lpb", "lat")
+        # ...but point records never masquerade as cache entries for a
+        # real single-point job: that job sees a scalar argument and
+        # shapes its output as length-1 series, so serving the point
+        # record would hand back a different value shape.  It must
+        # execute fresh.
+        single = Campaign("one-point").call(
+            "pt", TARGET_DSPACE, rate_bps=GRID[7]
+        )
+        result = run_campaign(single, store_path=store_path)
+        assert result.status_counts() == {"ok": 1}
+        fresh = result.results["pt"].value
+        assert fresh["dominant"] == [record["value"]["dominant"]]
+        assert fresh["required_buffer_bits"] == [
+            record["value"]["required_buffer_bits"]
+        ]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_sharded_sweep(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            GRID,
+            store_path=str(tmp_path / "serial.sqlite"),
+            shards=4,
+        )
+        parallel = run_sharded_sweep(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            GRID,
+            store_path=str(tmp_path / "parallel.sqlite"),
+            shards=4,
+            jobs=4,
+        )
+        assert parallel.ok
+        assert (
+            parallel.results["sweep/merge"].value
+            == serial.results["sweep/merge"].value
+        )
+
+    def test_merge_without_shard_record_fails_loudly(self, tmp_path):
+        from repro.runner.sharding import merge_shards
+
+        with pytest.raises(ConfigurationError):
+            merge_shards(
+                store_path=str(tmp_path / "empty.jsonl"),
+                shard_keys=["deadbeef"],
+                sweep_target=TARGET_DSPACE,
+                parameter="rate_bps",
+                prefix="sweep",
+            )
