@@ -5,12 +5,17 @@ Claims under timing:
 * the batch path (``BufferDimensioner.require_batch``) evaluates a
   >=10k-point rate grid at least 10x faster than the per-point scalar
   path, while agreeing bit for bit,
+* ``energy_wall_rate_batch`` bisects a 1k-goal sweep's boundaries as
+  one array at least 5x faster than the scalar per-goal bisection,
+  matching it within bisection tolerance,
 * a sharded sweep (``REPRO_BENCH_SWEEP_N`` points, default 1M; CI runs
   a reduced grid) streams through the result store resumably:
   re-running after an interrupt resolves completed shards from cache
   and computes only the remainder,
 * the merge job's batched ``append_many`` flush lands one record per
-  grid point in the store, queryable by single-point content key.
+  grid point in the store, queryable by single-point content key —
+  and its peak tracked allocation stays O(chunk): under 25% of the
+  fully decoded point list (tracemalloc-asserted).
 
 Run with ``--benchmark-json=BENCH_batch.json`` to emit the JSON
 artifact CI uploads (the bench trajectory).
@@ -20,14 +25,22 @@ from __future__ import annotations
 
 import os
 import time
+import tracemalloc
 
 import numpy as np
 import pytest
 
 from repro.config import DesignGoal
+from repro.core.design_space import DesignSpaceExplorer
 from repro.core.dimensioning import BufferDimensioner
-from repro.runner import ResultStore, run_campaign, sharded_sweep_campaign
+from repro.runner import (
+    ResultStore,
+    collect_points,
+    run_campaign,
+    sharded_sweep_campaign,
+)
 from repro.runner.campaign import Campaign
+from repro.runner.sharding import merge_shards
 
 from conftest import run_once, run_once_slow
 
@@ -80,7 +93,51 @@ def test_batch_requirement_10x_over_scalar(benchmark, device, workload):
     )
 
 
-def _sweep_campaign(store_path, n=None):
+#: Goal-grid size for the vectorised wall-bisection assertion.
+WALL_N = max(int(os.environ.get("REPRO_BENCH_WALL_N", "1000")), 1_000)
+
+
+@pytest.mark.benchmark(group="batch")
+def test_energy_wall_batch_5x_over_scalar(benchmark, device, workload):
+    """energy_wall_rate_batch beats per-goal bisection >=5x on 1k goals.
+
+    The goal grid sits strictly inside the bisection band (between the
+    saving reachable at the top and bottom of the rate range), so every
+    lane actually bisects — the honest comparison; goals outside the
+    band early-exit on both paths.
+    """
+    explorer = DesignSpaceExplorer(device, workload)
+    energy = explorer.dimensioner.solver.energy
+    lo = energy.max_energy_saving(workload.stream_rate_max_bps)
+    hi = energy.max_energy_saving(workload.stream_rate_min_bps)
+    goals = np.linspace(lo + 1e-6, hi - 1e-6, WALL_N)
+
+    start = time.perf_counter()
+    scalar = np.array(
+        [
+            explorer.energy_wall_rate(DesignGoal(energy_saving=float(g)))
+            for g in goals
+        ]
+    )
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = explorer.energy_wall_rate_batch(goals)
+    batch_s = time.perf_counter() - start
+    run_once(benchmark, explorer.energy_wall_rate_batch, goals)
+
+    assert np.allclose(batch, scalar, rtol=1e-9), "wall boundaries drifted"
+    print()
+    print(
+        f"{WALL_N} goal boundaries: scalar {scalar_s:.3f}s, "
+        f"batch {batch_s:.4f}s (x{scalar_s / batch_s:.0f})"
+    )
+    assert batch_s * 5 <= scalar_s, (
+        f"wall batch only x{scalar_s / batch_s:.1f} over scalar"
+    )
+
+
+def _sweep_campaign(store_path, n=None, shards=None):
     values = np.geomspace(RATE_MIN, RATE_MAX, n or SWEEP_N).tolist()
     return sharded_sweep_campaign(
         "dspace",
@@ -88,7 +145,7 @@ def _sweep_campaign(store_path, n=None):
         "rate_bps",
         values,
         store_path=str(store_path),
-        shards=SHARDS,
+        shards=shards or SHARDS,
     )
 
 
@@ -138,3 +195,70 @@ def test_sharded_sweep_streams_and_resumes(benchmark, tmp_path):
     rerun_s = time.perf_counter() - start
     assert rerun.status_counts() == {"cached": SHARDS + 1}
     print(f"cached re-run {rerun_s:.2f}s")
+
+
+#: Grid size for the merge-memory assertion: the CI-reduced sweep as-is,
+#: capped locally so tracemalloc (which roughly doubles allocation cost)
+#: stays tolerable under the default million-point grid.
+MEM_N = min(SWEEP_N, 200_000)
+
+
+@pytest.mark.benchmark(group="shard")
+def test_streaming_merge_memory_bounded(benchmark, tmp_path):
+    """The streaming merge's peak tracked allocation stays O(chunk).
+
+    Baseline: decoding the full per-point list (what the pre-streaming
+    merge materialised).  The merge itself must peak below 25% of that
+    — it only ever holds one shard payload plus one bounded
+    ``append_many`` chunk — and a subsequent campaign run still
+    resolves every shard from cache (the merge never poisons resume).
+    """
+    store_path = str(tmp_path / "memory.sqlite")
+    mem_shards = max(SHARDS, 16)
+    full = _sweep_campaign(store_path, n=MEM_N, shards=mem_shards)
+    shards_only = Campaign("dspace-shards", specs=list(full.specs[:-1]))
+    assert run_campaign(shards_only, store_path=store_path).ok
+
+    merge = full.specs[-1]
+    flush_chunk = max(500, MEM_N // 64)
+
+    tracemalloc.start()
+    values, points = collect_points(store_path, full)
+    full_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert len(points) == MEM_N
+    del values, points
+
+    peaks = {}
+
+    def traced_merge():
+        tracemalloc.start()
+        try:
+            summary = merge_shards(
+                flush_chunk=flush_chunk, **merge.params_dict()
+            )
+            peaks["merge"] = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        return summary
+
+    summary = run_once_slow(benchmark, traced_merge)
+    assert summary["points"] == MEM_N
+    assert summary["point_records"] == MEM_N
+
+    ratio = peaks["merge"] / full_peak
+    print()
+    print(
+        f"{MEM_N} points over {mem_shards} shards: full decode peaks at "
+        f"{full_peak / 1e6:.1f} MB, streaming merge at "
+        f"{peaks['merge'] / 1e6:.1f} MB ({ratio:.0%})"
+    )
+    assert ratio < 0.25, (
+        f"merge peak {ratio:.0%} of the decoded point list (O(chunk) "
+        f"regression)"
+    )
+
+    # Interrupted merges still resume from per-shard cache: the shard
+    # jobs resolve cached, only the merge re-executes.
+    resumed = run_campaign(full, store_path=store_path)
+    assert resumed.status_counts() == {"cached": mem_shards, "ok": 1}

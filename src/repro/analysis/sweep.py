@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import functools
 import math
+import os
 import pickle
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -146,11 +147,96 @@ def _parallelisable(metrics: dict[str, Callable[[Any], float]]) -> bool:
     return True
 
 
+def _sharded_sweep(
+    parameter: str,
+    values: Sequence[Any],
+    metrics: Mapping[str, Any],
+    *,
+    shards: int,
+    store: str | os.PathLike[str],
+    store_backend: str | None,
+    jobs: int,
+) -> SweepResult:
+    """Route a grid through :func:`~repro.runner.sharding.run_sharded_sweep`.
+
+    One sharded campaign per metric; every metric must be an importable
+    ``"pkg.module:function"`` batch target (content keys hash the
+    target, so callables cannot ride along).  Series stream back
+    point-by-point through :func:`~repro.runner.sharding.iter_points`;
+    targets returning per-point mappings contribute one series per
+    numeric sub-key, named ``"{metric}.{sub}"``, while plain per-point
+    numbers keep the metric's own name.  Non-numeric sub-values (e.g.
+    dominance labels) are skipped — a :class:`SweepResult` holds float
+    series by contract.
+    """
+    from ..runner.campaign import run_campaign
+    from ..runner.sharding import iter_points, sharded_sweep_campaign
+
+    store_path = os.fspath(store)
+    series: dict[str, list[float]] = {}
+    for name, target in metrics.items():
+        if not isinstance(target, str):
+            raise ConfigurationError(
+                "sharded sweeps run metrics as campaign jobs, which need "
+                f"importable 'pkg.module:function' targets; metric {name!r} "
+                f"is a {type(target).__name__}"
+            )
+        campaign = sharded_sweep_campaign(
+            f"sweep/{parameter}/{name}",
+            target,
+            parameter,
+            list(values),
+            store_path=store_path,
+            shards=shards,
+            store_backend=store_backend,
+        )
+        run_campaign(
+            campaign,
+            jobs=jobs,
+            store_path=store_path,
+            store_backend=store_backend,
+            cache_preload="specs",
+            strict=True,
+        )
+        for _, point in iter_points(store_path, campaign, store_backend):
+            if isinstance(point, Mapping):
+                for sub, sub_value in point.items():
+                    if isinstance(sub_value, bool) or not isinstance(
+                        sub_value, (int, float)
+                    ):
+                        continue
+                    series.setdefault(f"{name}.{sub}", []).append(
+                        float(sub_value)
+                    )
+            elif isinstance(point, (int, float)):
+                series.setdefault(name, []).append(float(point))
+            else:
+                raise ConfigurationError(
+                    f"metric {name!r} returned a non-numeric point "
+                    f"({type(point).__name__}); sharded sweep metrics must "
+                    "yield numbers or mappings of numbers"
+                )
+    for name, metric_series in series.items():
+        if len(metric_series) != len(values):
+            raise ConfigurationError(
+                f"metric {name!r} produced {len(metric_series)} values for "
+                f"a {len(values)}-point grid (heterogeneous point mappings?)"
+            )
+    return SweepResult(
+        parameter=parameter,
+        values=tuple(values),
+        metrics={name: tuple(s) for name, s in series.items()},
+    )
+
+
 def sweep_parameter(
     parameter: str,
     values: Sequence[Any],
     metrics: dict[str, Callable[[Any], float]],
     jobs: int = 1,
+    shards: int | None = None,
+    store: str | os.PathLike[str] | None = None,
+    store_backend: str | None = None,
 ) -> SweepResult:
     """Evaluate each metric at each parameter value.
 
@@ -164,6 +250,17 @@ def sweep_parameter(
     cannot be pickled — lambdas, closures — fall back to serial
     evaluation, so ``jobs`` is always safe to pass; batch metrics never
     enter the pool (one vectorised call needs no fan-out).
+
+    ``shards``/``store`` route the grid through the campaign engine's
+    sharded sweeps instead: each metric must then be an importable
+    ``"pkg.module:function"`` batch target, the grid is split into
+    content-hash-keyed shard jobs streaming through the result store at
+    ``store`` (so interrupted sweeps resume and unchanged re-runs are
+    pure cache hits), and the returned :class:`SweepResult` is
+    assembled by streaming the store shard by shard — peak memory stays
+    O(shard), not O(grid).  ``store`` alone implies the default shard
+    count; ``shards`` alone is an error (there is nothing durable to
+    resume from without a store).
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -171,6 +268,20 @@ def sweep_parameter(
         raise ValueError("sweep needs at least one value")
     if not metrics:
         raise ValueError("sweep needs at least one metric")
+    if shards is not None or store is not None:
+        if store is None:
+            raise ConfigurationError(
+                "sharded sweeps need a result store (pass store=...)"
+            )
+        return _sharded_sweep(
+            parameter,
+            values,
+            metrics,
+            shards=shards if shards is not None else 8,
+            store=store,
+            store_backend=store_backend,
+            jobs=jobs,
+        )
     batch_series = {
         name: metric.series(values)
         for name, metric in metrics.items()

@@ -9,6 +9,10 @@ Subcommands
 * ``repro campaign [<id> ...] --jobs 4 --store results.jsonl`` — run a
   batch through the orchestration engine with caching/resume
   (``--store-backend sqlite`` for indexed million-record histories),
+* ``repro sweep <target> --parameter rate_bps --min 32e3 --max 4096e3
+  --points 1000000 --shards 16 --jobs 4 --store sweep.sqlite`` — run
+  one importable batch target over a grid as a sharded, resumable,
+  memory-bounded campaign,
 * ``repro store info|compact|migrate`` — inspect, compact (latest
   record per key), or convert a result store between the JSONL and
   SQLite backends,
@@ -98,6 +102,71 @@ def _build_parser() -> argparse.ArgumentParser:
         help="retry budget per failing job (default 0)",
     )
     campaign_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a sharded, resumable grid sweep through the store",
+        description=(
+            "Evaluate one importable 'pkg.module:function' batch target "
+            "over a parameter grid as a sharded campaign: content-hash-"
+            "keyed shard jobs fan out over worker processes, a streaming "
+            "merge files one record per grid point into the store in "
+            "bounded batches, and interrupted sweeps resume from "
+            "per-shard cache."
+        ),
+    )
+    sweep_parser.add_argument(
+        "target", metavar="TARGET",
+        help="importable 'pkg.module:function' batch sweep target",
+    )
+    sweep_parser.add_argument(
+        "--parameter", required=True, metavar="NAME",
+        help="name of the swept keyword argument",
+    )
+    sweep_parser.add_argument(
+        "--values", default=None, metavar="V1,V2,...",
+        help="explicit comma-separated grid values",
+    )
+    sweep_parser.add_argument(
+        "--min", type=float, default=None, dest="grid_min",
+        help="grid start (with --max/--points)",
+    )
+    sweep_parser.add_argument(
+        "--max", type=float, default=None, dest="grid_max",
+        help="grid end (with --min/--points)",
+    )
+    sweep_parser.add_argument(
+        "--points", type=int, default=101, metavar="N",
+        help="grid size for --min/--max (default 101)",
+    )
+    sweep_parser.add_argument(
+        "--linear", action="store_true",
+        help="space the --min/--max grid linearly (default: log)",
+    )
+    sweep_parser.add_argument(
+        "--shards", type=int, default=8, metavar="N",
+        help="contiguous grid shards, one cached job each (default 8)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial)",
+    )
+    sweep_parser.add_argument(
+        "--store", required=True, metavar="FILE",
+        help="result store holding shard + per-point records",
+    )
+    sweep_parser.add_argument(
+        "--store-backend", choices=("jsonl", "sqlite"), default=None,
+        help="persistence backend for --store (default: auto-detect)",
+    )
+    sweep_parser.add_argument(
+        "--name", default="sweep", metavar="NAME",
+        help="campaign name prefix for the shard/merge jobs",
+    )
+    sweep_parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-job progress lines",
     )
@@ -305,6 +374,85 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _sweep_grid(args: argparse.Namespace) -> list[float]:
+    """The sweep grid from either --values or --min/--max/--points."""
+    from .errors import ConfigurationError
+
+    if args.values is not None:
+        if args.grid_min is not None or args.grid_max is not None:
+            raise ConfigurationError(
+                "pass either --values or --min/--max, not both"
+            )
+        try:
+            grid = [float(v) for v in args.values.split(",") if v.strip()]
+        except ValueError as error:
+            raise ConfigurationError(
+                f"--values must be comma-separated numbers: {error}"
+            ) from error
+        if not grid:
+            raise ConfigurationError("--values produced an empty grid")
+        return grid
+    if args.grid_min is None or args.grid_max is None:
+        raise ConfigurationError(
+            "pass --values or both --min and --max"
+        )
+    if args.points < 2:
+        raise ConfigurationError(f"--points must be >= 2, got {args.points}")
+    import numpy as np
+
+    if args.linear:
+        grid = np.linspace(args.grid_min, args.grid_max, args.points)
+    else:
+        if args.grid_min <= 0:
+            raise ConfigurationError(
+                "log-spaced grids need --min > 0 (or pass --linear)"
+            )
+        grid = np.geomspace(args.grid_min, args.grid_max, args.points)
+    return [float(v) for v in grid]
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .runner import ProgressMonitor, run_sharded_sweep
+
+    values = _sweep_grid(args)
+    monitor = None if args.quiet else ProgressMonitor(stream=sys.stdout)
+    result = run_sharded_sweep(
+        args.name,
+        args.target,
+        args.parameter,
+        values,
+        store_path=args.store,
+        shards=args.shards,
+        jobs=args.jobs,
+        store_backend=args.store_backend,
+        monitor=monitor,
+        strict=False,
+    )
+    print()
+    print(result.summary())
+    merge = result.results.get(f"{args.name}/merge")
+    if result.ok and merge is not None and isinstance(merge.value, dict):
+        summary = merge.value
+        print()
+        print(
+            f"{summary['points']} points over {summary['shards']} shards "
+            f"-> {args.store} ({summary['point_records']} point records)"
+        )
+        for name in sorted(summary.get("metrics", {})):
+            stats = summary["metrics"][name]
+            low = stats["min"]
+            high = stats["max"]
+            print(
+                f"  {name}: {stats['finite']} finite"
+                + (
+                    f", min {low:g}, max {high:g}"
+                    if low is not None and high is not None
+                    else ""
+                )
+            )
+    return 0 if result.ok else 1
+
+
 def _command_store(args: argparse.Namespace) -> int:
     from .runner.provenance import CONFIG_FIELD, VERSION_FIELD
     from .runner.store import ResultStore, migrate_store
@@ -441,6 +589,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_run(args.experiments, args.output, args.jobs)
         if args.command == "campaign":
             return _command_campaign(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
         if args.command == "store":
             return _command_store(args)
         if args.command == "dimension":

@@ -123,6 +123,19 @@ class CapacityModel:
         user_bits = self._buffers_to_user_bits_batch(buffer_bits)
         return user_bits / self.layout.sector_bits_batch(user_bits)
 
+    def best_utilisation_batch(self, buffer_bits) -> np.ndarray:
+        """Vectorised :meth:`best_utilisation` over a buffer grid.
+
+        The Figure 2a capacity curve in one pass: for every buffer the
+        nearest saw-tooth peak at or below it is located (same candidate
+        set as the scalar search) and its Equation (4) utilisation
+        returned.
+        """
+        best = self.layout.best_user_bits_at_most_batch(
+            self._buffers_to_user_bits_batch(buffer_bits)
+        )
+        return best / self.layout.sector_bits_batch(best)
+
     def min_buffer_for_utilisation_batch(self, targets) -> np.ndarray:
         """Vectorised capacity inverse over a grid of utilisation targets.
 

@@ -339,6 +339,18 @@ class EnergyModel:
     # scalar expressions term for term so the two paths agree to float
     # rounding (property-tested in tests/core/test_batch.py).
 
+    def refill_time_batch(self, buffer_bits, stream_rate_bps) -> np.ndarray:
+        """Vectorised refill duration ``tRW = B / (rm - rs)`` over grids."""
+        buffers = self._as_buffer_array(buffer_bits)
+        rates = self._as_rate_array(stream_rate_bps)
+        return buffers / (self.device.transfer_rate_bps - rates)
+
+    def cycle_time_batch(self, buffer_bits, stream_rate_bps) -> np.ndarray:
+        """Vectorised cycle period ``Tm = B/(rm - rs) * rm/rs`` over grids."""
+        rm = self.device.transfer_rate_bps
+        rates = self._as_rate_array(stream_rate_bps)
+        return self.refill_time_batch(buffer_bits, rates) * rm / rates
+
     def per_bit_energy_batch(self, buffer_bits, stream_rate_bps) -> np.ndarray:
         """Vectorised Equation (1): ``Em(B)`` in J/bit over grids."""
         buffers = self._as_buffer_array(buffer_bits)

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .. import units
 from ..config import DRAMConfig
 from ..errors import ConfigurationError
@@ -54,6 +56,38 @@ class DRAMEnergyBreakdown:
     @property
     def mean_power_w(self) -> float:
         """Average DRAM power over the cycle (watts)."""
+        return self.total_j / self.cycle_time_s
+
+
+@dataclass(frozen=True)
+class DRAMEnergyBatch:
+    """Per-refill-cycle DRAM energy decomposition over a grid (arrays).
+
+    The array twin of :class:`DRAMEnergyBreakdown`: every field holds
+    one value per grid point and the derived properties broadcast
+    elementwise, so the Figure 2a DRAM curve is a handful of vectorised
+    passes instead of a per-point Python loop.
+    """
+
+    retention_j: np.ndarray
+    activate_j: np.ndarray
+    burst_j: np.ndarray
+    cycle_time_s: np.ndarray
+    buffer_bits: np.ndarray
+
+    @property
+    def total_j(self) -> np.ndarray:
+        """Total DRAM energy over each cycle."""
+        return self.retention_j + self.activate_j + self.burst_j
+
+    @property
+    def per_bit_j(self) -> np.ndarray:
+        """DRAM energy per streamed bit (J/bit) per grid point."""
+        return self.total_j / self.buffer_bits
+
+    @property
+    def mean_power_w(self) -> np.ndarray:
+        """Average DRAM power over each cycle (watts)."""
         return self.total_j / self.cycle_time_s
 
 
@@ -120,3 +154,62 @@ class DRAMPowerModel:
     def per_bit_energy(self, buffer_bits: float, cycle_time_s: float) -> float:
         """DRAM energy per streamed bit (J/bit) for one refill cycle."""
         return self.cycle_energy(buffer_bits, cycle_time_s).per_bit_j
+
+    # -- batch fast paths ---------------------------------------------------
+    #
+    # Array twins of the scalar methods above; inputs broadcast against
+    # each other and the arithmetic mirrors the scalar expressions term
+    # for term (parity property-tested in tests/core/test_batch.py).
+
+    def retention_power_w_batch(self, buffer_bits) -> np.ndarray:
+        """Vectorised :meth:`retention_power_w` over a buffer grid."""
+        buffers = np.asarray(buffer_bits, dtype=float)
+        if buffers.size and not bool((buffers >= 0).all()):
+            raise ConfigurationError("buffers must be >= 0 bits")
+        refresh = self.config.refresh_power_w_per_gb * units.bits_to_gb(
+            buffers
+        )
+        return self.config.standby_power_w + refresh
+
+    def access_energy_j_batch(self, n_bits, write: bool) -> np.ndarray:
+        """Vectorised :meth:`access_energy_j` over a transfer-size grid."""
+        bits = np.asarray(n_bits, dtype=float)
+        if bits.size and not bool((bits >= 0).all()):
+            raise ConfigurationError("n_bits must be >= 0")
+        rows = np.ceil(bits / self.config.row_size_bits)
+        per_bit = (
+            self.config.write_energy_j_per_bit
+            if write
+            else self.config.read_energy_j_per_bit
+        )
+        # n_bits == 0 rows to 0 activates, so the zero case needs no
+        # special branch — the product is already 0.0.
+        return rows * self.config.activate_energy_j + bits * per_bit
+
+    def cycle_energy_batch(self, buffer_bits, cycle_time_s) -> DRAMEnergyBatch:
+        """Vectorised :meth:`cycle_energy`: breakdown arrays over grids."""
+        buffers = np.asarray(buffer_bits, dtype=float)
+        cycles = np.asarray(cycle_time_s, dtype=float)
+        if buffers.size and not bool((buffers > 0).all()):
+            raise ConfigurationError("buffers must be > 0 bits")
+        if cycles.size and not bool((cycles > 0).all()):
+            raise ConfigurationError("cycle times must be > 0")
+        buffers, cycles = np.broadcast_arrays(buffers, cycles)
+        write = self.access_energy_j_batch(buffers, write=True)
+        read = self.access_energy_j_batch(buffers, write=False)
+        activate = (
+            np.ceil(buffers / self.config.row_size_bits)
+            * self.config.activate_energy_j
+            * 2
+        )
+        return DRAMEnergyBatch(
+            retention_j=self.retention_power_w_batch(buffers) * cycles,
+            activate_j=activate,
+            burst_j=write + read - activate,
+            cycle_time_s=cycles,
+            buffer_bits=buffers,
+        )
+
+    def per_bit_energy_batch(self, buffer_bits, cycle_time_s) -> np.ndarray:
+        """Vectorised :meth:`per_bit_energy` over matching grids."""
+        return self.cycle_energy_batch(buffer_bits, cycle_time_s).per_bit_j

@@ -41,25 +41,21 @@ def run(
 
     b_be = energy.break_even_buffer(RATE_BPS)
     buffers = np.linspace(b_be, 20 * b_be, 20)
-    rows = []
-    shares = []
-    for buffer_bits in buffers:
-        cycle_time = energy.cycle_time(float(buffer_bits), RATE_BPS)
-        device_nj = units.j_per_bit_to_nj_per_bit(
-            energy.per_bit_energy(float(buffer_bits), RATE_BPS)
-        )
-        breakdown = dram_model.cycle_energy(float(buffer_bits), cycle_time)
-        dram_nj = units.j_per_bit_to_nj_per_bit(breakdown.per_bit_j)
-        share = dram_nj / (device_nj + dram_nj)
-        shares.append(share)
-        rows.append(
-            (
-                units.bits_to_kb(float(buffer_bits)),
-                device_nj,
-                dram_nj,
-                share,
-            )
-        )
+    # Whole-range comparison in four vectorised passes: device energy,
+    # cycle times, the DRAM breakdown, and the share arithmetic.
+    device_nj = units.j_per_bit_to_nj_per_bit(
+        energy.per_bit_energy_batch(buffers, RATE_BPS)
+    )
+    breakdown = dram_model.cycle_energy_batch(
+        buffers, energy.cycle_time_batch(buffers, RATE_BPS)
+    )
+    dram_nj = units.j_per_bit_to_nj_per_bit(breakdown.per_bit_j)
+    share = dram_nj / (device_nj + dram_nj)
+    shares = [float(s) for s in share]
+    rows = [
+        (units.bits_to_kb(float(b)), float(d), float(m), float(s))
+        for b, d, m, s in zip(buffers, device_nj, dram_nj, share)
+    ]
     table = Table(
         title="DRAM vs MEMS per-bit energy (1024 kbps)",
         headers=(

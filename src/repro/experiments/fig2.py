@@ -53,25 +53,21 @@ def run_fig2a(
     dram = DRAMPowerModel()
 
     buffers = _buffer_grid(energy, points)
-    # The Equation (1) series comes from the vectorised fast path; DRAM
-    # and the best-utilisation peak search stay scalar (peak hunting is
-    # a per-point integer search, and 39 points cost nothing).
+    # All three series come from the vectorised fast paths: Equation (1)
+    # directly, DRAM through the cycle-time grid, and the capacity curve
+    # through the batched saw-tooth peak search.
     energy_nj = [
         units.j_per_bit_to_nj_per_bit(float(e))
         for e in energy.per_bit_energy_batch(buffers, FIG2_RATE_BPS)
     ]
+    cycle_times = energy.cycle_time_batch(buffers, FIG2_RATE_BPS)
     dram_nj = [
-        units.j_per_bit_to_nj_per_bit(
-            dram.per_bit_energy(
-                float(b), energy.cycle_time(float(b), FIG2_RATE_BPS)
-            )
-        )
-        for b in buffers
+        units.j_per_bit_to_nj_per_bit(float(e))
+        for e in dram.per_bit_energy_batch(buffers, cycle_times)
     ]
     capacity_gb = [
-        units.bits_to_gb(device.capacity_bits)
-        * capacity.best_utilisation(float(b))
-        for b in buffers
+        units.bits_to_gb(device.capacity_bits) * float(u)
+        for u in capacity.best_utilisation_batch(buffers)
     ]
     buffers_kb = [units.bits_to_kb(float(b)) for b in buffers]
 

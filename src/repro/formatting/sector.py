@@ -206,6 +206,83 @@ class SectorLayout:
                 candidates.add(su)
         return max(candidates, key=self.utilisation)
 
+    def best_user_bits_at_most_batch(self, max_user_bits) -> np.ndarray:
+        """Vectorised :meth:`best_user_bits_at_most` over a grid of caps.
+
+        Evaluates the same candidate set as the scalar method — the cap
+        itself plus the saw-tooth peaks of the 64 stripe columns below
+        it — for every grid point at once.  The grid is processed in
+        bounded row chunks so the (chunk x 65) candidate matrix keeps
+        peak memory O(chunk) regardless of the grid size.
+        """
+        caps = np.asarray(max_user_bits, dtype=np.int64)
+        flat = caps.ravel()
+        if flat.size and int(flat.min()) <= 0:
+            raise ConfigurationError("max_user_bits must be > 0")
+        out = np.empty(flat.shape, dtype=np.int64)
+        chunk = 16_384
+        for start in range(0, flat.size, chunk):
+            out[start : start + chunk] = self._best_user_bits_chunk(
+                flat[start : start + chunk]
+            )
+        return out.reshape(caps.shape)
+
+    def _best_user_bits_chunk(self, caps: np.ndarray) -> np.ndarray:
+        """One bounded chunk of :meth:`best_user_bits_at_most_batch`."""
+        payload_cap = caps + self.ecc_bits_batch(caps)
+        top_column = payload_cap // self.stripe_width
+        offsets = np.arange(0, 65, dtype=np.int64)
+        columns = np.maximum(top_column[:, None] - offsets[None, :], 1)
+        su = self._max_user_bits_with_payload_batch(
+            columns * self.stripe_width
+        )
+        valid = (su > 0) & (su <= caps[:, None])
+        # The cap itself is always a candidate; invalid peaks are kept
+        # in the matrix (as a harmless placeholder) and excluded from
+        # the argmax by forcing their utilisation below any real one.
+        candidates = np.concatenate(
+            [caps[:, None], np.where(valid, su, 1)], axis=1
+        )
+        utilisation = candidates / self.sector_bits_batch(candidates)
+        utilisation[:, 1:][~valid] = -1.0
+        best = np.argmax(utilisation, axis=1)
+        return candidates[np.arange(caps.size), best]
+
+    def _max_user_bits_with_payload_batch(self, payload_capacity) -> np.ndarray:
+        """Vectorised :meth:`_max_user_bits_with_payload` (int64 grids).
+
+        Exact for the built-in ECC schemes via guess-and-correct masked
+        walks (the guess is off by at most a couple of bits); arbitrary
+        schemes fall back to the scalar search per element.
+        """
+        payload = np.asarray(payload_capacity, dtype=np.int64)
+        flat = payload.ravel()
+        if not isinstance(self.ecc, (FractionalECC, NoECC)):
+            out = np.array(
+                [self._max_user_bits_with_payload(int(p)) for p in flat],
+                dtype=np.int64,
+            )
+            return out.reshape(payload.shape)
+        positive = flat > 0
+        su = np.where(
+            positive,
+            (flat / (1.0 + self.ecc.overhead_ratio())).astype(np.int64) + 2,
+            0,
+        )
+
+        def overflows(candidate: np.ndarray) -> np.ndarray:
+            return candidate + self.ecc_bits_batch(candidate) > flat
+
+        over = (su > 0) & overflows(su)
+        while over.any():
+            su[over] -= 1
+            over = (su > 0) & overflows(su)
+        fits_next = positive & ~overflows(su + 1)
+        while fits_next.any():
+            su[fits_next] += 1
+            fits_next = positive & ~overflows(su + 1)
+        return su.reshape(payload.shape)
+
     # -- inverse direction: minimal Su for a utilisation target -------------
 
     def min_user_bits_for_utilisation(self, target: float) -> int:

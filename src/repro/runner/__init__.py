@@ -61,6 +61,7 @@ from .provenance import config_content_hash, provenance_stamp
 from .queue import JobEvent, parallel_map, run_jobs, topological_order
 from .sharding import (
     collect_points,
+    iter_points,
     run_sharded_sweep,
     shard_grid,
     sharded_sweep_campaign,
@@ -88,6 +89,7 @@ __all__ = [
     "collect_points",
     "config_content_hash",
     "content_key",
+    "iter_points",
     "migrate_store",
     "parallel_map",
     "provenance_stamp",

@@ -21,7 +21,14 @@ Semantics shared by every backend:
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    runtime_checkable,
+)
 
 from ...errors import ConfigurationError
 
@@ -39,12 +46,14 @@ def validate_record(record: Mapping[str, Any]) -> dict[str, Any]:
     return dict(record)
 
 
-def surviving_indices(records: list[dict[str, Any]]) -> list[int]:
+def surviving_indices(records: Iterable[Mapping[str, Any]]) -> list[int]:
     """Indices that :meth:`StoreBackend.compact` keeps, in append order.
 
     Per key: the newest record overall and the newest ``ok`` record
     (usually the same one).  Shared by both concrete backends so their
-    compaction semantics cannot drift apart.
+    compaction semantics cannot drift apart.  Accepts any iterable —
+    streaming a backend's ``iter_records()`` through it costs an
+    integer or two per key, never the decoded history.
     """
     latest: dict[str, int] = {}
     latest_ok: dict[str, int] = {}
@@ -95,6 +104,18 @@ class StoreBackend(Protocol):
         self, status: str | None = "ok"
     ) -> dict[str, dict[str, Any]]:
         """Latest record per key, optionally filtered by status."""
+        ...
+
+    def iter_latest_by_key(
+        self, status: str | None = "ok"
+    ) -> Iterator[dict[str, Any]]:
+        """Stream the latest record per key without materialising them.
+
+        Same winners as :meth:`latest_by_key`, yielded in the append
+        order of the winning records; peak memory stays O(keys) of
+        bookkeeping (JSONL: byte offsets) or O(1) (SQLite: an index
+        walk), never the decoded record set.
+        """
         ...
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:

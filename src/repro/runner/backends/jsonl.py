@@ -115,34 +115,93 @@ class JsonlBackend:
                 ) from error
 
     def __len__(self) -> int:
-        return len(self.load())
+        return sum(1 for _ in self.iter_records())
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
-        return iter(self.load())
+        return self.iter_records()
+
+    def _iter_winning_offsets(self, status: str | None) -> list[int]:
+        """Byte offsets of the latest record per key, in append order.
+
+        The memory-bounded half of :meth:`iter_latest_by_key`: one scan
+        keeps an integer per key instead of the decoded records, so a
+        million-point sweep history costs a dict of offsets, not its
+        payloads.
+        """
+        winners: dict[str, int] = {}
+        offset = 0
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                line_at = offset
+                offset += len(raw)
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # interrupted append; partial line
+                except UnicodeDecodeError as error:
+                    # e.g. the jsonl backend forced onto a SQLite file —
+                    # fail loudly like iter_records, never "empty store".
+                    raise ConfigurationError(
+                        f"store path {self.path!r} is not a JSONL result "
+                        f"store: {error}"
+                    ) from error
+                if not isinstance(record, dict):
+                    continue
+                if status is not None and record.get("status") != status:
+                    continue
+                winners[record["key"]] = line_at
+        return sorted(winners.values())
+
+    def iter_latest_by_key(
+        self, status: str | None = "ok"
+    ) -> Iterator[dict[str, Any]]:
+        """Stream the latest record per key without materialising them.
+
+        Two passes over the file: the first keeps only a byte offset per
+        key (latest wins), the second seeks to each winning line and
+        decodes just those — peak memory is O(keys), independent of how
+        much superseded history or payload the log carries.
+        """
+        if not os.path.exists(self.path):
+            return
+        offsets = self._iter_winning_offsets(status)
+        if not offsets:
+            return
+        with open(self.path, "rb") as handle:
+            for line_at in offsets:
+                handle.seek(line_at)
+                record = json.loads(handle.readline())
+                if isinstance(record, dict):
+                    yield record
 
     def latest_by_key(
         self, status: str | None = "ok"
     ) -> dict[str, dict[str, Any]]:
-        latest: dict[str, dict[str, Any]] = {}
-        for record in self.load():
-            if status is not None and record.get("status") != status:
-                continue
-            latest[record["key"]] = record
-        return latest
+        return {
+            record["key"]: record
+            for record in self.iter_latest_by_key(status)
+        }
 
     def get(self, key: str) -> dict[str, Any] | None:
         found: dict[str, Any] | None = None
-        for record in self.load():
+        for record in self.iter_records():
             if record["key"] == key and record.get("status") == "ok":
                 found = record
         return found
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:
-        return [r for r in self.load() if r.get("job_id") == job_id]
+        return [
+            r for r in self.iter_records() if r.get("job_id") == job_id
+        ]
 
     def keys(self) -> set[str]:
         return {
-            r["key"] for r in self.load() if r.get("status") == "ok"
+            r["key"]
+            for r in self.iter_records()
+            if r.get("status") == "ok"
         }
 
     # -- maintenance -------------------------------------------------------
@@ -150,21 +209,30 @@ class JsonlBackend:
     def compact(self) -> int:
         """Atomically rewrite the file keeping only surviving records.
 
+        Two streaming passes: the first keeps only the surviving record
+        *indices* (an int or two per key), the second re-reads the log
+        and copies just those lines — the history is never materialised.
         The replacement is written to a sibling temp file, fsynced, and
         renamed over the original, so a crash mid-compaction leaves
         either the full old log or the full new one — never a mix.
         """
-        records = self.load()
-        keep = surviving_indices(records)
-        dropped = len(records) - len(keep)
+        total = 0
+
+        def counted() -> Iterator[dict[str, Any]]:
+            nonlocal total
+            for record in self.iter_records():
+                total += 1
+                yield record
+
+        keep = set(surviving_indices(counted()))
+        dropped = total - len(keep)
         if dropped == 0:
             return 0
         tmp_path = self.path + ".compact.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            for index in keep:
-                handle.write(
-                    json.dumps(records[index], sort_keys=True) + "\n"
-                )
+            for index, record in enumerate(self.iter_records()):
+                if index in keep:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)

@@ -144,9 +144,15 @@ class SqliteBackend:
         ).fetchone()
         return self._decode(row) if row is not None else None
 
-    def latest_by_key(
+    def iter_latest_by_key(
         self, status: str | None = "ok"
-    ) -> dict[str, dict[str, Any]]:
+    ) -> Iterator[dict[str, Any]]:
+        """Stream the latest record per key from a dedicated cursor.
+
+        The winners come straight off the ``(key, id)`` index in append
+        order; nothing is materialised beyond SQLite's own cursor
+        window, so million-record histories stream in O(1) memory.
+        """
         if status is None:
             cursor = self._connect().execute(
                 "SELECT record FROM records WHERE id IN"
@@ -161,8 +167,16 @@ class SqliteBackend:
                 " ORDER BY id",
                 (status,),
             )
-        records = [self._decode(row) for row in cursor]
-        return {record["key"]: record for record in records}
+        for row in cursor:
+            yield self._decode(row)
+
+    def latest_by_key(
+        self, status: str | None = "ok"
+    ) -> dict[str, dict[str, Any]]:
+        return {
+            record["key"]: record
+            for record in self.iter_latest_by_key(status)
+        }
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:
         cursor = self._connect().execute(

@@ -280,6 +280,7 @@ def run_campaign(
     store_backend: str | None = None,
     store: ResultStore | None = None,
     cache: ResultCache | None = None,
+    cache_preload: str | None = None,
     observers: Sequence[Observer] = (),
     monitor: ProgressMonitor | None = None,
     strict: bool = False,
@@ -300,6 +301,12 @@ def run_campaign(
         > ``REPRO_STORE_BACKEND`` > extension > jsonl).
     cache:
         Explicit cache instance (overrides store-derived caching).
+    cache_preload:
+        How the store-derived cache warms up: ``"all"`` (default)
+        preloads the store's whole latest-per-key view, ``"lazy"``
+        resolves keys on first lookup, and ``"specs"`` preloads exactly
+        this campaign's content keys — the memory-bounded choice when
+        the store also holds millions of per-point sweep records.
     observers, monitor:
         Extra scheduler observers; ``monitor`` is appended last so its
         counters see every event.
@@ -314,12 +321,27 @@ def run_campaign(
             "store_backend needs store_path (a constructed store already "
             "carries its backend)"
         )
+    if cache is not None and cache_preload is not None:
+        raise ConfigurationError(
+            "cache_preload configures the store-derived cache; an explicit "
+            "cache already chose its preload"
+        )
+    if cache_preload not in (None, "all", "lazy", "specs"):
+        raise ConfigurationError(
+            f"unknown cache_preload {cache_preload!r} "
+            "(expected 'all', 'lazy', or 'specs')"
+        )
     owned_store: ResultStore | None = None
     if store_path is not None:
         store = owned_store = ResultStore(store_path, backend=store_backend)
     try:
         if cache is None and store is not None:
-            cache = ResultCache(store)
+            if cache_preload == "specs":
+                cache = ResultCache(
+                    store, preload=[spec.key for spec in campaign.specs]
+                )
+            else:
+                cache = ResultCache(store, preload=cache_preload or "all")
         all_observers = list(observers)
         if monitor is not None:
             all_observers.append(monitor)

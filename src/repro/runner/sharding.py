@@ -36,7 +36,8 @@ million-point payload itself.
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping, Sequence
+import os
+from typing import Any, Iterator, Mapping, Sequence
 
 from ..errors import ConfigurationError, InfeasibleDesignError
 from .campaign import Campaign
@@ -56,8 +57,10 @@ POINT_KIND = "point"
 
 #: Point records are flushed to the store in batches of this many, so a
 #: million-point merge never holds more than one batch of JSON lines /
-#: SQL rows beyond the decoded shard payloads.
-FLUSH_CHUNK = 50_000
+#: SQL rows beyond the one shard payload currently being drained.
+#: Override per merge with ``flush_chunk=`` or globally via the
+#: ``REPRO_MERGE_FLUSH_CHUNK`` environment variable.
+FLUSH_CHUNK = int(os.environ.get("REPRO_MERGE_FLUSH_CHUNK", "50000"))
 
 
 def shard_grid(values: Sequence[Any], shards: int) -> list[list[Any]]:
@@ -135,40 +138,53 @@ def evaluate_shard(
     }
 
 
-def _point_summary(points: list[Any]) -> dict[str, dict[str, Any]]:
-    """Finite-count/min/max per numeric metric of the merged points."""
-    series: dict[str, list[float]] = {}
-    for point in points:
+class _PointSummary:
+    """Streaming finite-count/min/max accumulator per numeric metric.
+
+    Replaces the materialise-then-reduce summary so the merge job can
+    fold points in as they stream past — state is three scalars per
+    metric name, never the point series itself.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, dict[str, Any]] = {}
+
+    def add(self, point: Any) -> None:
         items = (
             point.items()
             if isinstance(point, Mapping)
             else [("value", point)]
         )
         for name, value in items:
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                series.setdefault(name, []).append(float(value))
-    summary = {}
-    for name, values in series.items():
-        finite = [v for v in values if math.isfinite(v)]
-        summary[name] = {
-            "finite": len(finite),
-            "min": min(finite) if finite else None,
-            "max": max(finite) if finite else None,
-        }
-    return summary
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            stats = self._stats.setdefault(
+                name, {"finite": 0, "min": None, "max": None}
+            )
+            value = float(value)
+            if not math.isfinite(value):
+                continue
+            stats["finite"] += 1
+            if stats["min"] is None or value < stats["min"]:
+                stats["min"] = value
+            if stats["max"] is None or value > stats["max"]:
+                stats["max"] = value
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        return self._stats
 
 
-def _read_shard_payloads(
+def _iter_shard_payloads(
     store: ResultStore, shard_keys: Sequence[str], store_path: str
-) -> tuple[list[Any], list[Any]]:
-    """Concatenate shard payloads from the store, in shard order.
+) -> Iterator[tuple[list[Any], list[Any]]]:
+    """Yield each shard's ``(values, points)`` payload, one at a time.
 
-    Raises :class:`~repro.errors.ConfigurationError` when a shard has
-    no ``ok`` record — the sweep was not (fully) run against this
-    store.
+    Only one shard payload is ever decoded at once — the caller drains
+    it before the next ``store.get`` — which is what keeps the merge
+    worker's footprint O(shard + chunk) instead of O(points).  Raises
+    :class:`~repro.errors.ConfigurationError` when a shard has no
+    ``ok`` record — the sweep was not (fully) run against this store.
     """
-    values: list[Any] = []
-    points: list[Any] = []
     for key in shard_keys:
         record = store.get(key)
         if record is None:
@@ -177,8 +193,25 @@ def _read_shard_payloads(
                 "run the sweep campaign against this store first"
             )
         payload = record["value"]
-        values.extend(payload["values"])
-        points.extend(payload["points"])
+        yield payload["values"], payload["points"]
+
+
+def _read_shard_payloads(
+    store: ResultStore, shard_keys: Sequence[str], store_path: str
+) -> tuple[list[Any], list[Any]]:
+    """Concatenate shard payloads from the store, in shard order.
+
+    The materialising convenience for callers that want the whole
+    series (:func:`collect_points`); the merge job itself streams
+    through :func:`_iter_shard_payloads` instead.
+    """
+    values: list[Any] = []
+    points: list[Any] = []
+    for shard_values, shard_points in _iter_shard_payloads(
+        store, shard_keys, store_path
+    ):
+        values.extend(shard_values)
+        points.extend(shard_points)
     return values, points
 
 
@@ -208,49 +241,63 @@ def merge_shards(
     prefix: str,
     common: Mapping[str, Any] | None = None,
     store_backend: str | None = None,
+    flush_chunk: int | None = None,
 ) -> dict[str, Any]:
     """Merge shard records from the store into per-point records + summary.
 
-    Reads each shard's stored payload (every shard record is in the
-    store by the time this job is scheduled — the scheduler cache-puts
-    results before releasing dependents), concatenates them in shard
-    order, and flushes one record per grid point through
-    ``ResultStore.append_many`` in :data:`FLUSH_CHUNK`-sized batches —
-    one durability barrier (JSONL) or one transaction (SQLite) per
-    batch instead of a commit per record.  Re-merging after an
-    interrupt may append duplicate point records; latest-wins store
-    semantics make that harmless and ``compact()`` reclaims them.
+    Streams per-point records shard by shard: each shard's stored
+    payload is decoded on its own (every shard record is in the store
+    by the time this job is scheduled — the scheduler cache-puts
+    results before releasing dependents), drained into bounded
+    ``ResultStore.append_many`` batches of ``flush_chunk`` records
+    (default :data:`FLUSH_CHUNK`) — one durability barrier (JSONL) or
+    one transaction (SQLite) per batch — and released before the next
+    shard is touched.  The full point list is never materialised, so
+    peak merge memory is O(shard + chunk), not O(points).  Re-merging
+    after an interrupt may append duplicate point records; latest-wins
+    store semantics make that harmless and ``compact()`` reclaims them.
     """
-    store = ResultStore(store_path, backend=store_backend)
-    try:
-        merged_values, merged_points = _read_shard_payloads(
-            store, shard_keys, store_path
+    chunk_size = flush_chunk if flush_chunk is not None else FLUSH_CHUNK
+    if chunk_size < 1:
+        raise ConfigurationError(
+            f"flush_chunk must be >= 1, got {chunk_size}"
         )
-        flushed = 0
+    store = ResultStore(store_path, backend=store_backend)
+    summary = _PointSummary()
+    merged = 0
+    flushed = 0
+    try:
         chunk: list[dict[str, Any]] = []
-        for value, point in zip(merged_values, merged_points):
-            chunk.append(
-                {
-                    "key": point_key(sweep_target, parameter, value, common),
-                    "job_id": f"{prefix}[{value}]",
-                    "status": "ok",
-                    "value": point,
-                }
-            )
-            if len(chunk) >= FLUSH_CHUNK:
-                store.append_many(chunk)
-                flushed += len(chunk)
-                chunk = []
+        for values, points in _iter_shard_payloads(
+            store, shard_keys, store_path
+        ):
+            for value, point in zip(values, points):
+                summary.add(point)
+                merged += 1
+                chunk.append(
+                    {
+                        "key": point_key(
+                            sweep_target, parameter, value, common
+                        ),
+                        "job_id": f"{prefix}[{value}]",
+                        "status": "ok",
+                        "value": point,
+                    }
+                )
+                if len(chunk) >= chunk_size:
+                    store.append_many(chunk)
+                    flushed += len(chunk)
+                    chunk = []
         store.append_many(chunk)
         flushed += len(chunk)
     finally:
         store.close()
     return {
         "parameter": parameter,
-        "points": len(merged_points),
+        "points": merged,
         "shards": len(shard_keys),
         "point_records": flushed,
-        "metrics": _point_summary(merged_points),
+        "metrics": summary.as_dict(),
     }
 
 
@@ -266,6 +313,7 @@ def sharded_sweep_campaign(
     common: Mapping[str, Any] | None = None,
     retries: int = 0,
     batch: bool = True,
+    flush_chunk: int | None = None,
 ) -> Campaign:
     """Build the campaign for one sharded sweep.
 
@@ -275,6 +323,10 @@ def sharded_sweep_campaign(
     per-point records into the store at ``store_path``.  Run it with
     ``run_campaign(campaign, store_path=store_path, jobs=N)`` — the
     same store makes the sweep resumable and re-runs cached.
+    ``flush_chunk`` bounds the merge job's append batches (default
+    :data:`FLUSH_CHUNK`); it is left out of the merge job's content key
+    when unset so existing stores keep resolving their merge from
+    cache.
     """
     common = dict(common or {})
     campaign = Campaign(name)
@@ -294,11 +346,7 @@ def sharded_sweep_campaign(
         )
         shard_ids.append(job_id)
         shard_keys.append(campaign.specs[-1].key)
-    campaign.call(
-        f"{name}/merge",
-        MERGE_TARGET,
-        after=shard_ids,
-        retries=retries,
+    merge_params: dict[str, Any] = dict(
         store_path=str(store_path),
         shard_keys=shard_keys,
         sweep_target=target,
@@ -306,6 +354,15 @@ def sharded_sweep_campaign(
         prefix=name,
         common=common,
         store_backend=store_backend,
+    )
+    if flush_chunk is not None:
+        merge_params["flush_chunk"] = flush_chunk
+    campaign.call(
+        f"{name}/merge",
+        MERGE_TARGET,
+        after=shard_ids,
+        retries=retries,
+        **merge_params,
     )
     return campaign
 
@@ -323,13 +380,18 @@ def run_sharded_sweep(
     common: Mapping[str, Any] | None = None,
     retries: int = 0,
     batch: bool = True,
+    flush_chunk: int | None = None,
     monitor: Any = None,
     strict: bool = True,
 ):
     """Build and execute a sharded sweep; return its ``CampaignResult``.
 
     The merge summary is at ``result.results[f"{name}/merge"].value``;
-    the full per-point series reassembles with :func:`collect_points`.
+    the full per-point series reassembles with :func:`collect_points`
+    (or streams through :func:`iter_points`).  The campaign's cache
+    preloads only the campaign's own content keys, so re-running
+    against a store already holding millions of point records never
+    loads them into memory.
     """
     from .campaign import run_campaign
 
@@ -344,12 +406,14 @@ def run_sharded_sweep(
         common=common,
         retries=retries,
         batch=batch,
+        flush_chunk=flush_chunk,
     )
     return run_campaign(
         campaign,
         jobs=jobs,
         store_path=store_path,
         store_backend=store_backend,
+        cache_preload="specs",
         monitor=monitor,
         strict=strict,
     )
@@ -364,7 +428,8 @@ def collect_points(
 
     Streams shard records in shard order, so the caller gets the same
     series a monolithic sweep would have produced without the merge
-    record ever having to carry it.
+    record ever having to carry it.  Materialises the whole grid by
+    contract; use :func:`iter_points` when the consumer can stream.
     """
     shard_keys = [
         spec.key for spec in campaign.specs if spec.target == SHARD_TARGET
@@ -372,5 +437,29 @@ def collect_points(
     store = ResultStore(store_path, backend=store_backend)
     try:
         return _read_shard_payloads(store, shard_keys, store_path)
+    finally:
+        store.close()
+
+
+def iter_points(
+    store_path: str,
+    campaign: Campaign,
+    store_backend: str | None = None,
+) -> Iterator[tuple[Any, Any]]:
+    """Stream a sharded sweep's ``(value, point)`` pairs in grid order.
+
+    The lazy twin of :func:`collect_points`: one shard payload is
+    decoded at a time and released as soon as it drains, so walking a
+    10M-point sweep costs one shard of memory, not the grid.
+    """
+    shard_keys = [
+        spec.key for spec in campaign.specs if spec.target == SHARD_TARGET
+    ]
+    store = ResultStore(store_path, backend=store_backend)
+    try:
+        for values, points in _iter_shard_payloads(
+            store, shard_keys, store_path
+        ):
+            yield from zip(values, points)
     finally:
         store.close()

@@ -110,6 +110,17 @@ class ResultStore:
         """
         return self._backend.latest_by_key(status)
 
+    def iter_latest_by_key(
+        self, status: str | None = "ok"
+    ) -> Iterator[dict[str, Any]]:
+        """Stream the latest record per key without materialising them.
+
+        Same winners as :meth:`latest_by_key`, in the winning records'
+        append order; peak memory is bounded by per-key bookkeeping
+        (JSONL byte offsets / a SQLite index walk), not by history size.
+        """
+        return self._backend.iter_latest_by_key(status)
+
     def get(self, key: str) -> dict[str, Any] | None:
         """Latest ``ok`` record for one content key (``None`` if absent)."""
         return self._backend.get(key)

@@ -122,3 +122,90 @@ class TestBatchMetric:
 
         metric = BatchMetric(lambda values: [v + 1 for v in values])
         assert metric(41) == 42.0
+
+
+class TestShardedSweep:
+    """sweep_parameter(shards=, store=): grids via the campaign engine."""
+
+    GRID = [float(v) for v in range(32_000, 32_024)]
+
+    def test_routes_through_sharded_campaign(self, tmp_path):
+        store = tmp_path / "s.sqlite"
+        result = sweep_parameter(
+            "rate_bps",
+            self.GRID,
+            {"be": "repro.core.batch:break_even_curve"},
+            shards=3,
+            store=store,
+        )
+        assert result.parameter == "rate_bps"
+        assert result.values == tuple(self.GRID)
+        series = result.metric("be.break_even_bits")
+        assert len(series) == len(self.GRID)
+        # Same numbers as the direct batch evaluation.
+        from repro.core.batch import break_even_curve
+
+        assert list(series) == break_even_curve(self.GRID)["break_even_bits"]
+
+    def test_store_alone_implies_default_shards(self, tmp_path):
+        result = sweep_parameter(
+            "rate_bps",
+            self.GRID,
+            {"be": "repro.core.batch:break_even_curve"},
+            store=tmp_path / "s.jsonl",
+        )
+        assert len(result.metric("be.break_even_bits")) == len(self.GRID)
+
+    def test_rerun_is_cached(self, tmp_path):
+        store = tmp_path / "s.sqlite"
+        kwargs = dict(shards=3, store=store)
+        first = sweep_parameter(
+            "rate_bps",
+            self.GRID,
+            {"be": "repro.core.batch:break_even_curve"},
+            **kwargs,
+        )
+        again = sweep_parameter(
+            "rate_bps",
+            self.GRID,
+            {"be": "repro.core.batch:break_even_curve"},
+            **kwargs,
+        )
+        assert first.metrics == again.metrics
+
+    def test_mapping_targets_expand_to_submetrics(self, tmp_path):
+        result = sweep_parameter(
+            "rate_bps",
+            self.GRID,
+            {"dspace": "repro.core.batch:evaluate_rate_grid"},
+            shards=2,
+            store=tmp_path / "s.sqlite",
+        )
+        assert "dspace.required_buffer_bits" in result.metrics
+        assert "dspace.energy_buffer_bits" in result.metrics
+        # Non-numeric sub-series (labels, booleans) are skipped.
+        assert "dspace.dominant" not in result.metrics
+        assert "dspace.feasible" not in result.metrics
+
+    def test_shards_without_store_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(
+                "rate_bps",
+                self.GRID,
+                {"be": "repro.core.batch:break_even_curve"},
+                shards=4,
+            )
+
+    def test_callable_metric_rejected_in_sharded_mode(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(
+                "x",
+                [1.0, 2.0],
+                {"m": lambda x: x},
+                shards=2,
+                store=tmp_path / "s.jsonl",
+            )

@@ -359,3 +359,188 @@ class TestRequirementParity:
                 batch.buffer_for(constraint),
                 batch.constraint_buffers[row],
             )
+
+
+class TestWallParity:
+    """energy_wall_rate_batch: all goal boundaries bisect as one array."""
+
+    saving_grids = st.lists(
+        st.floats(min_value=0.0, max_value=0.999),
+        min_size=1,
+        max_size=30,
+    ).map(np.asarray)
+
+    @given(devices, workloads, saving_grids)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_bisection(self, device, workload, savings):
+        from repro.core.design_space import DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer(device, workload)
+        batch = explorer.energy_wall_rate_batch(savings)
+        scalar = np.array(
+            [
+                explorer.energy_wall_rate(
+                    DesignGoal(energy_saving=float(s))
+                )
+                for s in savings
+            ]
+        )
+        assert (np.isinf(batch) == np.isinf(scalar)).all()
+        finite = np.isfinite(scalar)
+        assert close(batch[finite], scalar[finite])
+
+    def test_reference_config_edges(self):
+        from repro.core.design_space import DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer(DEVICE, WORKLOAD)
+        walls = explorer.energy_wall_rate_batch([0.1, 0.80, 0.99])
+        # Easy goal: reachable across the whole range.
+        assert math.isinf(walls[0])
+        # The Figure 3a wall sits slightly above 1000 kbps.
+        assert 1_000_000 <= walls[1] <= 1_500_000
+        # Impossible goal: wall collapses to the bottom of the range.
+        assert walls[2] == pytest.approx(
+            WORKLOAD.stream_rate_min_bps
+        )
+        assert explorer.energy_wall_rate_batch(np.array([])).shape == (0,)
+
+    def test_preserves_input_shape(self):
+        from repro.core.design_space import DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer(DEVICE, WORKLOAD)
+        grid = np.full((3, 2), 0.80)
+        assert explorer.energy_wall_rate_batch(grid).shape == (3, 2)
+
+
+class TestBestUtilisationParity:
+    """The fig2a saw-tooth peak search, vectorised."""
+
+    @given(devices, buffer_grids)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_peaks(self, device, buffers):
+        model = CapacityModel(device)
+        batch = model.best_utilisation_batch(buffers)
+        scalar = [model.best_utilisation(float(b)) for b in buffers]
+        assert close(batch, scalar)
+
+    def test_reference_grid_bit_exact(self):
+        model = CapacityModel(DEVICE)
+        buffers = np.geomspace(1.0, 1e8, 500)
+        batch = model.best_utilisation_batch(buffers)
+        scalar = np.array(
+            [model.best_utilisation(float(b)) for b in buffers]
+        )
+        assert np.array_equal(batch, scalar)
+
+    @given(TestSectorAndCapacityParity.layouts)
+    @settings(max_examples=40, deadline=None)
+    def test_layout_peaks_tiny_caps(self, layout):
+        caps = np.arange(1, 80, dtype=np.int64)
+        batch = layout.best_user_bits_at_most_batch(caps)
+        for cap, got in zip(caps, batch):
+            best = layout.best_user_bits_at_most(int(cap))
+            # Peak *utilisation* must match exactly; ties between
+            # distinct sector sizes may break either way.
+            assert layout.utilisation(int(got)) == layout.utilisation(best)
+            assert 0 < got <= cap
+
+    def test_rejects_nonpositive(self):
+        model = CapacityModel(DEVICE)
+        with pytest.raises(ConfigurationError):
+            model.best_utilisation_batch(np.array([0.5]))
+
+
+class TestDRAMParity:
+    """DRAM batch model vs the scalar Micron decomposition."""
+
+    dram_grids = st.lists(
+        st.floats(min_value=1.0, max_value=1e10),
+        min_size=1,
+        max_size=30,
+    ).map(np.asarray)
+    cycle_grids = st.lists(
+        st.floats(min_value=1e-6, max_value=1e4),
+        min_size=1,
+        max_size=30,
+    ).map(np.asarray)
+
+    @given(dram_grids, cycle_grids)
+    @settings(max_examples=80, deadline=None)
+    def test_cycle_energy_terms(self, buffers, cycles):
+        from repro.devices.dram import DRAMPowerModel
+
+        model = DRAMPowerModel()
+        n = min(len(buffers), len(cycles))
+        buffers, cycles = buffers[:n], cycles[:n]
+        batch = model.cycle_energy_batch(buffers, cycles)
+        for index, (b, t) in enumerate(zip(buffers, cycles)):
+            scalar = model.cycle_energy(float(b), float(t))
+            assert close([batch.retention_j[index]], [scalar.retention_j])
+            assert close([batch.activate_j[index]], [scalar.activate_j])
+            assert close([batch.burst_j[index]], [scalar.burst_j])
+            assert close([batch.total_j[index]], [scalar.total_j])
+            assert close([batch.per_bit_j[index]], [scalar.per_bit_j])
+            assert close(
+                [batch.mean_power_w[index]], [scalar.mean_power_w]
+            )
+
+    @given(dram_grids)
+    @settings(max_examples=60, deadline=None)
+    def test_access_and_retention(self, buffers):
+        from repro.devices.dram import DRAMPowerModel
+
+        model = DRAMPowerModel()
+        assert close(
+            model.retention_power_w_batch(buffers),
+            [model.retention_power_w(float(b)) for b in buffers],
+        )
+        for write in (True, False):
+            assert close(
+                model.access_energy_j_batch(buffers, write=write),
+                [
+                    model.access_energy_j(float(b), write=write)
+                    for b in buffers
+                ],
+            )
+
+    def test_zero_bits_access_is_free(self):
+        from repro.devices.dram import DRAMPowerModel
+
+        model = DRAMPowerModel()
+        assert model.access_energy_j_batch(
+            np.array([0.0]), write=True
+        ).tolist() == [0.0]
+
+    def test_rejects_invalid_grids(self):
+        from repro.devices.dram import DRAMPowerModel
+
+        model = DRAMPowerModel()
+        with pytest.raises(ConfigurationError):
+            model.cycle_energy_batch(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            model.cycle_energy_batch(np.array([8.0]), np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            model.access_energy_j_batch(np.array([-1.0]), write=False)
+
+    def test_broadcasts_one_cycle_time(self):
+        from repro.devices.dram import DRAMPowerModel
+        from repro.core.energy import EnergyModel
+
+        energy = EnergyModel(DEVICE, WORKLOAD)
+        model = DRAMPowerModel()
+        buffers = np.geomspace(1e3, 1e7, 11)
+        cycles = energy.cycle_time_batch(buffers, 1_024_000.0)
+        assert close(
+            cycles,
+            [energy.cycle_time(float(b), 1_024_000.0) for b in buffers],
+        )
+        batch = model.per_bit_energy_batch(buffers, cycles)
+        assert close(
+            batch,
+            [
+                model.per_bit_energy(
+                    float(b), energy.cycle_time(float(b), 1_024_000.0)
+                )
+                for b in buffers
+            ],
+        )

@@ -1,0 +1,246 @@
+"""Memory-bounded streaming paths: merge chunks, lazy reads, resume.
+
+The PR contract under test: the sweep -> merge -> cache pipeline never
+materialises a full grid — shard payloads decode one at a time, point
+records flush through bounded ``append_many`` chunks, the latest-per-key
+view streams off both backends, and an interrupted (even *crashed*)
+merge resumes from per-shard cache without recomputing shards.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    Campaign,
+    ResultStore,
+    collect_points,
+    iter_points,
+    run_campaign,
+    sharded_sweep_campaign,
+)
+from repro.runner.backends import JsonlBackend, SqliteBackend
+from repro.runner.sharding import merge_shards, point_key
+
+GRID = [float(v) for v in range(32_000, 32_000 + 40)]
+TARGET = "repro.core.batch:break_even_curve"
+
+
+def _campaign(store_path, **kwargs):
+    return sharded_sweep_campaign(
+        "sweep",
+        TARGET,
+        "rate_bps",
+        GRID,
+        store_path=str(store_path),
+        shards=4,
+        **kwargs,
+    )
+
+
+def _run_shards_only(store_path):
+    """Complete every shard job but not the merge (the usual interrupt)."""
+    full = _campaign(store_path)
+    shards_only = Campaign("shards-only", specs=list(full.specs[:-1]))
+    result = run_campaign(shards_only, store_path=str(store_path))
+    assert result.ok
+    return full
+
+
+class TestBoundedChunks:
+    def test_flush_chunk_bounds_append_batches(self, tmp_path, monkeypatch):
+        store_path = tmp_path / "s.sqlite"
+        full = _run_shards_only(store_path)
+        merge = full.specs[-1]
+
+        batch_sizes = []
+        original = ResultStore.append_many
+
+        def recording(self, records):
+            batch_sizes.append(len(records))
+            return original(self, records)
+
+        monkeypatch.setattr(ResultStore, "append_many", recording)
+        summary = merge_shards(flush_chunk=7, **merge.params_dict())
+        assert summary["points"] == len(GRID)
+        assert summary["point_records"] == len(GRID)
+        assert sum(batch_sizes) == len(GRID)
+        assert max(batch_sizes) <= 7
+
+    def test_flush_chunk_rejects_nonpositive(self, tmp_path):
+        full = _run_shards_only(tmp_path / "s.sqlite")
+        with pytest.raises(ConfigurationError):
+            merge_shards(flush_chunk=0, **full.specs[-1].params_dict())
+
+    def test_streaming_summary_matches_points(self, tmp_path):
+        store_path = tmp_path / "s.sqlite"
+        full = _run_shards_only(store_path)
+        summary = merge_shards(**full.specs[-1].params_dict())
+        _, points = collect_points(str(store_path), full)
+        series = [p["break_even_bits"] for p in points]
+        stats = summary["metrics"]["break_even_bits"]
+        assert stats["finite"] == len(series)
+        assert stats["min"] == min(series)
+        assert stats["max"] == max(series)
+
+
+class TestCrashMidMerge:
+    def test_crashed_merge_resumes_from_shard_cache(
+        self, tmp_path, monkeypatch
+    ):
+        """A merge killed mid-flush re-runs without recomputing shards."""
+        store_path = tmp_path / "s.sqlite"
+        full = _run_shards_only(store_path)
+        merge = full.specs[-1]
+
+        # Simulated crash: the store dies after the first point flush.
+        flushes = {"count": 0}
+        original = ResultStore.append_many
+
+        def dying(self, records):
+            if flushes["count"] >= 1:
+                raise OSError("simulated crash mid-merge")
+            flushes["count"] += 1
+            return original(self, records)
+
+        monkeypatch.setattr(ResultStore, "append_many", dying)
+        with pytest.raises(OSError):
+            merge_shards(flush_chunk=10, **merge.params_dict())
+        monkeypatch.setattr(ResultStore, "append_many", original)
+
+        # The store now holds a partial point-record prefix...
+        store = ResultStore(str(store_path))
+        partial = sum(
+            1
+            for record in store.iter_records()
+            if record.get("job_id", "").startswith("sweep[")
+        )
+        store.close()
+        assert 0 < partial < len(GRID)
+
+        # ...and the campaign re-run resolves every shard from cache,
+        # re-running only the merge; duplicated point records are
+        # harmless under latest-wins semantics.
+        resumed = run_campaign(full, store_path=str(store_path))
+        assert resumed.status_counts() == {"cached": 4, "ok": 1}
+        assert resumed.results["sweep/merge"].value["points"] == len(GRID)
+        store = ResultStore(str(store_path))
+        for value in (GRID[0], GRID[17], GRID[-1]):
+            record = store.get(point_key(TARGET, "rate_bps", value))
+            assert record is not None
+            assert record["value"]["break_even_bits"] > 0
+        store.close()
+
+
+class TestIterPoints:
+    def test_streams_grid_order(self, tmp_path):
+        store_path = tmp_path / "s.sqlite"
+        full = _run_shards_only(store_path)
+        merge_shards(**full.specs[-1].params_dict())
+        streamed = list(iter_points(str(store_path), full))
+        values, points = collect_points(str(store_path), full)
+        assert streamed == list(zip(values, points))
+        assert [v for v, _ in streamed] == GRID
+
+
+class TestIterLatestByKey:
+    def _fill(self, backend):
+        backend.append({"key": "a", "status": "ok", "value": 1})
+        backend.append({"key": "b", "status": "failed", "value": 2})
+        backend.append({"key": "a", "status": "ok", "value": 3})
+        backend.append({"key": "b", "status": "ok", "value": 4})
+        backend.append({"key": "c", "status": "failed", "value": 5})
+
+    @pytest.mark.parametrize("factory", [JsonlBackend, SqliteBackend])
+    def test_latest_winners_stream_in_append_order(self, tmp_path, factory):
+        backend = factory(
+            tmp_path / ("r.sqlite" if factory is SqliteBackend else "r.jsonl")
+        )
+        try:
+            assert list(backend.iter_latest_by_key()) == []
+            self._fill(backend)
+            winners = list(backend.iter_latest_by_key())
+            assert [(r["key"], r["value"]) for r in winners] == [
+                ("a", 3),
+                ("b", 4),
+            ]
+            assert backend.latest_by_key() == {
+                r["key"]: r for r in winners
+            }
+            everything = list(backend.iter_latest_by_key(None))
+            assert [(r["key"], r["value"]) for r in everything] == [
+                ("a", 3),
+                ("b", 4),
+                ("c", 5),
+            ]
+            failed = list(backend.iter_latest_by_key("failed"))
+            assert [(r["key"], r["value"]) for r in failed] == [
+                ("b", 2),
+                ("c", 5),
+            ]
+        finally:
+            backend.close()
+
+    def test_jsonl_tolerates_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        backend = JsonlBackend(path)
+        self._fill(backend)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "a", "status": "ok", "val')  # torn
+        winners = list(backend.iter_latest_by_key())
+        assert [(r["key"], r["value"]) for r in winners] == [
+            ("a", 3),
+            ("b", 4),
+        ]
+
+    def test_jsonl_rejects_binary_store_loudly(self, tmp_path):
+        """A non-JSONL file must fail like iter_records, not read empty.
+
+        Forcing the JSONL backend onto a SQLite store (or any binary
+        file) has to raise — a silent empty latest-per-key view would
+        make the cache treat the store as fresh and append JSON lines
+        into it.
+        """
+        path = tmp_path / "r.sqlite"
+        sqlite = SqliteBackend(path)
+        sqlite.append({"key": "a", "status": "ok", "value": 1})
+        sqlite.close()
+        backend = JsonlBackend(path)
+        with pytest.raises(ConfigurationError):
+            list(backend.iter_latest_by_key())
+        with pytest.raises(ConfigurationError):
+            backend.latest_by_key()
+
+    def test_jsonl_skips_superseded_payloads(self, tmp_path):
+        """Only winning lines are decoded on the second pass."""
+        path = tmp_path / "r.jsonl"
+        backend = JsonlBackend(path)
+        for index in range(20):
+            backend.append(
+                {"key": "hot", "status": "ok", "value": index}
+            )
+        winners = list(backend.iter_latest_by_key())
+        assert [(r["key"], r["value"]) for r in winners] == [("hot", 19)]
+        offsets = backend._iter_winning_offsets("ok")
+        assert len(offsets) == 1
+        with open(path, "rb") as handle:
+            handle.seek(offsets[0])
+            assert json.loads(handle.readline())["value"] == 19
+
+
+class TestStreamingCompact:
+    def test_jsonl_compact_streams_and_keeps_semantics(self, tmp_path):
+        backend = JsonlBackend(tmp_path / "r.jsonl")
+        for index in range(50):
+            backend.append(
+                {"key": f"k{index % 5}", "status": "ok", "value": index}
+            )
+        before = backend.latest_by_key(None)
+        dropped = backend.compact()
+        assert dropped == 45
+        assert backend.latest_by_key(None) == before
+        assert len(backend) == 5
+        assert backend.compact() == 0

@@ -284,3 +284,71 @@ class TestParser:
 
     def test_module_entry_point(self):
         import repro.__main__  # noqa: F401 - import side-effect free
+
+
+class TestSweepCommand:
+    TARGET = "repro.core.batch:break_even_curve"
+
+    def test_sharded_sweep_end_to_end(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.sqlite")
+        assert main([
+            "sweep", self.TARGET,
+            "--parameter", "rate_bps",
+            "--min", "32000", "--max", "4096000", "--points", "25",
+            "--shards", "4", "--store", store, "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "25 points over 4 shards" in out
+        assert "break_even_bits" in out
+
+    def test_rerun_resolves_from_cache(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        argv = [
+            "sweep", self.TARGET,
+            "--parameter", "rate_bps",
+            "--values", "32000,64000,128000",
+            "--shards", "2", "--store", store, "--quiet",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "3 cached" in out
+
+    def test_explicit_values_grid(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        assert main([
+            "sweep", self.TARGET,
+            "--parameter", "rate_bps",
+            "--values", "32000,64000",
+            "--store", store, "--quiet",
+        ]) == 0
+        assert "2 points" in capsys.readouterr().out
+
+    def test_values_and_range_conflict(self, capsys, tmp_path):
+        assert main([
+            "sweep", self.TARGET,
+            "--parameter", "rate_bps",
+            "--values", "1,2", "--min", "1", "--max", "2",
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_grid_rejected(self, capsys, tmp_path):
+        assert main([
+            "sweep", self.TARGET,
+            "--parameter", "rate_bps",
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 2
+        assert "--values or both --min and --max" in (
+            capsys.readouterr().err
+        )
+
+    def test_log_grid_needs_positive_min(self, capsys, tmp_path):
+        assert main([
+            "sweep", self.TARGET,
+            "--parameter", "rate_bps",
+            "--min", "0", "--max", "10", "--points", "5",
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 2
+        assert "--min > 0" in capsys.readouterr().err
