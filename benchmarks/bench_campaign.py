@@ -11,11 +11,15 @@ Claims under timing:
   populating run — and still does after the store is compacted,
 * at campaign-history scale (``REPRO_BENCH_STORE_N`` records, default
   10k) the indexed SQLite backend answers ``get``/``latest_by_key`` at
-  least 10x faster than the JSONL backend's full-file scan.
+  least 10x faster than the JSONL backend's full-file scan,
+* compact JSON separators (no space after ``,``/``:``) make the JSONL
+  log strictly smaller than the default-separator encoding of the
+  same records, decoder-compatible either way.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -190,6 +194,36 @@ def test_store_scaling_sqlite_vs_jsonl(benchmark, tmp_path):
     # ... but the indexed point lookups are >=10x faster.
     assert sqlite_get_s * 10 <= jsonl_get_s
     sqlite.close()
+
+
+@pytest.mark.benchmark(group="store")
+def test_compact_separators_shrink_store(benchmark, tmp_path):
+    """The compact-separator encoding is byte-for-byte smaller.
+
+    Re-encodes the store's own records with the default ``", "`` /
+    ``": "`` separators and asserts the on-disk log beats that —
+    every record, every backend write path, no decoder change.
+    """
+    n = min(STORE_N, 5_000)
+    store = ResultStore(tmp_path / "sep.jsonl", backend="jsonl")
+    store.append_many(_history(n))
+    actual = os.path.getsize(tmp_path / "sep.jsonl")
+
+    def default_encoding_bytes():
+        return sum(
+            len(json.dumps(record, sort_keys=True).encode("utf-8")) + 1
+            for record in store.iter_records()
+        )
+
+    spaced = run_once(benchmark, default_encoding_bytes)
+    shrink = 1 - actual / spaced
+    print()
+    print(
+        f"{n} records: compact {actual} bytes vs default {spaced} bytes "
+        f"({shrink:.1%} smaller)"
+    )
+    assert actual < spaced
+    store.close()
 
 
 @pytest.mark.benchmark(group="store")

@@ -70,6 +70,42 @@ class SweepResult:
         """One metric's series across the sweep."""
         return self.metrics[name]
 
+    @classmethod
+    def from_arrays(
+        cls,
+        parameter: str,
+        values: Any,
+        metrics: Mapping[str, Any],
+    ) -> "SweepResult":
+        """Build a result around existing arrays, seeding the cache.
+
+        The array-native constructor for the columnar sweep pipeline:
+        the arrays become the :meth:`as_arrays` view directly (so
+        analysis code that consumes arrays never touches the tuple
+        fields), and the tuple fields are materialised with one
+        C-level ``tolist`` per series.
+        """
+        values_array = np.array(values)
+        metric_arrays = {
+            name: np.array(series, dtype=float)
+            for name, series in metrics.items()
+        }
+        result = cls(
+            parameter=parameter,
+            values=tuple(values_array.tolist()),
+            metrics={
+                name: tuple(array.tolist())
+                for name, array in metric_arrays.items()
+            },
+        )
+        values_array.setflags(write=False)
+        for array in metric_arrays.values():
+            array.setflags(write=False)
+        object.__setattr__(
+            result, "_arrays", (values_array, metric_arrays)
+        )
+        return result
+
     def as_arrays(self) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         """The sweep as ``(values, {metric: np.ndarray})``, built once.
 
@@ -161,19 +197,21 @@ def _sharded_sweep(
 
     One sharded campaign per metric; every metric must be an importable
     ``"pkg.module:function"`` batch target (content keys hash the
-    target, so callables cannot ride along).  Series stream back
-    point-by-point through :func:`~repro.runner.sharding.iter_points`;
-    targets returning per-point mappings contribute one series per
-    numeric sub-key, named ``"{metric}.{sub}"``, while plain per-point
-    numbers keep the metric's own name.  Non-numeric sub-values (e.g.
-    dominance labels) are skipped — a :class:`SweepResult` holds float
-    series by contract.
+    target, so callables cannot ride along).  Series come back through
+    :func:`~repro.runner.sharding.collect_arrays` — columnar store
+    blocks decode straight to numpy with no per-point Python-object
+    hop.  Targets returning per-point mappings contribute one series
+    per numeric sub-key, named ``"{metric}.{sub}"``, while plain
+    per-point numbers keep the metric's own name.  Non-numeric columns
+    (e.g. dominance labels) are skipped — a :class:`SweepResult` holds
+    float series by contract.
     """
     from ..runner.campaign import run_campaign
-    from ..runner.sharding import iter_points, sharded_sweep_campaign
+    from ..runner.codec import KIND_SCALAR, SCALAR_COLUMN
+    from ..runner.sharding import collect_arrays, sharded_sweep_campaign
 
     store_path = os.fspath(store)
-    series: dict[str, list[float]] = {}
+    series: dict[str, np.ndarray] = {}
     for name, target in metrics.items():
         if not isinstance(target, str):
             raise ConfigurationError(
@@ -198,34 +236,27 @@ def _sharded_sweep(
             cache_preload="specs",
             strict=True,
         )
-        for _, point in iter_points(store_path, campaign, store_backend):
-            if isinstance(point, Mapping):
-                for sub, sub_value in point.items():
-                    if isinstance(sub_value, bool) or not isinstance(
-                        sub_value, (int, float)
-                    ):
-                        continue
-                    series.setdefault(f"{name}.{sub}", []).append(
-                        float(sub_value)
-                    )
-            elif isinstance(point, (int, float)):
-                series.setdefault(name, []).append(float(point))
-            else:
+        columns = collect_arrays(store_path, campaign, store_backend)
+        numeric = columns.numeric()
+        if columns.points_kind == KIND_SCALAR:
+            if SCALAR_COLUMN not in numeric:
                 raise ConfigurationError(
-                    f"metric {name!r} returned a non-numeric point "
-                    f"({type(point).__name__}); sharded sweep metrics must "
-                    "yield numbers or mappings of numbers"
+                    f"metric {name!r} returned non-numeric points; "
+                    "sharded sweep metrics must yield numbers or "
+                    "mappings of numbers"
                 )
+            series[name] = numeric[SCALAR_COLUMN]
+        else:
+            for sub, array in numeric.items():
+                series[f"{name}.{sub}"] = array
     for name, metric_series in series.items():
         if len(metric_series) != len(values):
             raise ConfigurationError(
                 f"metric {name!r} produced {len(metric_series)} values for "
                 f"a {len(values)}-point grid (heterogeneous point mappings?)"
             )
-    return SweepResult(
-        parameter=parameter,
-        values=tuple(values),
-        metrics={name: tuple(s) for name, s in series.items()},
+    return SweepResult.from_arrays(
+        parameter=parameter, values=tuple(values), metrics=series
     )
 
 

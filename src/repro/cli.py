@@ -151,6 +151,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="contiguous grid shards, one cached job each (default 8)",
     )
     sweep_parser.add_argument(
+        "--codec", choices=("columnar", "json"), default=None,
+        help=(
+            "point payload codec: 'columnar' packs results as binary "
+            "column blocks, 'json' keeps one JSON record per point "
+            "(default: $REPRO_POINT_CODEC, then columnar)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes (default 1 = serial)",
     )
@@ -374,9 +382,15 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
-def _sweep_grid(args: argparse.Namespace) -> list[float]:
-    """The sweep grid from either --values or --min/--max/--points."""
+def _sweep_grid(args: argparse.Namespace):
+    """The sweep grid from either --values or --min/--max/--points.
+
+    Explicit ``--values`` become a value list; ``--min/--max/--points``
+    become a grid *descriptor*, so shard jobs ship four scalars instead
+    of the whole grid and workers materialise their own slices.
+    """
     from .errors import ConfigurationError
+    from .runner import grid_descriptor
 
     if args.values is not None:
         if args.grid_min is not None or args.grid_max is not None:
@@ -398,17 +412,16 @@ def _sweep_grid(args: argparse.Namespace) -> list[float]:
         )
     if args.points < 2:
         raise ConfigurationError(f"--points must be >= 2, got {args.points}")
-    import numpy as np
-
-    if args.linear:
-        grid = np.linspace(args.grid_min, args.grid_max, args.points)
-    else:
-        if args.grid_min <= 0:
-            raise ConfigurationError(
-                "log-spaced grids need --min > 0 (or pass --linear)"
-            )
-        grid = np.geomspace(args.grid_min, args.grid_max, args.points)
-    return [float(v) for v in grid]
+    if not args.linear and args.grid_min <= 0:
+        raise ConfigurationError(
+            "log-spaced grids need --min > 0 (or pass --linear)"
+        )
+    return grid_descriptor(
+        "linspace" if args.linear else "geomspace",
+        args.grid_min,
+        args.grid_max,
+        args.points,
+    )
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -425,6 +438,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         shards=args.shards,
         jobs=args.jobs,
         store_backend=args.store_backend,
+        codec=args.codec,
         monitor=monitor,
         strict=False,
     )
@@ -433,10 +447,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
     merge = result.results.get(f"{args.name}/merge")
     if result.ok and merge is not None and isinstance(merge.value, dict):
         summary = merge.value
+        stored = (
+            f"{summary.get('block_records', 0)} columnar blocks"
+            if summary.get("block_records")
+            else f"{summary.get('point_records', 0)} point records"
+        )
         print()
         print(
             f"{summary['points']} points over {summary['shards']} shards "
-            f"-> {args.store} ({summary['point_records']} point records)"
+            f"-> {args.store} ({stored})"
         )
         for name in sorted(summary.get("metrics", {})):
             stats = summary["metrics"][name]
@@ -489,13 +508,21 @@ def _command_store(args: argparse.Namespace) -> int:
         return 0
 
     # info — one streaming pass over the store
+    from .runner.codec import payload_kind
+
     total = 0
+    total_bytes = 0
     ok_keys = set()
     versions: dict[str, int] = {}
-    for record in store.iter_records():
+    kinds: dict[str, tuple[int, int]] = {}
+    for record, nbytes in store.iter_records_with_size():
         total += 1
+        total_bytes += nbytes
         if record.get("status") == "ok":
             ok_keys.add(record["key"])
+        kind = payload_kind(record)
+        count, size = kinds.get(kind, (0, 0))
+        kinds[kind] = (count + 1, size + nbytes)
         label = (
             f"{record.get(VERSION_FIELD, '?')}"
             f"/{record.get(CONFIG_FIELD, '?')}"
@@ -505,6 +532,10 @@ def _command_store(args: argparse.Namespace) -> int:
     print(f"backend  : {store.backend_name}")
     print(f"records  : {total}")
     print(f"ok keys  : {len(ok_keys)}")
+    print(f"bytes    : {total_bytes}")
+    for kind in sorted(kinds):
+        count, size = kinds[kind]
+        print(f"  payload {kind}: {count} records, {size} bytes")
     for label in sorted(versions):
         print(f"  provenance {label}: {versions[label]} records")
     store.close()

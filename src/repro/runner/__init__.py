@@ -56,12 +56,22 @@ from .jobs import (
     JobSpec,
     content_key,
 )
+from .codec import (
+    CODEC_COLUMNAR,
+    CODEC_ENV_VAR,
+    CODEC_JSON,
+    STORAGE_FORMAT,
+)
 from .monitor import ProgressMonitor
 from .provenance import config_content_hash, provenance_stamp
 from .queue import JobEvent, parallel_map, run_jobs, topological_order
 from .sharding import (
+    SweepColumns,
+    collect_arrays,
     collect_points,
+    grid_descriptor,
     iter_points,
+    lookup_point,
     run_sharded_sweep,
     shard_grid,
     sharded_sweep_campaign,
@@ -71,6 +81,9 @@ from .store import ResultStore, migrate_store
 __all__ = [
     "BACKENDS",
     "BACKEND_ENV_VAR",
+    "CODEC_COLUMNAR",
+    "CODEC_ENV_VAR",
+    "CODEC_JSON",
     "Campaign",
     "CampaignResult",
     "JobEvent",
@@ -84,12 +97,17 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_SKIPPED",
+    "STORAGE_FORMAT",
     "SqliteBackend",
     "StoreBackend",
+    "SweepColumns",
+    "collect_arrays",
     "collect_points",
     "config_content_hash",
     "content_key",
+    "grid_descriptor",
     "iter_points",
+    "lookup_point",
     "migrate_store",
     "parallel_map",
     "provenance_stamp",

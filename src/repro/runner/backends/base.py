@@ -96,6 +96,18 @@ class StoreBackend(Protocol):
         """Stream records in append order without materialising them."""
         ...
 
+    def iter_records_with_size(
+        self,
+    ) -> Iterator[tuple[dict[str, Any], int]]:
+        """Stream ``(record, stored_bytes)`` pairs in append order.
+
+        ``stored_bytes`` is the record's persisted footprint (JSONL:
+        line bytes; SQLite: JSON text plus native blob), which is what
+        lets ``repro store info`` attribute disk usage per payload
+        kind without re-encoding anything.
+        """
+        ...
+
     def get(self, key: str) -> dict[str, Any] | None:
         """Latest ``ok`` record for one content key (``None`` if absent)."""
         ...

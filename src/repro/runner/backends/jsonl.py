@@ -12,6 +12,13 @@ Every query is a full-file scan (O(n) in history size).  That is fine
 for thousands of records and the reason the indexed
 :class:`~repro.runner.backends.sqlite.SqliteBackend` exists for
 millions.
+
+Records are encoded with compact separators (no space after ``,`` or
+``:``) — byte-for-byte smaller logs, decoder-compatible either way.
+Binary column payloads (``bytes`` values, see
+:mod:`repro.runner.codec`) are base64-wrapped on write and restored to
+real ``bytes`` on read, so columnar records round-trip through the
+text log unchanged.
 """
 
 from __future__ import annotations
@@ -21,7 +28,18 @@ import os
 from typing import Any, Iterator, Mapping
 
 from ...errors import ConfigurationError
+from ..codec import jsonable_bytes, restore_bytes
 from .base import surviving_indices, validate_record
+
+#: Compact JSON encoding shared by every write path.
+_SEPARATORS = (",", ":")
+
+
+def _dump(record: Mapping[str, Any]) -> str:
+    """One record as a compact, sorted, bytes-safe JSON line body."""
+    return json.dumps(
+        jsonable_bytes(record), sort_keys=True, separators=_SEPARATORS
+    )
 
 
 def _fsync_dir(path: str) -> None:
@@ -64,8 +82,7 @@ class JsonlBackend:
         if not records:
             return
         lines = "".join(
-            json.dumps(validate_record(record), sort_keys=True) + "\n"
-            for record in records
+            _dump(validate_record(record)) + "\n" for record in records
         )
         created = not os.path.exists(self.path)
         with open(self.path, "a", encoding="utf-8") as handle:
@@ -93,26 +110,37 @@ class JsonlBackend:
 
     def iter_records(self) -> Iterator[dict[str, Any]]:
         """Stream readable records without materialising the history."""
+        for record, _ in self.iter_records_with_size():
+            yield record
+
+    def iter_records_with_size(
+        self,
+    ) -> Iterator[tuple[dict[str, Any], int]]:
+        """Stream ``(record, stored_bytes)`` pairs in append order.
+
+        ``stored_bytes`` is the on-disk footprint of the record's line
+        (newline included) — what ``repro store info`` charges each
+        payload kind with.
+        """
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            try:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # interrupted append; partial line
-                    if isinstance(record, dict):
-                        yield record
-            except UnicodeDecodeError as error:
-                # e.g. the jsonl backend forced onto a SQLite file.
-                raise ConfigurationError(
-                    f"store path {self.path!r} is not a JSONL result "
-                    f"store: {error}"
-                ) from error
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # interrupted append; partial line
+                except UnicodeDecodeError as error:
+                    # e.g. the jsonl backend forced onto a SQLite file.
+                    raise ConfigurationError(
+                        f"store path {self.path!r} is not a JSONL "
+                        f"result store: {error}"
+                    ) from error
+                if isinstance(record, dict):
+                    yield restore_bytes(record), len(raw)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_records())
@@ -175,7 +203,7 @@ class JsonlBackend:
                 handle.seek(line_at)
                 record = json.loads(handle.readline())
                 if isinstance(record, dict):
-                    yield record
+                    yield restore_bytes(record)
 
     def latest_by_key(
         self, status: str | None = "ok"
@@ -232,7 +260,7 @@ class JsonlBackend:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             for index, record in enumerate(self.iter_records()):
                 if index in keep:
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.write(_dump(record) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)

@@ -4,9 +4,16 @@ The same log semantics as the JSONL backend — records in append order,
 latest ``ok`` wins — but persisted in a WAL-mode SQLite database with
 covering indexes on ``(key, id)``, ``(job_id, id)``, and ``stored_at``,
 so ``get``/``latest_by_key`` are O(log n) index walks instead of O(n)
-full-file scans.  Each record is stored verbatim as canonical JSON in
+full-file scans.  Each record is stored as canonical compact JSON in
 the ``record`` column; ``key``/``job_id``/``status``/``stored_at`` are
 denormalised into indexed columns purely for lookup speed.
+
+Binary column payloads (:mod:`repro.runner.codec`) are lifted out of
+the JSON text into the native ``blob`` column — raw little-endian
+bytes, no base64 tax — and re-attached on decode, so the records the
+cache, compaction, and migration layers see are identical to the JSONL
+backend's.  Databases created before the column existed are migrated
+in place with one ``ALTER TABLE`` on open.
 
 Durability: WAL journaling with ``synchronous=NORMAL`` — every
 acknowledged ``append`` survives a killed process (commits are ordered
@@ -23,6 +30,7 @@ import sqlite3
 from typing import Any, Iterator, Mapping
 
 from ...errors import ConfigurationError
+from ..codec import extract_blob, inject_blob
 from .base import validate_record
 
 _SCHEMA = """
@@ -32,12 +40,16 @@ CREATE TABLE IF NOT EXISTS records (
     job_id    TEXT,
     status    TEXT NOT NULL,
     stored_at REAL,
-    record    TEXT NOT NULL
+    record    TEXT NOT NULL,
+    blob      BLOB
 );
 CREATE INDEX IF NOT EXISTS idx_records_key ON records (key, id);
 CREATE INDEX IF NOT EXISTS idx_records_job ON records (job_id, id);
 CREATE INDEX IF NOT EXISTS idx_records_stored_at ON records (stored_at);
 """
+
+#: Compact JSON encoding shared with the JSONL backend.
+_SEPARATORS = (",", ":")
 
 
 class SqliteBackend:
@@ -63,6 +75,17 @@ class SqliteBackend:
                 conn.execute("PRAGMA journal_mode=WAL")
                 conn.execute("PRAGMA synchronous=NORMAL")
                 conn.executescript(_SCHEMA)
+                columns = {
+                    row[1]
+                    for row in conn.execute("PRAGMA table_info(records)")
+                }
+                if "blob" not in columns:
+                    # A store created before binary payloads existed:
+                    # add the column in place; old rows read back with
+                    # blob NULL, exactly as they were written.
+                    conn.execute(
+                        "ALTER TABLE records ADD COLUMN blob BLOB"
+                    )
                 conn.commit()
             except sqlite3.DatabaseError as error:
                 raise ConfigurationError(
@@ -86,32 +109,38 @@ class SqliteBackend:
         """Insert a batch in order within a single transaction."""
         if not records:
             return
-        rows: list[tuple[str, str | None, str, float | None, str]] = []
+        rows: list[
+            tuple[str, str | None, str, float | None, str, bytes | None]
+        ] = []
         for record in records:
             record = validate_record(record)
             stored_at = record.get("stored_at")
+            jsonable, blob = extract_blob(record)
             rows.append(
                 (
                     record["key"],
                     record.get("job_id"),
                     record["status"],
                     float(stored_at) if stored_at is not None else None,
-                    json.dumps(record, sort_keys=True),
+                    json.dumps(
+                        jsonable, sort_keys=True, separators=_SEPARATORS
+                    ),
+                    blob,
                 )
             )
         conn = self._connect()
         with conn:
             conn.executemany(
                 "INSERT INTO records (key, job_id, status, stored_at,"
-                " record) VALUES (?, ?, ?, ?, ?)",
+                " record, blob) VALUES (?, ?, ?, ?, ?, ?)",
                 rows,
             )
 
     # -- reads -------------------------------------------------------------
 
     @staticmethod
-    def _decode(row: tuple[str]) -> dict[str, Any]:
-        record = json.loads(row[0])
+    def _decode(row: tuple[str, bytes | None]) -> dict[str, Any]:
+        record = inject_blob(json.loads(row[0]), row[1])
         if not isinstance(record, dict):  # pragma: no cover - defensive
             raise ConfigurationError("malformed record in SQLite store")
         return record
@@ -122,10 +151,27 @@ class SqliteBackend:
     def iter_records(self) -> Iterator[dict[str, Any]]:
         """Stream records in append order from a dedicated cursor."""
         cursor = self._connect().execute(
-            "SELECT record FROM records ORDER BY id"
+            "SELECT record, blob FROM records ORDER BY id"
         )
         for row in cursor:
             yield self._decode(row)
+
+    def iter_records_with_size(
+        self,
+    ) -> Iterator[tuple[dict[str, Any], int]]:
+        """Stream ``(record, stored_bytes)`` pairs in append order.
+
+        ``stored_bytes`` counts the JSON text plus the native blob —
+        the per-record payload footprint ``repro store info`` reports.
+        """
+        cursor = self._connect().execute(
+            "SELECT record, blob FROM records ORDER BY id"
+        )
+        for row in cursor:
+            size = len(row[0].encode("utf-8")) + (
+                len(row[1]) if row[1] is not None else 0
+            )
+            yield self._decode(row), size
 
     def __len__(self) -> int:
         row = self._connect().execute(
@@ -138,8 +184,8 @@ class SqliteBackend:
 
     def get(self, key: str) -> dict[str, Any] | None:
         row = self._connect().execute(
-            "SELECT record FROM records WHERE key = ? AND status = 'ok'"
-            " ORDER BY id DESC LIMIT 1",
+            "SELECT record, blob FROM records WHERE key = ?"
+            " AND status = 'ok' ORDER BY id DESC LIMIT 1",
             (key,),
         ).fetchone()
         return self._decode(row) if row is not None else None
@@ -155,13 +201,13 @@ class SqliteBackend:
         """
         if status is None:
             cursor = self._connect().execute(
-                "SELECT record FROM records WHERE id IN"
+                "SELECT record, blob FROM records WHERE id IN"
                 " (SELECT MAX(id) FROM records GROUP BY key)"
                 " ORDER BY id"
             )
         else:
             cursor = self._connect().execute(
-                "SELECT record FROM records WHERE id IN"
+                "SELECT record, blob FROM records WHERE id IN"
                 " (SELECT MAX(id) FROM records WHERE status = ?"
                 "  GROUP BY key)"
                 " ORDER BY id",
@@ -180,7 +226,8 @@ class SqliteBackend:
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:
         cursor = self._connect().execute(
-            "SELECT record FROM records WHERE job_id = ? ORDER BY id",
+            "SELECT record, blob FROM records WHERE job_id = ?"
+            " ORDER BY id",
             (job_id,),
         )
         return [self._decode(row) for row in cursor]

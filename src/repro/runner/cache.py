@@ -23,6 +23,11 @@ Preload is configurable (``preload="all" | "lazy" | iterable of
 keys``) so a store that also holds millions of per-point sweep records
 never has to be materialised just to resolve a campaign's handful of
 content keys.
+
+Payload formats are transparent here: the backends hand records back
+with binary column payloads (:mod:`repro.runner.codec`) restored to
+real ``bytes``, so a columnar shard record caches, round-trips, and
+re-serves exactly like a JSON-dict one.
 """
 
 from __future__ import annotations

@@ -288,6 +288,11 @@ def json_safe(value: Any) -> Any:
         return sorted(json_safe(v) for v in value)
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, (bytes, bytearray)):
+        # Binary column payloads (repro.runner.codec) pass through as
+        # real bytes; the store backends own their encoding (base64 in
+        # JSONL lines, native BLOBs in SQLite).
+        return bytes(value)
     return repr(value)
 
 

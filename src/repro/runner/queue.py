@@ -132,6 +132,29 @@ def _pool_attempt(spec: JobSpec) -> tuple[Any, float, int]:
     return _attempt(spec, execute)
 
 
+def _warm_worker() -> None:
+    """Process-pool initializer: build the reference models once.
+
+    Runs in each worker before its first job so sweep shards start
+    computing immediately instead of rebuilding the Table I config and
+    model stack per call.  Warmup is best-effort — a failure here must
+    never poison the pool, the job itself will surface any real error.
+    """
+    try:
+        from ..core.batch import warm_reference_models
+
+        warm_reference_models()
+    except Exception:  # noqa: BLE001 - warmup is strictly best-effort
+        pass
+
+
+def _make_pool(max_workers: int) -> ProcessPoolExecutor:
+    """A process pool whose workers pre-build the reference models."""
+    return ProcessPoolExecutor(
+        max_workers=max_workers, initializer=_warm_worker
+    )
+
+
 class _Run:
     """Shared bookkeeping for one :func:`run_jobs` invocation."""
 
@@ -382,7 +405,7 @@ def _solo_round(
         attempt = attempts[spec.job_id]
         run._event(EVENT_STARTED, spec.job_id, attempt=attempt)
         try:
-            with ProcessPoolExecutor(max_workers=1) as pool:
+            with _make_pool(1) as pool:
                 if executor is execute:
                     future = pool.submit(_pool_attempt, spec)
                 else:
@@ -478,7 +501,7 @@ def _batch_round(
             pending = still_pending
 
     try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with _make_pool(jobs) as pool:
             submit_ready(pool)
             while in_flight:
                 done, _ = wait(
@@ -560,5 +583,5 @@ def parallel_map(
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or len(items) <= 1:
         return [func(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+    with _make_pool(min(jobs, len(items))) as pool:
         return list(pool.map(func, items))

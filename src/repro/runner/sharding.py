@@ -17,30 +17,47 @@ property the campaign engine already has:
 * **parallel** — shards fan out across the worker pool like any other
   jobs.
 
-Shard jobs call an importable target once per shard.  With
-``batch=True`` (the default) the target receives the whole shard as an
-array-ready list — the natural fit for the model core's vectorised
-fast paths (e.g. ``"repro.core.batch:evaluate_rate_grid"``) — and
-returns either a mapping of metric name to per-point series or one
-value per point.  With ``batch=False`` the target is called per point,
-with :class:`~repro.errors.InfeasibleDesignError` recorded as ``inf``.
+Grids travel two ways.  An explicit value list is chunked as before —
+each shard job carries (and hashes) its own values.  A *grid
+descriptor* (``{"kind": "geomspace", "start": ..., "stop": ...,
+"num": ...}``) ships only ``(descriptor, shard index, shard count)``
+per job: workers materialise their own contiguous slice, so scheduling
+a million-point sweep pickles a few dozen bytes per job instead of
+125k floats, and content keys hash O(1) descriptors instead of O(n)
+value lists.
 
-The merge job runs after every shard, reads their records back from
-the store, flushes one record per grid point in batched
-``append_many`` transactions (point records carry a deterministic
-content key — :func:`point_key` — so any point of a swept grid is an
-O(log n) store lookup), and returns a compact summary — never the
-million-point payload itself.
+Shard results move through the store in the **columnar binary codec**
+(:mod:`repro.runner.codec`) by default: a shard's metrics are packed
+as named float64/int64 column arrays in one blob, the merge job
+re-chunks them into *block records* of ``flush_chunk`` points each —
+one compact record per block instead of one JSON record per point —
+and :func:`collect_arrays` decodes blocks straight to numpy with no
+per-point Python-object hop.  ``codec="json"`` (or
+``REPRO_POINT_CODEC=json``) keeps the legacy per-point record path,
+and every reader transparently accepts payloads in either format, so
+stores written before the codec existed keep working.
 """
 
 from __future__ import annotations
 
 import math
 import os
+from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError, InfeasibleDesignError
+from . import codec as _codec
 from .campaign import Campaign
+from .codec import (
+    CODEC_COLUMNAR,
+    KIND_MAPPING,
+    KIND_SCALAR,
+    SCALAR_COLUMN,
+    check_codec,
+    default_codec,
+)
 from .jobs import content_key, json_safe, resolve_callable
 from .store import ResultStore
 
@@ -55,11 +72,19 @@ MERGE_TARGET = "repro.runner.sharding:merge_shards"
 #: records must never be served as cache hits for real jobs.
 POINT_KIND = "point"
 
+#: Pseudo-kind hashed into columnar block record keys.  Like
+#: :data:`POINT_KIND`, a query surface — never a job cache entry.
+BLOCK_KIND = "point-block"
+
+#: Grid-descriptor kinds workers know how to materialise.
+GRID_KINDS = ("geomspace", "linspace")
+
 #: Point records are flushed to the store in batches of this many, so a
 #: million-point merge never holds more than one batch of JSON lines /
-#: SQL rows beyond the one shard payload currently being drained.
-#: Override per merge with ``flush_chunk=`` or globally via the
-#: ``REPRO_MERGE_FLUSH_CHUNK`` environment variable.
+#: SQL rows beyond the one shard payload currently being drained.  The
+#: columnar merge uses the same bound as its block size (points per
+#: block record).  Override per merge with ``flush_chunk=`` or
+#: globally via the ``REPRO_MERGE_FLUSH_CHUNK`` environment variable.
 FLUSH_CHUNK = int(os.environ.get("REPRO_MERGE_FLUSH_CHUNK", "50000"))
 
 
@@ -81,49 +106,167 @@ def shard_grid(values: Sequence[Any], shards: int) -> list[list[Any]]:
     ]
 
 
-def _per_point(result: Any, count: int) -> list[Any]:
-    """Normalise a batch target's return value to one entry per point."""
-    if isinstance(result, Mapping):
-        series = {}
-        for name, values in result.items():
-            values = list(values)
-            if len(values) != count:
-                raise ConfigurationError(
-                    f"batch target metric {name!r} returned {len(values)} "
-                    f"values for a {count}-point shard"
-                )
-            series[name] = values
-        return [
-            {name: series[name][index] for name in series}
-            for index in range(count)
-        ]
-    points = list(result)
-    if len(points) != count:
+# -- grid descriptors ------------------------------------------------------
+
+
+def grid_descriptor(
+    kind: str, start: float, stop: float, num: int
+) -> dict[str, Any]:
+    """A validated grid descriptor shard jobs can materialise themselves.
+
+    Descriptors replace explicit value lists in job parameters: content
+    keys hash four scalars instead of the whole grid, and each worker
+    rebuilds only its own contiguous slice.
+    """
+    if kind not in GRID_KINDS:
+        known = ", ".join(GRID_KINDS)
         raise ConfigurationError(
-            f"batch target returned {len(points)} values for a "
-            f"{count}-point shard"
+            f"unknown grid kind {kind!r}; known: {known}"
         )
-    return points
+    num = int(num)
+    if num < 1:
+        raise ConfigurationError(f"grid num must be >= 1, got {num}")
+    start = float(start)
+    stop = float(stop)
+    if kind == "geomspace" and (start <= 0 or stop <= 0):
+        raise ConfigurationError(
+            "geomspace grids need start > 0 and stop > 0"
+        )
+    return {"kind": kind, "start": start, "stop": stop, "num": num}
+
+
+def _coerce_grid(mapping: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate an arbitrary mapping as a grid descriptor."""
+    return grid_descriptor(
+        str(mapping.get("kind")),
+        mapping.get("start", 0.0),
+        mapping.get("stop", 0.0),
+        mapping.get("num", 0),
+    )
+
+
+def materialise_grid(grid: Mapping[str, Any]) -> np.ndarray:
+    """The full value array of a grid descriptor."""
+    grid = _coerce_grid(grid)
+    space = np.geomspace if grid["kind"] == "geomspace" else np.linspace
+    return space(grid["start"], grid["stop"], grid["num"])
+
+
+def shard_values(
+    grid: Mapping[str, Any], shard_index: int, shard_count: int
+) -> list[float]:
+    """One shard's contiguous slice of a grid descriptor's values.
+
+    Slices the fully materialised grid with the same arithmetic as
+    :func:`shard_grid`, so descriptor sweeps are value-for-value
+    identical to explicit-list sweeps of the same grid.
+    """
+    if shard_count < 1:
+        raise ConfigurationError(
+            f"shard_count must be >= 1, got {shard_count}"
+        )
+    if not 0 <= shard_index < shard_count:
+        raise ConfigurationError(
+            f"shard_index {shard_index} outside [0, {shard_count})"
+        )
+    full = materialise_grid(grid)
+    count = len(full)
+    lo = shard_index * count // shard_count
+    hi = (shard_index + 1) * count // shard_count
+    return [float(v) for v in full[lo:hi]]
+
+
+def _check_series(result: Mapping[str, Any], count: int) -> dict[str, Any]:
+    """Validate a batch target's per-metric series lengths.
+
+    Numpy columns pass through as arrays — listifying them would turn
+    their elements into numpy scalars, which the codec's exact-type
+    checks (and the legacy JSON path) cannot represent; kept as arrays
+    they take the binary fast path directly.
+    """
+    series: dict[str, Any] = {}
+    for name, column in result.items():
+        if not isinstance(column, np.ndarray):
+            column = list(column)
+        elif column.ndim != 1:
+            raise ConfigurationError(
+                f"batch target metric {name!r} returned a "
+                f"{column.ndim}-dimensional array, expected one value "
+                "per point"
+            )
+        if len(column) != count:
+            raise ConfigurationError(
+                f"batch target metric {name!r} returned {len(column)} "
+                f"values for a {count}-point shard"
+            )
+        series[str(name)] = column
+    return series
 
 
 def evaluate_shard(
     sweep_target: str,
     parameter: str,
-    values: Sequence[Any],
+    values: Sequence[Any] | None = None,
     common: Mapping[str, Any] | None = None,
     batch: bool = True,
+    grid: Mapping[str, Any] | None = None,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
+    codec: str | None = None,
 ) -> dict[str, Any]:
     """Evaluate one contiguous shard of a sweep grid (worker entry point).
 
-    Returns a JSON-safe payload carrying the shard's grid values and one
-    result per point, which the merge job later reassembles in shard
-    order.
+    Exactly one of ``values`` (an explicit list) and ``grid`` (a
+    descriptor, with ``shard_index``/``shard_count``) names the shard's
+    points.  Returns the shard payload the merge job later reassembles
+    in shard order: with the columnar codec (the default), a batch
+    target's per-metric series are packed straight into binary column
+    arrays — no per-point dicts are ever built; with ``codec="json"``
+    (or for results the binary dtypes cannot represent exactly) the
+    payload is the legacy ``{"values": [...], "points": [...]}`` form.
     """
+    if (values is None) == (grid is None):
+        raise ConfigurationError(
+            "pass exactly one of values= or grid= to evaluate_shard"
+        )
+    if grid is not None:
+        if shard_index is None or shard_count is None:
+            raise ConfigurationError(
+                "grid descriptors need shard_index and shard_count"
+            )
+        values = shard_values(grid, shard_index, shard_count)
+    else:
+        values = list(values)  # type: ignore[arg-type]
+    chosen = check_codec(codec) if codec is not None else default_codec()
     func = resolve_callable(sweep_target)
     kwargs = dict(common or {})
-    values = list(values)
+    count = len(values)
     if batch:
-        points = _per_point(func(**{parameter: values}, **kwargs), len(values))
+        result = func(**{parameter: values}, **kwargs)
+        if isinstance(result, Mapping):
+            series = _check_series(result, count)
+            if chosen == CODEC_COLUMNAR:
+                payload = _codec.pack_series(values, series, KIND_MAPPING)
+                return {"parameter": parameter, **payload}
+            lists = {
+                name: (
+                    column.tolist()
+                    if isinstance(column, np.ndarray)
+                    else column
+                )
+                for name, column in series.items()
+            }
+            points: list[Any] = [
+                {name: lists[name][index] for name in lists}
+                for index in range(count)
+            ]
+        else:
+            points = list(result)
+            if len(points) != count:
+                raise ConfigurationError(
+                    f"batch target returned {len(points)} values for a "
+                    f"{count}-point shard"
+                )
     else:
         points = []
         for value in values:
@@ -131,6 +274,10 @@ def evaluate_shard(
                 points.append(func(**{parameter: value}, **kwargs))
             except InfeasibleDesignError:
                 points.append(math.inf)
+    if chosen == CODEC_COLUMNAR:
+        packed = _codec.pack_points(values, points)
+        if packed is not None:
+            return {"parameter": parameter, **packed}
     return {
         "parameter": parameter,
         "values": json_safe(values),
@@ -143,32 +290,61 @@ class _PointSummary:
 
     Replaces the materialise-then-reduce summary so the merge job can
     fold points in as they stream past — state is three scalars per
-    metric name, never the point series itself.
+    metric name, never the point series itself.  Columnar shards fold
+    in as whole arrays (:meth:`add_columns`), producing bit-identical
+    statistics to the per-point path.
     """
 
     def __init__(self) -> None:
         self._stats: dict[str, dict[str, Any]] = {}
 
+    def _fold(self, name: str, value: Any) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        stats = self._stats.setdefault(
+            name, {"finite": 0, "min": None, "max": None}
+        )
+        value = float(value)
+        if not math.isfinite(value):
+            return
+        stats["finite"] += 1
+        if stats["min"] is None or value < stats["min"]:
+            stats["min"] = value
+        if stats["max"] is None or value > stats["max"]:
+            stats["max"] = value
+
     def add(self, point: Any) -> None:
         items = (
             point.items()
             if isinstance(point, Mapping)
-            else [("value", point)]
+            else [(SCALAR_COLUMN, point)]
         )
         for name, value in items:
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                continue
-            stats = self._stats.setdefault(
-                name, {"finite": 0, "min": None, "max": None}
-            )
-            value = float(value)
-            if not math.isfinite(value):
-                continue
-            stats["finite"] += 1
-            if stats["min"] is None or value < stats["min"]:
-                stats["min"] = value
-            if stats["max"] is None or value > stats["max"]:
-                stats["max"] = value
+            self._fold(name, value)
+
+    def add_columns(self, columns: Mapping[str, Any]) -> None:
+        """Fold whole decoded columns in one vectorised pass each."""
+        for name, column in columns.items():
+            if isinstance(column, np.ndarray):
+                if column.dtype.kind not in "fi":
+                    continue  # bools and categories, like the dict path
+                stats = self._stats.setdefault(
+                    name, {"finite": 0, "min": None, "max": None}
+                )
+                array = np.asarray(column, dtype=float)
+                finite = array[np.isfinite(array)]
+                if finite.size == 0:
+                    continue
+                stats["finite"] += int(finite.size)
+                low = float(finite.min())
+                high = float(finite.max())
+                if stats["min"] is None or low < stats["min"]:
+                    stats["min"] = low
+                if stats["max"] is None or high > stats["max"]:
+                    stats["max"] = high
+            else:
+                for value in column:
+                    self._fold(name, value)
 
     def as_dict(self) -> dict[str, dict[str, Any]]:
         return self._stats
@@ -176,8 +352,8 @@ class _PointSummary:
 
 def _iter_shard_payloads(
     store: ResultStore, shard_keys: Sequence[str], store_path: str
-) -> Iterator[tuple[list[Any], list[Any]]]:
-    """Yield each shard's ``(values, points)`` payload, one at a time.
+) -> Iterator[dict[str, Any]]:
+    """Yield each shard's stored payload, one at a time.
 
     Only one shard payload is ever decoded at once — the caller drains
     it before the next ``store.get`` — which is what keeps the merge
@@ -192,27 +368,39 @@ def _iter_shard_payloads(
                 f"shard {key} has no ok record in {store_path!r}; "
                 "run the sweep campaign against this store first"
             )
-        payload = record["value"]
-        yield payload["values"], payload["points"]
+        yield record["value"]
 
 
-def _read_shard_payloads(
-    store: ResultStore, shard_keys: Sequence[str], store_path: str
-) -> tuple[list[Any], list[Any]]:
-    """Concatenate shard payloads from the store, in shard order.
+def _payload_points(payload: Mapping[str, Any]) -> tuple[list[Any], list[Any]]:
+    """A shard payload as ``(values, points)``, whatever its codec."""
+    if _codec.is_columnar(payload):
+        return _codec.unpack_points(payload)
+    return payload["values"], payload["points"]
 
-    The materialising convenience for callers that want the whole
-    series (:func:`collect_points`); the merge job itself streams
-    through :func:`_iter_shard_payloads` instead.
+
+def _payload_columns(
+    payload: Mapping[str, Any],
+) -> tuple[Any, dict[str, Any], str] | None:
+    """A shard payload as ``(values, columns, points_kind)`` arrays.
+
+    Columnar payloads decode straight to numpy; legacy JSON payloads
+    are columnised when their points are uniform (``None`` when they
+    are not — the caller falls back to the per-point path).
     """
-    values: list[Any] = []
-    points: list[Any] = []
-    for shard_values, shard_points in _iter_shard_payloads(
-        store, shard_keys, store_path
-    ):
-        values.extend(shard_values)
-        points.extend(shard_points)
-    return values, points
+    if _codec.is_columnar(payload):
+        return _codec.unpack_columns(payload)
+    columnised = _codec.series_from_points(payload["points"])
+    if columnised is None:
+        return None
+    points_kind, series = columnised
+    return (
+        _codec.column_to_array(payload["values"]),
+        {
+            name: _codec.column_to_array(column)
+            for name, column in series.items()
+        },
+        points_kind,
+    )
 
 
 def point_key(
@@ -223,14 +411,142 @@ def point_key(
 ) -> str:
     """Deterministic content key of one grid point of one sweep.
 
-    The merge job files every grid point under this key, so any point
-    of an already-swept grid is one indexed ``store.get`` away.  The
-    key hashes :data:`POINT_KIND`, never a schedulable job kind — point
-    records are a query surface, not cache entries for real jobs.
+    The legacy (``codec="json"``) merge files every grid point under
+    this key, so any point of an already-swept grid is one indexed
+    ``store.get`` away.  The key hashes :data:`POINT_KIND`, never a
+    schedulable job kind — point records are a query surface, not
+    cache entries for real jobs.
     """
     return content_key(
         POINT_KIND, sweep_target, {parameter: value, **dict(common or {})}
     )
+
+
+def block_key(
+    sweep_target: str,
+    parameter: str,
+    shard_keys: Sequence[str],
+    index: int,
+    common: Mapping[str, Any] | None = None,
+) -> str:
+    """Deterministic content key of one columnar block of one sweep.
+
+    Hashes the sweep's shard keys (which themselves hash the grid
+    content), so a grid edit retires the old blocks' keys wholesale —
+    a stale block can never shadow a re-merged sweep.
+    """
+    return content_key(
+        BLOCK_KIND,
+        sweep_target,
+        {
+            "parameter": parameter,
+            "common": dict(common or {}),
+            "shards": list(shard_keys),
+            "block": int(index),
+        },
+    )
+
+
+class _BlockWriter:
+    """Re-chunk decoded shard columns into columnar block records.
+
+    Buffers one concatenated segment per column and emits a block
+    record every ``chunk_size`` points — peak state is O(shard +
+    chunk), matching the per-point merge's bound.  A schema change
+    between shards (different column names) flushes the partial block
+    first, so every block stays self-describing.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        chunk_size: int,
+        sweep_target: str,
+        parameter: str,
+        shard_keys: Sequence[str],
+        prefix: str,
+        common: Mapping[str, Any] | None,
+    ) -> None:
+        self._store = store
+        self._chunk = chunk_size
+        self._target = sweep_target
+        self._parameter = parameter
+        self._shard_keys = list(shard_keys)
+        self._prefix = prefix
+        self._common = common
+        self._values: Any = None
+        self._columns: dict[str, Any] = {}
+        self._kind = KIND_MAPPING
+        self.blocks = 0
+
+    def _pending(self) -> int:
+        return 0 if self._values is None else len(self._values)
+
+    def add(
+        self, values: Any, columns: Mapping[str, Any], points_kind: str
+    ) -> None:
+        if self._values is not None and (
+            set(columns) != set(self._columns)
+            or points_kind != self._kind
+        ):
+            self.flush()
+        if self._values is None:
+            self._values = values
+            self._columns = dict(columns)
+            self._kind = points_kind
+        else:
+            self._values = _codec.concat_columns([self._values, values])
+            self._columns = {
+                name: _codec.concat_columns(
+                    [self._columns[name], columns[name]]
+                )
+                for name in self._columns
+            }
+        start = 0
+        while self._pending() - start >= self._chunk:
+            self._emit(start, start + self._chunk)
+            start += self._chunk
+        if start:
+            self._values = self._values[start:]
+            self._columns = {
+                name: column[start:]
+                for name, column in self._columns.items()
+            }
+
+    def _emit(self, lo: int, hi: int) -> None:
+        payload = _codec.pack_series(
+            self._values[lo:hi],
+            {
+                name: column[lo:hi]
+                for name, column in self._columns.items()
+            },
+            self._kind,
+        )
+        payload["block"] = self.blocks
+        self._store.append_many(
+            [
+                {
+                    "key": block_key(
+                        self._target,
+                        self._parameter,
+                        self._shard_keys,
+                        self.blocks,
+                        self._common,
+                    ),
+                    "job_id": f"{self._prefix}/block{self.blocks:05d}",
+                    "status": "ok",
+                    "value": payload,
+                }
+            ]
+        )
+        self.blocks += 1
+
+    def flush(self) -> None:
+        """Emit whatever is buffered as one final (short) block."""
+        if self._pending():
+            self._emit(0, self._pending())
+        self._values = None
+        self._columns = {}
 
 
 def merge_shards(
@@ -242,35 +558,68 @@ def merge_shards(
     common: Mapping[str, Any] | None = None,
     store_backend: str | None = None,
     flush_chunk: int | None = None,
+    codec: str | None = None,
 ) -> dict[str, Any]:
-    """Merge shard records from the store into per-point records + summary.
+    """Merge shard records from the store into block records + summary.
 
-    Streams per-point records shard by shard: each shard's stored
-    payload is decoded on its own (every shard record is in the store
-    by the time this job is scheduled — the scheduler cache-puts
-    results before releasing dependents), drained into bounded
-    ``ResultStore.append_many`` batches of ``flush_chunk`` records
-    (default :data:`FLUSH_CHUNK`) — one durability barrier (JSONL) or
-    one transaction (SQLite) per batch — and released before the next
-    shard is touched.  The full point list is never materialised, so
-    peak merge memory is O(shard + chunk), not O(points).  Re-merging
-    after an interrupt may append duplicate point records; latest-wins
-    store semantics make that harmless and ``compact()`` reclaims them.
+    Streams shard payloads one at a time (every shard record is in the
+    store by the time this job is scheduled — the scheduler cache-puts
+    results before releasing dependents).  With the columnar codec (the
+    default) each payload decodes straight to column arrays, is folded
+    into the metric summary in one vectorised pass, and is re-chunked
+    into **block records** of ``flush_chunk`` points each — one compact
+    binary record per block, keyed by :func:`block_key`.  With
+    ``codec="json"``, or for shard payloads whose points will not
+    columnise, the merge files one JSON record per point under
+    :func:`point_key` exactly as before.  Either way the full point
+    list is never materialised: peak merge memory is O(shard + chunk),
+    not O(points).  Re-merging after an interrupt may append duplicate
+    records; latest-wins store semantics make that harmless and
+    ``compact()`` reclaims them.
     """
     chunk_size = flush_chunk if flush_chunk is not None else FLUSH_CHUNK
     if chunk_size < 1:
         raise ConfigurationError(
             f"flush_chunk must be >= 1, got {chunk_size}"
         )
+    chosen = check_codec(codec) if codec is not None else default_codec()
     store = ResultStore(store_path, backend=store_backend)
     summary = _PointSummary()
     merged = 0
-    flushed = 0
+    point_records = 0
     try:
+        writer = _BlockWriter(
+            store,
+            chunk_size,
+            sweep_target,
+            parameter,
+            shard_keys,
+            prefix,
+            common,
+        )
         chunk: list[dict[str, Any]] = []
-        for values, points in _iter_shard_payloads(
-            store, shard_keys, store_path
-        ):
+
+        def flush_points() -> None:
+            nonlocal chunk, point_records
+            store.append_many(chunk)
+            point_records += len(chunk)
+            chunk = []
+
+        for payload in _iter_shard_payloads(store, shard_keys, store_path):
+            columns = (
+                _payload_columns(payload)
+                if chosen == CODEC_COLUMNAR
+                else None
+            )
+            if columns is not None:
+                values, series, points_kind = columns
+                summary.add_columns(series)
+                merged += len(values)
+                writer.add(values, series, points_kind)
+                continue
+            # Per-point path: requested via codec="json", or a payload
+            # whose points will not columnise.
+            values, points = _payload_points(payload)
             for value, point in zip(values, points):
                 summary.add(point)
                 merged += 1
@@ -285,18 +634,17 @@ def merge_shards(
                     }
                 )
                 if len(chunk) >= chunk_size:
-                    store.append_many(chunk)
-                    flushed += len(chunk)
-                    chunk = []
-        store.append_many(chunk)
-        flushed += len(chunk)
+                    flush_points()
+        writer.flush()
+        flush_points()
     finally:
         store.close()
     return {
         "parameter": parameter,
         "points": merged,
         "shards": len(shard_keys),
-        "point_records": flushed,
+        "point_records": point_records,
+        "block_records": writer.blocks,
         "metrics": summary.as_dict(),
     }
 
@@ -305,7 +653,7 @@ def sharded_sweep_campaign(
     name: str,
     target: str,
     parameter: str,
-    values: Sequence[Any],
+    values: Sequence[Any] | Mapping[str, Any],
     *,
     store_path: str,
     shards: int = 8,
@@ -314,25 +662,47 @@ def sharded_sweep_campaign(
     retries: int = 0,
     batch: bool = True,
     flush_chunk: int | None = None,
+    codec: str | None = None,
 ) -> Campaign:
     """Build the campaign for one sharded sweep.
 
     Jobs ``{name}/shard0000 ... {name}/shardNNNN`` each evaluate one
     contiguous chunk of ``values`` via :func:`evaluate_shard`;
-    ``{name}/merge`` runs ``after`` all of them and streams the
-    per-point records into the store at ``store_path``.  Run it with
+    ``{name}/merge`` runs ``after`` all of them and streams block (or
+    per-point) records into the store at ``store_path``.  ``values``
+    is either an explicit sequence — chunked into the job parameters —
+    or a grid descriptor mapping (:func:`grid_descriptor`), in which
+    case each shard job ships only ``(descriptor, shard index, shard
+    count)`` and materialises its own slice.  Run it with
     ``run_campaign(campaign, store_path=store_path, jobs=N)`` — the
     same store makes the sweep resumable and re-runs cached.
-    ``flush_chunk`` bounds the merge job's append batches (default
-    :data:`FLUSH_CHUNK`); it is left out of the merge job's content key
-    when unset so existing stores keep resolving their merge from
-    cache.
+    ``flush_chunk`` bounds the merge job's blocks/batches (default
+    :data:`FLUSH_CHUNK`); like ``codec``, it is left out of job content
+    keys when unset so existing stores keep resolving from cache.
     """
     common = dict(common or {})
     campaign = Campaign(name)
     shard_ids: list[str] = []
     shard_keys: list[str] = []
-    for index, chunk in enumerate(shard_grid(values, shards)):
+    extra: dict[str, Any] = {}
+    if codec is not None:
+        extra["codec"] = check_codec(codec)
+    if isinstance(values, Mapping):
+        grid = _coerce_grid(values)
+        if shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {shards}"
+            )
+        shard_count = min(shards, grid["num"])
+        chunks: list[dict[str, Any]] = [
+            dict(grid=grid, shard_index=index, shard_count=shard_count)
+            for index in range(shard_count)
+        ]
+    else:
+        chunks = [
+            dict(values=chunk) for chunk in shard_grid(values, shards)
+        ]
+    for index, chunk_params in enumerate(chunks):
         job_id = f"{name}/shard{index:04d}"
         campaign.call(
             job_id,
@@ -340,9 +710,10 @@ def sharded_sweep_campaign(
             retries=retries,
             sweep_target=target,
             parameter=parameter,
-            values=chunk,
             common=common,
             batch=batch,
+            **chunk_params,
+            **extra,
         )
         shard_ids.append(job_id)
         shard_keys.append(campaign.specs[-1].key)
@@ -354,6 +725,7 @@ def sharded_sweep_campaign(
         prefix=name,
         common=common,
         store_backend=store_backend,
+        **extra,
     )
     if flush_chunk is not None:
         merge_params["flush_chunk"] = flush_chunk
@@ -371,7 +743,7 @@ def run_sharded_sweep(
     name: str,
     target: str,
     parameter: str,
-    values: Sequence[Any],
+    values: Sequence[Any] | Mapping[str, Any],
     *,
     store_path: str,
     shards: int = 8,
@@ -381,6 +753,7 @@ def run_sharded_sweep(
     retries: int = 0,
     batch: bool = True,
     flush_chunk: int | None = None,
+    codec: str | None = None,
     monitor: Any = None,
     strict: bool = True,
 ):
@@ -388,10 +761,11 @@ def run_sharded_sweep(
 
     The merge summary is at ``result.results[f"{name}/merge"].value``;
     the full per-point series reassembles with :func:`collect_points`
-    (or streams through :func:`iter_points`).  The campaign's cache
-    preloads only the campaign's own content keys, so re-running
-    against a store already holding millions of point records never
-    loads them into memory.
+    (or streams through :func:`iter_points`, or decodes straight to
+    numpy with :func:`collect_arrays`).  The campaign's cache preloads
+    only the campaign's own content keys, so re-running against a
+    store already holding millions of point records never loads them
+    into memory.
     """
     from .campaign import run_campaign
 
@@ -407,6 +781,7 @@ def run_sharded_sweep(
         retries=retries,
         batch=batch,
         flush_chunk=flush_chunk,
+        codec=codec,
     )
     return run_campaign(
         campaign,
@@ -419,6 +794,12 @@ def run_sharded_sweep(
     )
 
 
+def _campaign_shard_keys(campaign: Campaign) -> list[str]:
+    return [
+        spec.key for spec in campaign.specs if spec.target == SHARD_TARGET
+    ]
+
+
 def collect_points(
     store_path: str,
     campaign: Campaign,
@@ -427,18 +808,24 @@ def collect_points(
     """Reassemble a sharded sweep's full ``(values, points)`` from its store.
 
     Streams shard records in shard order, so the caller gets the same
-    series a monolithic sweep would have produced without the merge
-    record ever having to carry it.  Materialises the whole grid by
-    contract; use :func:`iter_points` when the consumer can stream.
+    series a monolithic sweep would have produced — columnar payloads
+    are decoded back to exact per-point Python values, bit-identical
+    to the JSON-dict path.  Materialises the whole grid by contract;
+    use :func:`iter_points` to stream, or :func:`collect_arrays` to
+    skip per-point objects entirely.
     """
-    shard_keys = [
-        spec.key for spec in campaign.specs if spec.target == SHARD_TARGET
-    ]
+    shard_keys = _campaign_shard_keys(campaign)
     store = ResultStore(store_path, backend=store_backend)
+    values: list[Any] = []
+    points: list[Any] = []
     try:
-        return _read_shard_payloads(store, shard_keys, store_path)
+        for payload in _iter_shard_payloads(store, shard_keys, store_path):
+            shard_vals, shard_points = _payload_points(payload)
+            values.extend(shard_vals)
+            points.extend(shard_points)
     finally:
         store.close()
+    return values, points
 
 
 def iter_points(
@@ -452,14 +839,170 @@ def iter_points(
     decoded at a time and released as soon as it drains, so walking a
     10M-point sweep costs one shard of memory, not the grid.
     """
-    shard_keys = [
-        spec.key for spec in campaign.specs if spec.target == SHARD_TARGET
-    ]
+    shard_keys = _campaign_shard_keys(campaign)
     store = ResultStore(store_path, backend=store_backend)
     try:
-        for values, points in _iter_shard_payloads(
-            store, shard_keys, store_path
-        ):
+        for payload in _iter_shard_payloads(store, shard_keys, store_path):
+            values, points = _payload_points(payload)
             yield from zip(values, points)
+    finally:
+        store.close()
+
+
+@dataclass(frozen=True)
+class SweepColumns:
+    """A sharded sweep decoded straight to arrays.
+
+    ``values`` is the grid; ``columns`` maps metric name to one entry
+    per grid point (numpy arrays for binary columns, lists for inline
+    JSON columns).  ``points_kind`` records whether the sweep target
+    produced mappings (one column per metric) or plain scalars (a
+    single :data:`~repro.runner.codec.SCALAR_COLUMN` column).
+    """
+
+    values: Any
+    columns: dict[str, Any]
+    points_kind: str
+
+    def numeric(self) -> dict[str, np.ndarray]:
+        """The float-convertible columns as float64 arrays.
+
+        Matches the metric filter of the dict-based sweep harness:
+        int and float columns qualify, bools and categories do not.
+        """
+        out: dict[str, np.ndarray] = {}
+        for name, column in self.columns.items():
+            if isinstance(column, np.ndarray):
+                if column.dtype.kind in "fi":
+                    out[name] = np.asarray(column, dtype=float)
+            elif column and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in column
+            ):
+                # Inline JSON columns (e.g. mixed int/float series)
+                # still qualify when every entry is a number.
+                out[name] = np.asarray(column, dtype=float)
+        return out
+
+
+def collect_arrays(
+    store_path: str,
+    campaign: Campaign,
+    store_backend: str | None = None,
+) -> SweepColumns:
+    """Decode a sharded sweep's store records straight to numpy arrays.
+
+    The array-native twin of :func:`collect_points`: columnar shard
+    payloads are ``np.frombuffer``-decoded and concatenated with no
+    per-point Python-object hop; legacy JSON payloads are columnised
+    on the fly.  Raises :class:`~repro.errors.ConfigurationError` for
+    sweeps whose points will not columnise (ragged mappings) — those
+    need :func:`collect_points`.
+    """
+    shard_keys = _campaign_shard_keys(campaign)
+    store = ResultStore(store_path, backend=store_backend)
+    values_segments: list[Any] = []
+    column_segments: dict[str, list[Any]] = {}
+    points_kind: str | None = None
+    try:
+        for payload in _iter_shard_payloads(store, shard_keys, store_path):
+            columns = _payload_columns(payload)
+            if columns is None:
+                raise ConfigurationError(
+                    "sweep points will not columnise (ragged point "
+                    "mappings?); use collect_points instead"
+                )
+            shard_values, shard_columns, shard_kind = columns
+            if points_kind is None:
+                points_kind = shard_kind
+                column_segments = {name: [] for name in shard_columns}
+            elif shard_kind != points_kind or set(shard_columns) != set(
+                column_segments
+            ):
+                raise ConfigurationError(
+                    "shard payloads disagree on columns; was the sweep "
+                    "target changed between shards?"
+                )
+            values_segments.append(shard_values)
+            for name, column in shard_columns.items():
+                column_segments[name].append(column)
+    finally:
+        store.close()
+    return SweepColumns(
+        values=_codec.concat_columns(values_segments),
+        columns={
+            name: _codec.concat_columns(segments)
+            for name, segments in column_segments.items()
+        },
+        points_kind=points_kind or KIND_SCALAR,
+    )
+
+
+def lookup_point(
+    store_path: str,
+    campaign: Campaign,
+    value: Any,
+    store_backend: str | None = None,
+) -> Any:
+    """One grid point's metrics from an already-merged sweep store.
+
+    Walks the sweep's columnar block records (a handful of indexed
+    ``get`` calls — block keys derive from the campaign's shard keys),
+    decodes only the block holding ``value``, and falls back to the
+    legacy per-point record under :func:`point_key` for stores merged
+    with ``codec="json"``.  Returns the point's metrics (a mapping or
+    scalar, matching the sweep target's shape) or ``None`` when the
+    value is not a merged grid point.
+    """
+    shard_specs = [
+        spec for spec in campaign.specs if spec.target == SHARD_TARGET
+    ]
+    merge_specs = [
+        spec for spec in campaign.specs if spec.target == MERGE_TARGET
+    ]
+    if not shard_specs or not merge_specs:
+        raise ConfigurationError(
+            "campaign holds no sharded sweep (no shard/merge jobs)"
+        )
+    merge_params = merge_specs[0].params_dict()
+    sweep_target = merge_params["sweep_target"]
+    parameter = merge_params["parameter"]
+    common = merge_params.get("common") or {}
+    shard_keys = [spec.key for spec in shard_specs]
+    store = ResultStore(store_path, backend=store_backend)
+    try:
+        index = 0
+        while True:
+            record = store.get(
+                block_key(sweep_target, parameter, shard_keys, index, common)
+            )
+            if record is None:
+                break
+            values, columns, points_kind = _codec.unpack_columns(
+                record["value"]
+            )
+            if isinstance(values, np.ndarray):
+                hits = np.flatnonzero(values == value)
+                position = int(hits[0]) if hits.size else None
+            else:
+                try:
+                    position = values.index(value)
+                except ValueError:
+                    position = None
+            if position is not None:
+                def scalar(column: Any) -> Any:
+                    entry = column[position]
+                    return entry.item() if isinstance(
+                        entry, np.generic
+                    ) else entry
+                if points_kind == KIND_SCALAR:
+                    return scalar(columns[SCALAR_COLUMN])
+                return {
+                    name: scalar(column)
+                    for name, column in columns.items()
+                }
+            index += 1
+        legacy = store.get(point_key(sweep_target, parameter, value, common))
+        return legacy["value"] if legacy is not None else None
     finally:
         store.close()

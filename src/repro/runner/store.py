@@ -94,6 +94,12 @@ class ResultStore:
         """Stream records in append order without materialising them."""
         return self._backend.iter_records()
 
+    def iter_records_with_size(
+        self,
+    ) -> Iterator[tuple[dict[str, Any], int]]:
+        """Stream ``(record, stored_bytes)`` pairs in append order."""
+        return self._backend.iter_records_with_size()
+
     def __len__(self) -> int:
         return len(self._backend)
 

@@ -71,6 +71,14 @@ def drop_last(values):
     return list(values)[:-1]
 
 
+def array_curve(values):
+    """Batch target returning raw numpy arrays (the vectorised shape)."""
+    import numpy as np
+
+    grid = np.asarray(values, dtype=float)
+    return {"double": grid * 2.0, "index": np.arange(len(grid))}
+
+
 def infeasible_above_two(x):
     """Scalar sweep target that turns infeasible past x=2."""
     from repro.errors import InfeasibleDesignError

@@ -155,9 +155,15 @@ class TestJsonSafe:
     def test_unserialisable_values_degrade_to_repr(self):
         # The store must never fail to persist a result that already
         # succeeded, so arbitrary objects fall back to their repr.
-        value = json_safe({"obj": object(), "data": b"\x00"})
+        value = json_safe({"obj": object()})
         assert value["obj"].startswith("<object object")
-        assert value["data"] == repr(b"\x00")
+
+    def test_bytes_pass_through(self):
+        # Binary column payloads (repro.runner.codec) stay bytes; the
+        # store backends own their encoding (base64 / native BLOBs).
+        value = json_safe({"data": b"\x00\x01", "ba": bytearray(b"\x02")})
+        assert value["data"] == b"\x00\x01"
+        assert value["ba"] == b"\x02"
 
 
 class TestJobResult:

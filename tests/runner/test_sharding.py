@@ -13,12 +13,21 @@ from repro.runner import (
     Campaign,
     ResultStore,
     collect_points,
+    lookup_point,
     run_campaign,
     run_sharded_sweep,
     shard_grid,
     sharded_sweep_campaign,
 )
+from repro.runner.codec import is_columnar, unpack_points
 from repro.runner.sharding import evaluate_shard, point_key
+
+
+def _payload_points(payload):
+    """(values, points) of a shard payload in either codec."""
+    if is_columnar(payload):
+        return unpack_points(payload)
+    return payload["values"], payload["points"]
 
 GRID = [float(v) for v in range(32_000, 32_000 + 40)]
 TARGET_SCALAR = "runner_workers:break_even_kb"
@@ -58,25 +67,91 @@ class TestShardGrid:
 
 
 class TestEvaluateShard:
-    def test_scalar_and_batch_targets_agree(self):
+    @pytest.mark.parametrize("codec", ["columnar", "json"])
+    def test_scalar_and_batch_targets_agree(self, codec):
         scalar = evaluate_shard(
-            TARGET_SCALAR, "rate_bps", GRID[:5], batch=False
+            TARGET_SCALAR, "rate_bps", GRID[:5], batch=False, codec=codec
         )
-        batch = evaluate_shard(TARGET_BATCH, "rate_bps", GRID[:5], batch=True)
-        assert scalar["values"] == batch["values"] == GRID[:5]
+        batch = evaluate_shard(
+            TARGET_BATCH, "rate_bps", GRID[:5], batch=True, codec=codec
+        )
+        assert is_columnar(batch) == (codec == "columnar")
+        scalar_values, scalar_points = _payload_points(scalar)
+        batch_values, batch_points = _payload_points(batch)
+        assert scalar_values == batch_values == GRID[:5]
         # break_even_curve reports bits, break_even_kb kilobytes.
-        scaled = [p["break_even_bits"] / 8000.0 for p in batch["points"]]
-        assert scaled == pytest.approx(scalar["points"], rel=1e-12)
+        scaled = [p["break_even_bits"] / 8000.0 for p in batch_points]
+        assert scaled == pytest.approx(scalar_points, rel=1e-12)
+
+    def test_codec_paths_bit_identical(self):
+        columnar = evaluate_shard(
+            TARGET_DSPACE, "rate_bps", GRID[:7], codec="columnar"
+        )
+        legacy = evaluate_shard(
+            TARGET_DSPACE, "rate_bps", GRID[:7], codec="json"
+        )
+        assert is_columnar(columnar) and not is_columnar(legacy)
+        assert _payload_points(columnar) == (
+            legacy["values"], legacy["points"]
+        )
 
     def test_batch_length_mismatch_rejected(self):
         with pytest.raises(ConfigurationError):
             evaluate_shard("runner_workers:drop_last", "values", [1, 2, 3])
 
+    def test_ndarray_series_pack_binary(self):
+        """Targets returning raw numpy arrays hit the binary columns.
+
+        Listifying an ndarray would yield numpy scalars — json-fallback
+        text for floats, repr garbage for ints — so array columns must
+        pack via their dtype and decode back to exact Python scalars.
+        """
+        payload = evaluate_shard(
+            "runner_workers:array_curve", "values", [1.0, 2.0, 3.0],
+            codec="columnar",
+        )
+        dtypes = {
+            column["name"]: column["dtype"]
+            for column in payload["columns"]
+        }
+        assert dtypes == {"double": "<f8", "index": "<i8"}
+        _, points = _payload_points(payload)
+        assert points == [
+            {"double": 2.0, "index": 0},
+            {"double": 4.0, "index": 1},
+            {"double": 6.0, "index": 2},
+        ]
+        assert all(type(p["index"]) is int for p in points)
+        # The legacy codec degrades arrays to plain Python scalars too.
+        legacy = evaluate_shard(
+            "runner_workers:array_curve", "values", [1.0, 2.0],
+            codec="json",
+        )
+        assert legacy["points"] == [
+            {"double": 2.0, "index": 0},
+            {"double": 4.0, "index": 1},
+        ]
+        assert all(type(p["index"]) is int for p in legacy["points"])
+
     def test_per_point_infeasibility_is_inf(self):
         result = evaluate_shard(
             "runner_workers:infeasible_above_two", "x", [1, 2, 3], batch=False
         )
-        assert result["points"] == [1.0, 2.0, math.inf]
+        _, points = _payload_points(result)
+        assert points == [1.0, 2.0, math.inf]
+
+    def test_values_or_grid_exactly_one(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_shard(TARGET_BATCH, "rate_bps")
+        with pytest.raises(ConfigurationError):
+            evaluate_shard(
+                TARGET_BATCH,
+                "rate_bps",
+                GRID[:2],
+                grid={"kind": "linspace", "start": 1, "stop": 2, "num": 2},
+                shard_index=0,
+                shard_count=1,
+            )
 
 
 class TestShardedSweepCampaign:
@@ -113,7 +188,10 @@ class TestShardedSweepCampaign:
         summary = result.results["sweep/merge"].value
         assert summary["points"] == len(GRID)
         assert summary["shards"] == 4
-        assert summary["point_records"] == len(GRID)
+        # The columnar merge files compact block records, not one JSON
+        # record per point.
+        assert summary["point_records"] == 0
+        assert summary["block_records"] >= 1
         assert summary["metrics"]["required_buffer_bits"]["finite"] > 0
 
         campaign = self._campaign(store_path)
@@ -162,7 +240,7 @@ class TestShardedSweepCampaign:
         assert counts["cached"] == 3  # untouched shards
         assert counts["ok"] == 2  # edited shard + merge
 
-    def test_point_records_queryable_by_content_key(self, tmp_path):
+    def test_points_queryable_from_columnar_blocks(self, tmp_path):
         store_path = str(tmp_path / "s.sqlite")
         run_sharded_sweep(
             "sweep",
@@ -172,27 +250,95 @@ class TestShardedSweepCampaign:
             store_path=store_path,
             shards=4,
         )
-        # Every grid point is one indexed lookup away...
-        store = ResultStore(store_path)
-        record = store.get(point_key(TARGET_DSPACE, "rate_bps", GRID[7]))
-        store.close()
-        assert record is not None
-        assert record["value"]["dominant"] in ("E", "C", "Lsp", "Lpb", "lat")
-        # ...but point records never masquerade as cache entries for a
-        # real single-point job: that job sees a scalar argument and
-        # shapes its output as length-1 series, so serving the point
-        # record would hand back a different value shape.  It must
-        # execute fresh.
+        campaign = self._campaign(store_path)
+        # Any grid point decodes from its block in a handful of
+        # indexed lookups; unmerged values return None.
+        point = lookup_point(store_path, campaign, GRID[7])
+        assert point is not None
+        assert point["dominant"] in ("E", "C", "Lsp", "Lpb", "lat")
+        assert lookup_point(store_path, campaign, -1.0) is None
+        # Block records never masquerade as cache entries for a real
+        # single-point job: that job sees a scalar argument and shapes
+        # its output as length-1 series, so it must execute fresh.
         single = Campaign("one-point").call(
             "pt", TARGET_DSPACE, rate_bps=GRID[7]
         )
         result = run_campaign(single, store_path=store_path)
         assert result.status_counts() == {"ok": 1}
         fresh = result.results["pt"].value
-        assert fresh["dominant"] == [record["value"]["dominant"]]
+        assert fresh["dominant"] == [point["dominant"]]
         assert fresh["required_buffer_bits"] == [
-            record["value"]["required_buffer_bits"]
+            point["required_buffer_bits"]
         ]
+
+    def test_point_records_queryable_with_json_codec(self, tmp_path):
+        """codec="json" keeps the legacy per-point query surface."""
+        store_path = str(tmp_path / "s.sqlite")
+        run_sharded_sweep(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            GRID,
+            store_path=store_path,
+            shards=4,
+            codec="json",
+        )
+        store = ResultStore(store_path)
+        record = store.get(point_key(TARGET_DSPACE, "rate_bps", GRID[7]))
+        store.close()
+        assert record is not None
+        assert record["value"]["dominant"] in ("E", "C", "Lsp", "Lpb", "lat")
+        # lookup_point falls back to per-point records transparently.
+        campaign = self._campaign(store_path, codec="json")
+        assert lookup_point(store_path, campaign, GRID[7]) == record["value"]
+
+    def test_grid_descriptor_matches_explicit_values(self, tmp_path):
+        """Descriptor sweeps ship O(1) job params, same values exactly."""
+        import numpy as np
+
+        descriptor = {
+            "kind": "geomspace",
+            "start": 32_000.0,
+            "stop": 4_096_000.0,
+            "num": 41,
+        }
+        explicit = [float(v) for v in np.geomspace(32_000.0, 4_096_000.0, 41)]
+        by_grid = run_sharded_sweep(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            descriptor,
+            store_path=str(tmp_path / "grid.sqlite"),
+            shards=4,
+        )
+        by_list = run_sharded_sweep(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            explicit,
+            store_path=str(tmp_path / "list.sqlite"),
+            shards=4,
+        )
+        assert by_grid.ok and by_list.ok
+        assert (
+            by_grid.results["sweep/merge"].value
+            == by_list.results["sweep/merge"].value
+        )
+        campaign = sharded_sweep_campaign(
+            "sweep",
+            TARGET_DSPACE,
+            "rate_bps",
+            descriptor,
+            store_path=str(tmp_path / "grid.sqlite"),
+            shards=4,
+        )
+        values, _ = collect_points(str(tmp_path / "grid.sqlite"), campaign)
+        assert values == explicit
+        # Shard jobs carry the descriptor, never the value list.
+        for spec in campaign.specs[:-1]:
+            params = spec.params_dict()
+            assert "values" not in params
+            assert params["grid"] == descriptor
 
     def test_parallel_matches_serial(self, tmp_path):
         serial = run_sharded_sweep(

@@ -41,9 +41,9 @@ def _campaign(store_path, **kwargs):
     )
 
 
-def _run_shards_only(store_path):
+def _run_shards_only(store_path, **kwargs):
     """Complete every shard job but not the merge (the usual interrupt)."""
-    full = _campaign(store_path)
+    full = _campaign(store_path, **kwargs)
     shards_only = Campaign("shards-only", specs=list(full.specs[:-1]))
     result = run_campaign(shards_only, store_path=str(store_path))
     assert result.ok
@@ -52,8 +52,9 @@ def _run_shards_only(store_path):
 
 class TestBoundedChunks:
     def test_flush_chunk_bounds_append_batches(self, tmp_path, monkeypatch):
+        """codec="json": per-point records flush in bounded batches."""
         store_path = tmp_path / "s.sqlite"
-        full = _run_shards_only(store_path)
+        full = _run_shards_only(store_path, codec="json")
         merge = full.specs[-1]
 
         batch_sizes = []
@@ -67,8 +68,31 @@ class TestBoundedChunks:
         summary = merge_shards(flush_chunk=7, **merge.params_dict())
         assert summary["points"] == len(GRID)
         assert summary["point_records"] == len(GRID)
+        assert summary["block_records"] == 0
         assert sum(batch_sizes) == len(GRID)
         assert max(batch_sizes) <= 7
+
+    def test_flush_chunk_bounds_columnar_blocks(self, tmp_path, monkeypatch):
+        """Columnar merges emit one block record per flush_chunk points."""
+        store_path = tmp_path / "s.sqlite"
+        full = _run_shards_only(store_path)
+        merge = full.specs[-1]
+
+        block_points = []
+        original = ResultStore.append_many
+
+        def recording(self, records):
+            for record in records:
+                block_points.append(record["value"]["count"])
+            return original(self, records)
+
+        monkeypatch.setattr(ResultStore, "append_many", recording)
+        summary = merge_shards(flush_chunk=7, **merge.params_dict())
+        assert summary["points"] == len(GRID)
+        assert summary["point_records"] == 0
+        assert summary["block_records"] == len(block_points)
+        assert sum(block_points) == len(GRID)
+        assert max(block_points) <= 7
 
     def test_flush_chunk_rejects_nonpositive(self, tmp_path):
         full = _run_shards_only(tmp_path / "s.sqlite")
@@ -93,7 +117,7 @@ class TestCrashMidMerge:
     ):
         """A merge killed mid-flush re-runs without recomputing shards."""
         store_path = tmp_path / "s.sqlite"
-        full = _run_shards_only(store_path)
+        full = _run_shards_only(store_path, codec="json")
         merge = full.specs[-1]
 
         # Simulated crash: the store dies after the first point flush.
