@@ -8,9 +8,12 @@ Usage::
 For every benchmark present in both files, the fresh median must stay
 within ``tolerance`` times the baseline median (default 20x — CI
 runners and developer laptops differ wildly, so only order-of-magnitude
-regressions should fail the build).  Benchmarks that exist only on one
-side are reported but never fail the run: new benchmarks appear before
-their baseline is refreshed, and retired ones linger in old baselines.
+regressions should fail the build).  Benchmarks that export per-phase
+timings via ``extra_info["phases"]`` (codec pack, merge flush, store
+append) are gated phase by phase under ``name[phase]`` entries with the
+same tolerance.  Benchmarks that exist only on one side are reported
+but never fail the run: new benchmarks appear before their baseline is
+refreshed, and retired ones linger in old baselines.
 
 Exit codes: 0 OK, 1 regression, 2 unusable input.
 """
@@ -36,6 +39,10 @@ def load_medians(path: str) -> dict[str, float]:
         name = bench.get("name")
         if name and isinstance(median, (int, float)) and median > 0:
             medians[name] = float(median)
+            phases = (bench.get("extra_info") or {}).get("phases") or {}
+            for phase, value in phases.items():
+                if isinstance(value, (int, float)) and value > 0:
+                    medians[f"{name}[{phase}]"] = float(value)
     if not medians:
         print(f"error: no benchmarks found in {path!r}")
         raise SystemExit(2)

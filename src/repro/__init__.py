@@ -98,7 +98,7 @@ from .runner import (
     sharded_sweep_campaign,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "units",

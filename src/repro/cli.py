@@ -15,7 +15,11 @@ Subcommands
   memory-bounded campaign,
 * ``repro store info|compact|migrate`` — inspect, compact (latest
   record per key), or convert a result store between the JSONL and
-  SQLite backends,
+  SQLite backends (``info --timings`` adds backend call latencies),
+* ``repro trace export <sidecar>`` — convert a telemetry sidecar
+  (``--telemetry`` / ``$REPRO_TELEMETRY``) into ``chrome://tracing``
+  JSON; ``repro telemetry summary <sidecar>`` prints the per-phase
+  metric rollup instead,
 * ``repro dimension --rate 1024 --energy 0.8 --capacity 0.88 --lifetime 7``
   — answer one §IV.C design question directly,
 * ``repro simulate --rate 1024 --buffer-kb 20 --duration 60`` — run the
@@ -43,6 +47,24 @@ from .streaming.pipeline import simulate_always_on, simulate_streaming
 from .streaming.stats import compare_with_model
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--telemetry`` run options."""
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help=(
+            "write a Chrome trace-event file for this run "
+            "(default: $REPRO_TRACE)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry", metavar="FILE", default=None, dest="telemetry_file",
+        help=(
+            "write a JSONL telemetry sidecar for this run "
+            "(default: $REPRO_TELEMETRY when it names a path)"
+        ),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -67,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes (default 1 = serial)",
     )
+    _add_telemetry_arguments(run_parser)
 
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -105,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-job progress lines",
     )
+    _add_telemetry_arguments(campaign_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -178,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-job progress lines",
     )
+    _add_telemetry_arguments(sweep_parser)
 
     store_parser = subparsers.add_parser(
         "store",
@@ -198,6 +223,10 @@ def _build_parser() -> argparse.ArgumentParser:
     info_parser.add_argument(
         "--backend", choices=("jsonl", "sqlite"), default=None,
         help="force the backend instead of auto-detecting",
+    )
+    info_parser.add_argument(
+        "--timings", action="store_true",
+        help="also report backend call latencies for the info scan",
     )
 
     compact_parser = store_sub.add_parser(
@@ -235,6 +264,59 @@ def _build_parser() -> argparse.ArgumentParser:
     migrate_parser.add_argument(
         "--dst-backend", choices=("jsonl", "sqlite"), default=None,
         help="force the destination backend",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="export recorded telemetry as a Chrome trace",
+        description=(
+            "Work with the Chrome trace-event form of a run's "
+            "telemetry.  Load the exported file in chrome://tracing or "
+            "https://ui.perfetto.dev to see job, shard, merge, and "
+            "store-flush spans on per-worker timelines."
+        ),
+    )
+    trace_sub = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a telemetry sidecar into chrome://tracing JSON",
+        description=(
+            "Convert the JSONL telemetry sidecar written by "
+            "--telemetry (or $REPRO_TELEMETRY) into Chrome trace-event "
+            "JSON — spans become duration events on one lane per "
+            "worker pid, bus events become instants."
+        ),
+    )
+    trace_export.add_argument(
+        "run", metavar="SIDECAR",
+        help="telemetry sidecar written by --telemetry",
+    )
+    trace_export.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="trace file to write (default: SIDECAR + '.trace.json')",
+    )
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry",
+        help="summarise a run's recorded telemetry",
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    telemetry_summary = telemetry_sub.add_parser(
+        "summary",
+        help="print the per-phase rollup of a telemetry sidecar",
+        description=(
+            "Read a JSONL telemetry sidecar and print its rollup: "
+            "event counts, span timings by phase, and the merged "
+            "cross-worker counter/gauge/histogram snapshot."
+        ),
+    )
+    telemetry_summary.add_argument(
+        "run", metavar="SIDECAR",
+        help="telemetry sidecar written by --telemetry",
     )
 
     dim_parser = subparsers.add_parser(
@@ -331,20 +413,55 @@ def _expand_experiment_ids(experiment_ids: Sequence[str]) -> list[str]:
     return ids
 
 
-def _command_run(
-    experiment_ids: Sequence[str],
-    output: str | None = None,
-    jobs: int = 1,
-) -> int:
+def _telemetry_capture(args: argparse.Namespace):
+    """``(RunCapture, trace_path, sidecar_path)`` for a run command.
+
+    ``--trace`` / ``--telemetry`` win; the ``REPRO_TRACE`` /
+    ``REPRO_TELEMETRY`` environment variables fill in when the flags
+    are absent.  Returns ``(None, None, None)`` when neither output is
+    requested, so the commands skip the capture entirely.
+    """
+    from .telemetry import (
+        TRACE_ENV_VAR,
+        RunCapture,
+        reset_telemetry,
+        telemetry_sidecar_path,
+    )
+
+    trace = args.trace or os.environ.get(TRACE_ENV_VAR) or None
+    sidecar = args.telemetry_file or telemetry_sidecar_path()
+    if not trace and not sidecar:
+        return None, None, None
+    # Fresh registries so the artifacts describe this run only.
+    reset_telemetry()
+    return RunCapture(), trace, sidecar
+
+
+def _export_capture(capture, trace, sidecar, meta) -> None:
+    written = capture.export(trace=trace, sidecar=sidecar, meta=meta)
+    for kind in sorted(written):
+        print(f"(wrote {kind} {written[kind]})")
+
+
+def _command_run(args: argparse.Namespace) -> int:
     from .errors import ConfigurationError
 
+    jobs = args.jobs
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    ids = _expand_experiment_ids(experiment_ids)
-    if jobs > 1:
+    ids = _expand_experiment_ids(args.experiments)
+    capture, trace, sidecar = _telemetry_capture(args)
+    if jobs > 1 or capture is not None:
         # Duplicate ids execute once but render every time they were
-        # asked for, matching serial output exactly.
-        results = run_experiments(list(dict.fromkeys(ids)), jobs=jobs)
+        # asked for, matching serial output exactly.  A telemetry
+        # capture routes the serial case through the queue too, so the
+        # run emits the same event stream either way.
+        results = run_experiments(
+            list(dict.fromkeys(ids)),
+            jobs=jobs,
+            observers=[capture] if capture is not None else [],
+            run_id=capture.run_id if capture is not None else "",
+        )
         rendered = [results[experiment_id].render() for experiment_id in ids]
         for text in rendered:
             print(text)
@@ -355,10 +472,14 @@ def _command_run(
             text = result.render()
             print(text)
             rendered.append(text)
-    if output is not None:
-        with open(output, "w", encoding="utf-8") as handle:
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
             handle.write("\n".join(rendered))
-        print(f"(wrote {output})")
+        print(f"(wrote {args.output})")
+    if capture is not None:
+        _export_capture(
+            capture, trace, sidecar, {"command": "run", "jobs": jobs}
+        )
     return 0
 
 
@@ -370,15 +491,23 @@ def _command_campaign(args: argparse.Namespace) -> int:
     monitor = (
         None if args.quiet else ProgressMonitor(stream=sys.stdout)
     )
+    capture, trace, sidecar = _telemetry_capture(args)
     result = run_campaign(
         campaign,
         jobs=args.jobs,
         store_path=args.store,
         store_backend=args.store_backend,
+        observers=[capture] if capture is not None else [],
         monitor=monitor,
+        run_id=capture.run_id if capture is not None else "",
     )
     print()
     print(result.summary())
+    if capture is not None:
+        _export_capture(
+            capture, trace, sidecar,
+            {"command": "campaign", "jobs": args.jobs},
+        )
     return 0 if result.ok else 1
 
 
@@ -429,6 +558,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     values = _sweep_grid(args)
     monitor = None if args.quiet else ProgressMonitor(stream=sys.stdout)
+    capture, trace, sidecar = _telemetry_capture(args)
     result = run_sharded_sweep(
         args.name,
         args.target,
@@ -441,6 +571,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         codec=args.codec,
         monitor=monitor,
         strict=False,
+        observers=[capture] if capture is not None else [],
+        run_id=capture.run_id if capture is not None else "",
     )
     print()
     print(result.summary())
@@ -469,6 +601,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
                     else ""
                 )
             )
+    if capture is not None:
+        _export_capture(
+            capture, trace, sidecar,
+            {
+                "command": "sweep",
+                "jobs": args.jobs,
+                "shards": args.shards,
+            },
+        )
     return 0 if result.ok else 1
 
 
@@ -509,7 +650,11 @@ def _command_store(args: argparse.Namespace) -> int:
 
     # info — one streaming pass over the store
     from .runner.codec import payload_kind
+    from .telemetry import reset_telemetry, telemetry_enabled
 
+    if args.timings:
+        # Fresh registry so the latencies describe this scan only.
+        reset_telemetry()
     total = 0
     total_bytes = 0
     ok_keys = set()
@@ -533,12 +678,84 @@ def _command_store(args: argparse.Namespace) -> int:
     print(f"records  : {total}")
     print(f"ok keys  : {len(ok_keys)}")
     print(f"bytes    : {total_bytes}")
-    for kind in sorted(kinds):
-        count, size = kinds[kind]
+    # Largest payload kinds first: the byte column is what you read
+    # this report for.
+    for kind, (count, size) in sorted(
+        kinds.items(), key=lambda item: (-item[1][1], item[0])
+    ):
         print(f"  payload {kind}: {count} records, {size} bytes")
     for label in sorted(versions):
         print(f"  provenance {label}: {versions[label]} records")
+    if args.timings:
+        _print_store_timings(store.backend_name, telemetry_enabled())
     store.close()
+    return 0
+
+
+def _print_store_timings(backend_name: str, enabled: bool) -> None:
+    """Backend call latencies recorded during the info scan."""
+    from .telemetry import metrics
+
+    print("timings  :")
+    if not enabled:
+        print("  (telemetry disabled via REPRO_TELEMETRY)")
+        return
+    histograms = metrics().snapshot()["histograms"]
+    prefix = f"store.{backend_name}."
+    shown = False
+    for name in sorted(histograms):
+        if not name.startswith(prefix):
+            continue
+        hist = histograms[name]
+        count = int(hist["count"])
+        total = float(hist["total"])
+        mean = total / count if count else 0.0
+        print(
+            f"  {name}: {count} calls, total {total * 1e3:.2f}ms, "
+            f"mean {mean * 1e3:.3f}ms"
+        )
+        shown = True
+    if not shown:
+        print("  (no backend calls recorded)")
+
+
+def _read_sidecar_checked(path: str) -> dict:
+    """A parsed telemetry sidecar, or a :class:`ReproError` to report."""
+    from .errors import ConfigurationError
+    from .telemetry import read_sidecar
+
+    try:
+        return read_sidecar(path)
+    except (OSError, ValueError) as error:
+        raise ConfigurationError(
+            f"cannot read telemetry sidecar {path!r}: {error}"
+        ) from error
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from .telemetry import write_chrome_trace
+
+    data = _read_sidecar_checked(args.run)
+    output = args.output or args.run + ".trace.json"
+    meta = data["meta"]
+    write_chrome_trace(
+        output,
+        data["spans"],
+        data["events"],
+        parent_pid=meta.get("parent_pid"),
+        metadata=meta,
+    )
+    print(
+        f"(wrote trace {output}: {len(data['spans'])} spans, "
+        f"{len(data['events'])} events)"
+    )
+    return 0
+
+
+def _command_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import summarize
+
+    print(summarize(_read_sidecar_checked(args.run)))
     return 0
 
 
@@ -617,13 +834,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _command_list()
         if args.command == "run":
-            return _command_run(args.experiments, args.output, args.jobs)
+            return _command_run(args)
         if args.command == "campaign":
             return _command_campaign(args)
         if args.command == "sweep":
             return _command_sweep(args)
         if args.command == "store":
             return _command_store(args)
+        if args.command == "trace":
+            return _command_trace(args)
+        if args.command == "telemetry":
+            return _command_telemetry(args)
         if args.command == "dimension":
             return _command_dimension(args)
         if args.command == "plot":
@@ -633,6 +854,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Piping long output (telemetry summary, store info) into a
+        # pager that exits early is normal, not a crash.  Redirect
+        # stdout to devnull so the interpreter's shutdown flush does
+        # not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     raise AssertionError("unreachable")  # pragma: no cover
 
 

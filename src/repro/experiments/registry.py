@@ -96,6 +96,7 @@ def run_experiments(
     observers: Sequence[Callable] = (),
     store_path: str | None = None,
     store_backend: str | None = None,
+    run_id: str = "",
 ) -> dict[str, ExperimentResult]:
     """Run several experiments through the campaign queue.
 
@@ -118,6 +119,7 @@ def run_experiments(
         store_path=store_path,
         store_backend=store_backend,
         strict=True,
+        run_id=run_id,
     )
     return {
         job_id: outcome.results[job_id].value for job_id in outcome.order

@@ -6,6 +6,8 @@ content-addressed memoization, and a persistent JSONL result store:
 
 * :mod:`~repro.runner.jobs` — :class:`JobSpec`/:class:`JobResult` with
   deterministic content-hash keys,
+* :mod:`~repro.runner.events` — the versioned event protocol
+  (:class:`Event`, :class:`EventBus`) every layer publishes on,
 * :mod:`~repro.runner.queue` — the dependency-aware scheduler
   (:func:`run_jobs`, :func:`parallel_map`),
 * :mod:`~repro.runner.cache` — content-addressed memoization with
@@ -47,6 +49,14 @@ from .campaign import (
     registry_campaign,
     run_campaign,
 )
+from .events import (
+    EVENT_SCHEMA,
+    TERMINAL_EVENTS,
+    Event,
+    EventBus,
+    event_from_json,
+    event_to_json,
+)
 from .jobs import (
     STATUS_CACHED,
     STATUS_FAILED,
@@ -86,6 +96,9 @@ __all__ = [
     "CODEC_JSON",
     "Campaign",
     "CampaignResult",
+    "EVENT_SCHEMA",
+    "Event",
+    "EventBus",
     "JobEvent",
     "JobResult",
     "JobSpec",
@@ -101,10 +114,13 @@ __all__ = [
     "SqliteBackend",
     "StoreBackend",
     "SweepColumns",
+    "TERMINAL_EVENTS",
     "collect_arrays",
     "collect_points",
     "config_content_hash",
     "content_key",
+    "event_from_json",
+    "event_to_json",
     "grid_descriptor",
     "iter_points",
     "lookup_point",

@@ -28,6 +28,7 @@ import os
 from typing import Any, Iterator, Mapping
 
 from ...errors import ConfigurationError
+from ...telemetry import metrics
 from ..codec import jsonable_bytes, restore_bytes
 from .base import surviving_indices, validate_record
 
@@ -84,6 +85,9 @@ class JsonlBackend:
         lines = "".join(
             _dump(validate_record(record)) + "\n" for record in records
         )
+        # json.dumps emits pure ASCII (ensure_ascii), so the string
+        # length IS the on-disk byte count — no second encode needed.
+        metrics().count("store.jsonl.append.bytes", len(lines))
         created = not os.path.exists(self.path)
         with open(self.path, "a", encoding="utf-8") as handle:
             if handle.tell() > 0 and not self._ends_with_newline():

@@ -30,6 +30,7 @@ import sqlite3
 from typing import Any, Iterator, Mapping
 
 from ...errors import ConfigurationError
+from ...telemetry import metrics
 from ..codec import extract_blob, inject_blob
 from .base import validate_record
 
@@ -128,6 +129,14 @@ class SqliteBackend:
                     blob,
                 )
             )
+        # JSON text is ASCII (ensure_ascii), so len() counts bytes.
+        metrics().count(
+            "store.sqlite.append.bytes",
+            sum(
+                len(row[4]) + (len(row[5]) if row[5] is not None else 0)
+                for row in rows
+            ),
+        )
         conn = self._connect()
         with conn:
             conn.executemany(

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from ..errors import ConfigurationError
+from ..telemetry import metrics
 from .jobs import STATUS_CACHED, STATUS_OK, JobResult, JobSpec
 from .provenance import is_current, stamp_record
 from .store import ResultStore
@@ -116,6 +117,7 @@ class ResultCache:
             return False
         if self._check_provenance and not is_current(record):
             self.stale += 1
+            metrics().count("cache.invalidated")
             return False
         self._records[key] = record
         return True
@@ -176,8 +178,10 @@ class ResultCache:
                 self._missing.add(spec.key)
         if record is None:
             self.misses += 1
+            metrics().count("cache.miss")
             return None
         self.hits += 1
+        metrics().count("cache.hit")
         return JobResult(
             job_id=spec.job_id,
             key=spec.key,
@@ -193,6 +197,7 @@ class ResultCache:
         self._records[spec.key] = record
         self._missing.discard(spec.key)
         self.puts += 1
+        metrics().count("cache.put")
         if self._store is not None:
             self._store.append(record)
 

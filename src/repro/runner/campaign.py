@@ -31,6 +31,7 @@ from .jobs import (
     JobResult,
     JobSpec,
 )
+from .events import EventBus
 from .monitor import ProgressMonitor
 from .queue import Observer, run_jobs
 from .store import ResultStore
@@ -284,6 +285,8 @@ def run_campaign(
     observers: Sequence[Observer] = (),
     monitor: ProgressMonitor | None = None,
     strict: bool = False,
+    run_id: str = "",
+    bus: EventBus | None = None,
 ) -> CampaignResult:
     """Execute a campaign and return its :class:`CampaignResult`.
 
@@ -313,6 +316,11 @@ def run_campaign(
     strict:
         Raise :class:`~repro.errors.CampaignError` on any failure
         instead of returning a result with ``ok == False``.
+    run_id / bus:
+        Event-stream identity, forwarded to
+        :func:`~repro.runner.queue.run_jobs` — ``run_id`` stamps every
+        published :class:`~repro.runner.events.Event`; an explicit
+        ``bus`` shares one stamped stream across runs.
     """
     if store_path is not None and store is not None:
         raise ConfigurationError("pass either store_path or store, not both")
@@ -347,7 +355,12 @@ def run_campaign(
             all_observers.append(monitor)
         start = time.perf_counter()
         results = run_jobs(
-            campaign.specs, jobs=jobs, cache=cache, observers=all_observers
+            campaign.specs,
+            jobs=jobs,
+            cache=cache,
+            observers=all_observers,
+            run_id=run_id,
+            bus=bus,
         )
         outcome = CampaignResult(
             name=campaign.name,

@@ -56,11 +56,13 @@ from __future__ import annotations
 
 import base64
 import os
+import time
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..telemetry import metrics
 
 #: Environment variable naming the default point codec.
 CODEC_ENV_VAR = "REPRO_POINT_CODEC"
@@ -247,6 +249,7 @@ def pack_series(
     way in.  Never fails: columns the binary dtypes cannot represent
     exactly ride along as inline ``json`` columns.
     """
+    start_ns = time.perf_counter_ns()
     count = len(values)
     parts: list[bytes] = []
     values_desc, values_bytes = _pack_values(values)
@@ -262,7 +265,7 @@ def pack_series(
         descriptor["name"] = str(name)
         columns.append(descriptor)
         parts.append(column_bytes)
-    return {
+    payload = {
         "codec": CODEC_COLUMNAR,
         "format": STORAGE_FORMAT,
         "count": count,
@@ -271,6 +274,11 @@ def pack_series(
         "columns": columns,
         "blob": b"".join(parts),
     }
+    registry = metrics()
+    registry.count("codec.pack.calls")
+    registry.count("codec.pack.points", count)
+    registry.count("codec.pack.ns", time.perf_counter_ns() - start_ns)
+    return payload
 
 
 def series_from_points(
@@ -345,6 +353,7 @@ def unpack_columns(
     come back as numpy arrays backed by the payload blob (zero copy for
     float64/int64), ``json`` columns as plain lists.
     """
+    start_ns = time.perf_counter_ns()
     count = int(payload["count"])
     blob = payload["blob"]
     if not isinstance(blob, (bytes, bytearray)):
@@ -357,6 +366,10 @@ def unpack_columns(
     for descriptor in payload["columns"]:
         column, offset = _unpack_array(descriptor, blob, offset, count)
         columns[descriptor["name"]] = column
+    registry = metrics()
+    registry.count("codec.unpack.calls")
+    registry.count("codec.unpack.points", count)
+    registry.count("codec.unpack.ns", time.perf_counter_ns() - start_ns)
     return values, columns, str(payload.get("points_kind", KIND_MAPPING))
 
 

@@ -317,6 +317,12 @@ class JobResult:
         Wall time of the final attempt, seconds.
     worker_pid:
         Pid of the process that ran the job (``None`` if not executed).
+    telemetry:
+        Metrics/spans delta recorded by the worker process during this
+        attempt (``None`` for serial runs, where telemetry lands in
+        the parent's registries directly).  Transport-only: excluded
+        from comparisons, ``repr``, and stored records — the scheduler
+        merges and drops it when the result resolves.
     """
 
     job_id: str
@@ -327,6 +333,7 @@ class JobResult:
     attempts: int = 0
     duration_s: float = 0.0
     worker_pid: int | None = None
+    telemetry: Any = field(default=None, repr=False, compare=False)
 
     @property
     def succeeded(self) -> bool:

@@ -16,7 +16,7 @@ import time
 from typing import Callable, TextIO
 
 from ..sim.monitor import CounterMonitor, TimeSeriesMonitor
-from .queue import (
+from .events import (
     EVENT_CACHED,
     EVENT_FAILED,
     EVENT_FINISHED,
@@ -24,11 +24,12 @@ from .queue import (
     EVENT_SCHEDULED,
     EVENT_SKIPPED,
     EVENT_STARTED,
+    TERMINAL_EVENTS,
     JobEvent,
 )
 
 #: Terminal event kinds (the job will not be seen again).
-_TERMINAL = (EVENT_FINISHED, EVENT_FAILED, EVENT_SKIPPED, EVENT_CACHED)
+_TERMINAL = TERMINAL_EVENTS
 
 
 class ProgressMonitor:
@@ -75,6 +76,16 @@ class ProgressMonitor:
             # its own started event, so the job is not in flight between.
             self._active = max(0, self._active - 1)
             self.in_flight.record(now, float(self._active))
+        if self._stream is not None and event.kind == EVENT_RETRY:
+            # Retries are worth a line of their own (with the attempt
+            # number) — a silently re-running job looks like a hang.
+            line = (
+                f"[{self.done:{self._width()}d}/{self.total}] "
+                f"{'retry':7s} {event.job_id} (attempt {event.attempt})"
+            )
+            if event.error:
+                line += f" — {event.error}"
+            print(line, file=self._stream)
         if self._stream is not None and event.kind in _TERMINAL:
             done = self.done
             status = {
@@ -84,12 +95,21 @@ class ProgressMonitor:
                 EVENT_SKIPPED: "skipped",
             }[event.kind]
             line = (
-                f"[{done:2d}/{self.total}] {status:7s} {event.job_id}"
-                f" ({event.duration_s:.2f}s)"
+                f"[{done:{self._width()}d}/{self.total}] {status:7s}"
+                f" {event.job_id} ({event.duration_s:.2f}s)"
             )
             if event.error:
                 line += f" — {event.error}"
             print(line, file=self._stream)
+
+    def _width(self) -> int:
+        """Counter field width: wide enough for ``total``, min 2.
+
+        Derived from the batch size so a 1000-job campaign's progress
+        lines stay column-aligned instead of overflowing a hard-coded
+        2-digit field.
+        """
+        return max(2, len(str(self.total)))
 
     # -- statistics --------------------------------------------------------
 
@@ -123,6 +143,10 @@ class ProgressMonitor:
         ):
             if counts.get(kind):
                 parts.append(f"{counts[kind]} {label}")
-        total = counts.get(EVENT_SCHEDULED, self.done)
+        # Fall back to the terminal-event count when no scheduled
+        # events were observed (e.g. the monitor was attached late, or
+        # a cached-only replay fed it terminal events directly) — a
+        # re-run that resolves N jobs from cache is still N jobs, not 0.
+        total = max(counts.get(EVENT_SCHEDULED, 0), self.done)
         body = ", ".join(parts) if parts else "nothing to do"
         return f"{total} jobs: {body} in {self.elapsed_s:.1f}s"

@@ -11,6 +11,15 @@ debug); ``jobs>1`` fans ready jobs out over a
 same bookkeeping, produce the same results, and schedule ready jobs in
 the stable order the specs were given, so a parallel campaign is a
 faithful — bit-identical — replay of the serial one.
+
+Events travel over the :class:`~repro.runner.events.EventBus`: every
+run publishes a stamped :class:`~repro.runner.events.Event` stream
+(sequence numbers, timestamps, run id) and observers are just bus
+subscribers.  Telemetry rides the same machinery in reverse — pool
+workers record metrics/spans into their own process-global registries
+and ship the delta back piggybacked on the result tuple, which
+:meth:`_Run.resolve` merges into the parent's registries, so a
+parallel campaign aggregates observability without extra IPC.
 """
 
 from __future__ import annotations
@@ -19,11 +28,23 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import ConfigurationError
+from ..telemetry import metrics, recorder, span
 from .cache import ResultCache
+from .events import (
+    EVENT_CACHED,
+    EVENT_FAILED,
+    EVENT_FINISHED,
+    EVENT_RETRY,
+    EVENT_SCHEDULED,
+    EVENT_SKIPPED,
+    EVENT_STARTED,
+    Event,
+    EventBus,
+    JobEvent,
+)
 from .jobs import (
     STATUS_CACHED,
     STATUS_FAILED,
@@ -34,48 +55,26 @@ from .jobs import (
     execute,
 )
 
-#: Event kinds emitted to observers, in lifecycle order.
-EVENT_SCHEDULED = "scheduled"
-EVENT_STARTED = "started"
-EVENT_RETRY = "retry"
-EVENT_FINISHED = "finished"
-EVENT_FAILED = "failed"
-EVENT_SKIPPED = "skipped"
-EVENT_CACHED = "cached"
+__all__ = [
+    "EVENT_CACHED",
+    "EVENT_FAILED",
+    "EVENT_FINISHED",
+    "EVENT_RETRY",
+    "EVENT_SCHEDULED",
+    "EVENT_SKIPPED",
+    "EVENT_STARTED",
+    "Event",
+    "EventBus",
+    "Executor",
+    "JobEvent",
+    "Observer",
+    "parallel_map",
+    "run_jobs",
+    "topological_order",
+]
 
 Observer = Callable[["JobEvent"], None]
 Executor = Callable[[JobSpec], Any]
-
-
-@dataclass(frozen=True)
-class JobEvent:
-    """One scheduler lifecycle notification.
-
-    Attributes
-    ----------
-    kind:
-        One of the ``EVENT_*`` constants.
-    job_id:
-        The affected job.
-    attempt:
-        1-based attempt number for started/retry/finished/failed events.
-    duration_s:
-        Wall time of the attempt, for finished/failed events.
-    error:
-        Error text for retry/failed/skipped events.
-    total:
-        Total number of jobs in the batch (constant per run).
-    done:
-        Jobs resolved so far, including this event if it is terminal.
-    """
-
-    kind: str
-    job_id: str
-    attempt: int = 0
-    duration_s: float = 0.0
-    error: str | None = None
-    total: int = 0
-    done: int = 0
 
 
 def topological_order(specs: Sequence[JobSpec]) -> list[JobSpec]:
@@ -123,13 +122,47 @@ def topological_order(specs: Sequence[JobSpec]) -> list[JobSpec]:
 def _attempt(spec: JobSpec, executor: Executor) -> tuple[Any, float, int]:
     """Run one attempt, returning ``(value, duration_s, pid)``."""
     start = time.perf_counter()
-    value = executor(spec)
+    with span("job.execute", cat="queue", job_id=spec.job_id):
+        value = executor(spec)
     return value, time.perf_counter() - start, os.getpid()
 
 
-def _pool_attempt(spec: JobSpec) -> tuple[Any, float, int]:
-    """Module-level worker entry point (picklable by reference)."""
-    return _attempt(spec, execute)
+def _telemetry_marks() -> tuple[dict[str, Any], int]:
+    """Worker-side pre-attempt marks for the piggyback delta."""
+    return metrics().snapshot(), recorder().mark()
+
+
+def _telemetry_delta(
+    marks: tuple[dict[str, Any], int]
+) -> dict[str, Any] | None:
+    """What this process recorded since ``marks`` (None when empty)."""
+    snapshot, span_mark = marks
+    delta = metrics().delta_since(snapshot)
+    spans = recorder().delta_since(span_mark)
+    if not (delta["counters"] or delta["histograms"] or spans):
+        return None
+    return {"metrics": delta, "spans": spans}
+
+
+def _pool_attempt(spec: JobSpec) -> tuple[Any, float, int, Any]:
+    """Module-level worker entry point (picklable by reference).
+
+    Returns ``(value, duration_s, pid, telemetry)`` — the fourth slot
+    carries the worker's metrics/spans delta for this attempt, merged
+    into the parent's registries when the result resolves.
+    """
+    marks = _telemetry_marks()
+    value, duration, pid = _attempt(spec, execute)
+    return value, duration, pid, _telemetry_delta(marks)
+
+
+def _pool_custom_attempt(
+    spec: JobSpec, executor: Executor
+) -> tuple[Any, float, int, Any]:
+    """Worker entry point for a custom (picklable) executor."""
+    marks = _telemetry_marks()
+    value, duration, pid = _attempt(spec, executor)
+    return value, duration, pid, _telemetry_delta(marks)
 
 
 def _warm_worker() -> None:
@@ -163,6 +196,8 @@ class _Run:
         specs: Sequence[JobSpec],
         cache: ResultCache | None,
         observers: Sequence[Observer],
+        run_id: str = "",
+        bus: EventBus | None = None,
     ):
         self.order = topological_order(specs)
         self.by_id = {spec.job_id: spec for spec in self.order}
@@ -173,7 +208,9 @@ class _Run:
             for dep in spec.after:
                 self.dependents[dep].append(spec.job_id)
         self.cache = cache
-        self.observers = list(observers)
+        self.bus = bus if bus is not None else EventBus(run_id=run_id)
+        for observer in observers:
+            self.bus.subscribe(observer)
         self.results: dict[str, JobResult] = {}
         #: Run-local successful result per content key, so duplicate
         #: specs resolve as "cached" deterministically (and with the
@@ -181,31 +218,39 @@ class _Run:
         self.done_by_key: dict[str, JobResult] = {}
         self.total = len(self.order)
         for spec in self.order:
-            self.emit(JobEvent(EVENT_SCHEDULED, spec.job_id, total=self.total))
-
-    def emit(self, event: JobEvent) -> None:
-        for observer in self.observers:
-            observer(event)
+            self._event(EVENT_SCHEDULED, spec.job_id)
 
     def _event(self, kind: str, job_id: str, **kwargs: Any) -> None:
-        self.emit(
-            JobEvent(
-                kind,
-                job_id,
-                total=self.total,
-                done=len(self.results),
-                **kwargs,
-            )
+        if kind == EVENT_RETRY:
+            metrics().count("queue.retries")
+        self.bus.publish(
+            kind,
+            job_id,
+            total=self.total,
+            done=len(self.results),
+            **kwargs,
         )
 
     def resolve(self, result: JobResult) -> None:
-        """Record a terminal result and emit its event."""
+        """Record a terminal result and emit its event.
+
+        A result carrying a worker telemetry delta (pool attempts)
+        has it merged into the parent's registries here, exactly once.
+        """
+        if result.telemetry is not None:
+            metrics().merge(
+                result.telemetry.get("metrics", {}),
+                worker_pid=result.worker_pid,
+            )
+            recorder().absorb(result.telemetry.get("spans", ()))
         self.results[result.job_id] = result
         kind = {
             STATUS_OK: EVENT_FINISHED,
             STATUS_FAILED: EVENT_FAILED,
             STATUS_SKIPPED: EVENT_SKIPPED,
         }.get(result.status, EVENT_CACHED)
+        if result.status == STATUS_OK:
+            metrics().observe("queue.job_s", result.duration_s)
         self._event(
             kind,
             result.job_id,
@@ -271,6 +316,8 @@ def run_jobs(
     cache: ResultCache | None = None,
     observers: Sequence[Observer] = (),
     executor: Executor = execute,
+    run_id: str = "",
+    bus: EventBus | None = None,
 ) -> dict[str, JobResult]:
     """Execute a batch of job specs; return results keyed by job id.
 
@@ -283,17 +330,25 @@ def run_jobs(
         Optional content-addressed cache consulted before execution and
         updated after success.
     observers:
-        Callables receiving every :class:`JobEvent`.
+        Callables receiving every :class:`JobEvent` (subscribed to the
+        run's event bus).
     executor:
         The per-spec execution function — injectable for tests.  With
         ``jobs > 1`` the default :func:`~repro.runner.jobs.execute` is
         resolved inside each worker; a custom executor must itself be
         picklable.
+    run_id:
+        Identifier stamped into every published event (ignored when an
+        explicit ``bus`` is given).
+    bus:
+        An existing :class:`~repro.runner.events.EventBus` to publish
+        on — lets a caller share one stamped stream (and its sequence
+        numbers) across several ``run_jobs`` invocations.
     """
     spec_list = list(specs)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    run = _Run(spec_list, cache, observers)
+    run = _Run(spec_list, cache, observers, run_id=run_id, bus=bus)
     if not run.order:
         return {}
     if jobs == 1:
@@ -409,8 +464,8 @@ def _solo_round(
                 if executor is execute:
                     future = pool.submit(_pool_attempt, spec)
                 else:
-                    future = pool.submit(_attempt, spec, executor)
-                value, duration, pid = future.result()
+                    future = pool.submit(_pool_custom_attempt, spec, executor)
+                value, duration, pid, telemetry = future.result()
         except BrokenProcessPool:
             error_text = "worker process died (job killed its worker)"
         except Exception as error:  # noqa: BLE001 - jobs may raise anything
@@ -425,6 +480,7 @@ def _solo_round(
                     attempts=attempt,
                     duration_s=duration,
                     worker_pid=pid,
+                    telemetry=telemetry,
                 )
             )
             return
@@ -495,10 +551,12 @@ def _batch_round(
                 if executor is execute:
                     future = pool.submit(_pool_attempt, spec)
                 else:
-                    future = pool.submit(_attempt, spec, executor)
+                    future = pool.submit(_pool_custom_attempt, spec, executor)
                 in_flight[future] = spec
                 inflight_keys.add(spec.key)
             pending = still_pending
+        metrics().gauge("queue.depth", len(pending))
+        metrics().gauge_max("queue.active", len(in_flight))
 
     try:
         with _make_pool(jobs) as pool:
@@ -511,7 +569,7 @@ def _batch_round(
                     spec = in_flight.pop(future)
                     attempt = attempts[spec.job_id]
                     try:
-                        value, duration, pid = future.result()
+                        value, duration, pid, telemetry = future.result()
                     except BrokenProcessPool:
                         in_flight[future] = spec  # back among survivors
                         raise
@@ -543,6 +601,7 @@ def _batch_round(
                             attempts=attempt,
                             duration_s=duration,
                             worker_pid=pid,
+                            telemetry=telemetry,
                         )
                     )
                 submit_ready(pool)

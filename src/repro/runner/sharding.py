@@ -48,6 +48,7 @@ from typing import Any, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError, InfeasibleDesignError
+from ..telemetry import metrics, span
 from . import codec as _codec
 from .campaign import Campaign
 from .codec import (
@@ -241,6 +242,28 @@ def evaluate_shard(
     func = resolve_callable(sweep_target)
     kwargs = dict(common or {})
     count = len(values)
+    with span(
+        "shard.evaluate",
+        cat="sweep",
+        target=sweep_target,
+        points=count,
+        shard=shard_index,
+    ):
+        return _evaluate_shard_points(
+            func, parameter, values, kwargs, batch, chosen, count
+        )
+
+
+def _evaluate_shard_points(
+    func: Any,
+    parameter: str,
+    values: Sequence[Any],
+    kwargs: dict[str, Any],
+    batch: bool,
+    chosen: str,
+    count: int,
+) -> dict[str, Any]:
+    """The compute + pack body of :func:`evaluate_shard`."""
     if batch:
         result = func(**{parameter: values}, **kwargs)
         if isinstance(result, Mapping):
@@ -514,31 +537,36 @@ class _BlockWriter:
             }
 
     def _emit(self, lo: int, hi: int) -> None:
-        payload = _codec.pack_series(
-            self._values[lo:hi],
-            {
-                name: column[lo:hi]
-                for name, column in self._columns.items()
-            },
-            self._kind,
-        )
-        payload["block"] = self.blocks
-        self._store.append_many(
-            [
+        with metrics().timer("merge.flush_s"):
+            payload = _codec.pack_series(
+                self._values[lo:hi],
                 {
-                    "key": block_key(
-                        self._target,
-                        self._parameter,
-                        self._shard_keys,
-                        self.blocks,
-                        self._common,
-                    ),
-                    "job_id": f"{self._prefix}/block{self.blocks:05d}",
-                    "status": "ok",
-                    "value": payload,
-                }
-            ]
-        )
+                    name: column[lo:hi]
+                    for name, column in self._columns.items()
+                },
+                self._kind,
+            )
+            payload["block"] = self.blocks
+            metrics().gauge_max(
+                "merge.peak_chunk_bytes", len(payload["blob"])
+            )
+            self._store.append_many(
+                [
+                    {
+                        "key": block_key(
+                            self._target,
+                            self._parameter,
+                            self._shard_keys,
+                            self.blocks,
+                            self._common,
+                        ),
+                        "job_id": f"{self._prefix}/block{self.blocks:05d}",
+                        "status": "ok",
+                        "value": payload,
+                    }
+                ]
+            )
+        metrics().count("merge.blocks")
         self.blocks += 1
 
     def flush(self) -> None:
@@ -601,42 +629,53 @@ def merge_shards(
 
         def flush_points() -> None:
             nonlocal chunk, point_records
-            store.append_many(chunk)
+            if not chunk:
+                return
+            with metrics().timer("merge.flush_s"):
+                store.append_many(chunk)
             point_records += len(chunk)
             chunk = []
 
-        for payload in _iter_shard_payloads(store, shard_keys, store_path):
-            columns = (
-                _payload_columns(payload)
-                if chosen == CODEC_COLUMNAR
-                else None
-            )
-            if columns is not None:
-                values, series, points_kind = columns
-                summary.add_columns(series)
-                merged += len(values)
-                writer.add(values, series, points_kind)
-                continue
-            # Per-point path: requested via codec="json", or a payload
-            # whose points will not columnise.
-            values, points = _payload_points(payload)
-            for value, point in zip(values, points):
-                summary.add(point)
-                merged += 1
-                chunk.append(
-                    {
-                        "key": point_key(
-                            sweep_target, parameter, value, common
-                        ),
-                        "job_id": f"{prefix}[{value}]",
-                        "status": "ok",
-                        "value": point,
-                    }
+        with span(
+            "merge",
+            cat="sweep",
+            target=sweep_target,
+            shards=len(shard_keys),
+        ):
+            for payload in _iter_shard_payloads(
+                store, shard_keys, store_path
+            ):
+                columns = (
+                    _payload_columns(payload)
+                    if chosen == CODEC_COLUMNAR
+                    else None
                 )
-                if len(chunk) >= chunk_size:
-                    flush_points()
-        writer.flush()
-        flush_points()
+                if columns is not None:
+                    values, series, points_kind = columns
+                    summary.add_columns(series)
+                    merged += len(values)
+                    writer.add(values, series, points_kind)
+                    continue
+                # Per-point path: requested via codec="json", or a
+                # payload whose points will not columnise.
+                values, points = _payload_points(payload)
+                for value, point in zip(values, points):
+                    summary.add(point)
+                    merged += 1
+                    chunk.append(
+                        {
+                            "key": point_key(
+                                sweep_target, parameter, value, common
+                            ),
+                            "job_id": f"{prefix}[{value}]",
+                            "status": "ok",
+                            "value": point,
+                        }
+                    )
+                    if len(chunk) >= chunk_size:
+                        flush_points()
+            writer.flush()
+            flush_points()
     finally:
         store.close()
     return {
@@ -756,6 +795,8 @@ def run_sharded_sweep(
     codec: str | None = None,
     monitor: Any = None,
     strict: bool = True,
+    observers: Sequence[Any] = (),
+    run_id: str = "",
 ):
     """Build and execute a sharded sweep; return its ``CampaignResult``.
 
@@ -789,8 +830,10 @@ def run_sharded_sweep(
         store_path=store_path,
         store_backend=store_backend,
         cache_preload="specs",
+        observers=observers,
         monitor=monitor,
         strict=strict,
+        run_id=run_id,
     )
 
 

@@ -26,9 +26,11 @@ in :mod:`repro.runner.cache`.
 from __future__ import annotations
 
 import os
-from typing import Any, Iterator, Mapping
+import time
+from typing import Any, Iterable, Iterator, Mapping
 
 from ..errors import ConfigurationError
+from ..telemetry import metrics, span
 from .backends import StoreBackend, make_backend
 from .provenance import stamp_record
 
@@ -72,17 +74,62 @@ class ResultStore:
         """Release backend resources (idempotent)."""
         self._backend.close()
 
+    # -- telemetry ---------------------------------------------------------
+
+    def _metric(self, op: str) -> str:
+        """Backend-qualified metric name, e.g. ``store.sqlite.append``."""
+        return f"store.{self.backend_name}.{op}"
+
+    def _instrumented_iter(
+        self, source: Iterable[Any], op: str, sized: bool = False
+    ) -> Iterator[Any]:
+        """Wrap a backend iterator with call/record/duration metrics.
+
+        Per-item cost is two local increments; the metric writes happen
+        once, in a ``finally``, so million-record streams pay one
+        counter add, not a million.  The observed duration is the wall
+        time the iterator was open — it includes consumer time between
+        pulls, which is the number that matters for pipeline rollups.
+        """
+        name = self._metric(op)
+        metrics().count(name)
+        records = 0
+        byte_count = 0
+        start = time.perf_counter()
+        try:
+            for item in source:
+                records += 1
+                if sized:
+                    byte_count += item[1]
+                yield item
+        finally:
+            metrics().count(f"{name}.records", records)
+            if sized:
+                metrics().count(f"{name}.bytes", byte_count)
+            metrics().observe(f"{name}_s", time.perf_counter() - start)
+
     # -- writes ------------------------------------------------------------
 
     def append(self, record: Mapping[str, Any]) -> None:
         """Durably append one record, stamped with current provenance."""
-        self._backend.append(stamp_record(record))
+        self.append_many([dict(record)])
 
     def append_many(self, records: list[dict[str, Any]]) -> None:
         """Append a stamped batch (one durability barrier per batch)."""
-        self._backend.append_many(
-            [stamp_record(record) for record in records]
-        )
+        if not records:
+            return
+        stamped = [stamp_record(record) for record in records]
+        name = self._metric("append")
+        metrics().count(name)
+        metrics().count(f"{name}.records", len(stamped))
+        with span(
+            "store.flush",
+            cat="store",
+            backend=self.backend_name,
+            records=len(stamped),
+        ):
+            with metrics().timer(f"{name}_s"):
+                self._backend.append_many(stamped)
 
     # -- reads -------------------------------------------------------------
 
@@ -92,13 +139,17 @@ class ResultStore:
 
     def iter_records(self) -> Iterator[dict[str, Any]]:
         """Stream records in append order without materialising them."""
-        return self._backend.iter_records()
+        return self._instrumented_iter(
+            self._backend.iter_records(), "iter"
+        )
 
     def iter_records_with_size(
         self,
     ) -> Iterator[tuple[dict[str, Any], int]]:
         """Stream ``(record, stored_bytes)`` pairs in append order."""
-        return self._backend.iter_records_with_size()
+        return self._instrumented_iter(
+            self._backend.iter_records_with_size(), "iter", sized=True
+        )
 
     def __len__(self) -> int:
         return len(self._backend)
@@ -125,11 +176,15 @@ class ResultStore:
         append order; peak memory is bounded by per-key bookkeeping
         (JSONL byte offsets / a SQLite index walk), not by history size.
         """
-        return self._backend.iter_latest_by_key(status)
+        return self._instrumented_iter(
+            self._backend.iter_latest_by_key(status), "iter_latest"
+        )
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Latest ``ok`` record for one content key (``None`` if absent)."""
-        return self._backend.get(key)
+        metrics().count(self._metric("get"))
+        with metrics().timer(self._metric("get_s")):
+            return self._backend.get(key)
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:
         """All records for one display id, in append order."""
@@ -149,7 +204,12 @@ class ResultStore:
         campaign re-run against a compacted store still resolves
         entirely from cache.
         """
-        return self._backend.compact()
+        name = self._metric("compact")
+        metrics().count(name)
+        with metrics().timer(f"{name}_s"):
+            dropped = self._backend.compact()
+        metrics().count(f"{name}.dropped", dropped)
+        return dropped
 
 
 def _migration_target_backend(dst: str, src_name: str) -> str:

@@ -1,0 +1,149 @@
+"""Unified telemetry: metrics, spans, sidecar sink, Chrome trace export.
+
+This package is the observation layer of the campaign pipeline.  It is
+deliberately independent of :mod:`repro.runner` — it knows nothing
+about jobs or stores, only about three primitive shapes:
+
+* **metrics** (:mod:`~repro.telemetry.metrics`) — process-global
+  counters/gauges/histograms with snapshot/delta/merge for
+  cross-process aggregation,
+* **spans** (:mod:`~repro.telemetry.spans`) — timed regions recorded
+  by the ``span()`` context manager,
+* **events** — plain dicts fed in by whoever owns an event stream
+  (the runner's :class:`~repro.runner.events.EventBus`).
+
+:class:`RunCapture` bundles the per-run glue: it is an event-bus
+subscriber that collects the event stream, and its :meth:`~RunCapture.
+export` snapshots the global metrics/spans and writes the JSONL
+sidecar (:mod:`~repro.telemetry.sink`) and/or the Chrome trace file
+(:mod:`~repro.telemetry.trace`) for a finished run.
+
+Everything honours ``REPRO_TELEMETRY=off`` (collection becomes a
+no-op); ``REPRO_TRACE=<path>`` asks the CLI to write a trace file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Any, Mapping
+
+from .metrics import (
+    TELEMETRY_ENV_VAR,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    telemetry_enabled,
+    telemetry_sidecar_path,
+)
+from .sink import SIDECAR_SCHEMA, read_sidecar, summarize, write_sidecar
+from .spans import MAX_SPANS, SpanRecorder, recorder, span
+from .trace import load_trace, trace_events, validate_trace, write_chrome_trace
+
+#: Environment variable naming the Chrome trace file the CLI writes.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+__all__ = [
+    "TELEMETRY_ENV_VAR",
+    "TRACE_ENV_VAR",
+    "SIDECAR_SCHEMA",
+    "MAX_SPANS",
+    "Histogram",
+    "MetricsRegistry",
+    "RunCapture",
+    "SpanRecorder",
+    "load_trace",
+    "metrics",
+    "new_run_id",
+    "read_sidecar",
+    "recorder",
+    "reset_telemetry",
+    "span",
+    "summarize",
+    "telemetry_enabled",
+    "telemetry_sidecar_path",
+    "trace_events",
+    "validate_trace",
+    "write_chrome_trace",
+    "write_sidecar",
+]
+
+
+def new_run_id() -> str:
+    """A human-sortable run identifier: UTC timestamp + pid."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}"
+
+
+def reset_telemetry() -> None:
+    """Drop all process-global metrics and spans (fresh run / tests)."""
+    metrics().reset()
+    recorder().reset()
+
+
+def _event_dict(event: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(event) and not isinstance(event, type):
+        return dataclasses.asdict(event)
+    return dict(event)
+
+
+class RunCapture:
+    """Per-run telemetry collector and exporter.
+
+    Subscribe it to an event stream (it is a plain observer callable),
+    then call :meth:`export` after the run to write the sidecar and/or
+    Chrome trace from the collected events plus the process-global
+    metrics and spans::
+
+        capture = RunCapture()
+        run_campaign(campaign, observers=[capture], run_id=capture.run_id)
+        capture.export(trace="out.trace.json", sidecar="out.telemetry.jsonl")
+    """
+
+    def __init__(self, run_id: str | None = None) -> None:
+        self.run_id = run_id or new_run_id()
+        self.events: list[dict[str, Any]] = []
+        self.parent_pid = os.getpid()
+
+    def __call__(self, event: Any) -> None:
+        """Observer entry point: collect one bus event."""
+        if telemetry_enabled():
+            self.events.append(_event_dict(event))
+
+    def export(
+        self,
+        *,
+        trace: str | None = None,
+        sidecar: str | None = None,
+        meta: Mapping[str, Any] | None = None,
+    ) -> dict[str, str]:
+        """Write the requested artifacts; returns ``{kind: path}``."""
+        written: dict[str, str] = {}
+        spans = recorder().spans
+        if sidecar:
+            sidecar_meta = {"parent_pid": self.parent_pid}
+            if meta:
+                sidecar_meta.update(meta)
+            write_sidecar(
+                sidecar,
+                run_id=self.run_id,
+                events=self.events,
+                spans=spans,
+                metrics_snapshot=metrics().snapshot(),
+                meta=sidecar_meta,
+            )
+            written["sidecar"] = sidecar
+        if trace:
+            trace_meta = {"run_id": self.run_id}
+            if meta:
+                trace_meta.update(meta)
+            write_chrome_trace(
+                trace,
+                spans,
+                self.events,
+                parent_pid=self.parent_pid,
+                metadata=trace_meta,
+            )
+            written["trace"] = trace
+        return written

@@ -1,0 +1,116 @@
+"""Span recording: timed regions of work with a process-global recorder.
+
+A *span* is one timed region — a job execute, a shard evaluate, a
+merge, a store flush — recorded as a plain dict::
+
+    {"name": "job.execute", "cat": "queue", "ts": <wall s>,
+     "dur": <s>, "pid": <os pid>, "args": {...}}
+
+The :func:`span` context manager opens and closes spans against this
+process's global :class:`SpanRecorder`; workers carry their spans back
+to the parent piggybacked on job results (see :func:`mark` /
+:func:`delta_since` / :func:`absorb`), the same no-extra-IPC scheme
+the metrics registry uses.  Each closed span also feeds a
+``span.<name>_s`` histogram in the metrics registry, so latency
+rollups exist even when the raw span list is dropped.
+
+The recorder keeps ``started`` and ``closed`` counters so tests can
+assert the invariant the ISSUE names: every started span is closed
+exactly once, even when the body raises.  A cap (default 100k spans)
+bounds memory on million-point sweeps; overflow increments ``dropped``
+rather than growing without bound.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+from .metrics import metrics, telemetry_enabled
+
+#: Default cap on retained spans per process.
+MAX_SPANS = 100_000
+
+
+class SpanRecorder:
+    """Accumulates closed spans, bounded, with open/close accounting."""
+
+    def __init__(self, max_spans: int = MAX_SPANS) -> None:
+        self.max_spans = max_spans
+        self.spans: list[dict[str, Any]] = []
+        self.started = 0
+        self.closed = 0
+        self.dropped = 0
+
+    def record(self, span_dict: dict[str, Any]) -> None:
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span_dict)
+        else:
+            self.dropped += 1
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self.started = 0
+        self.closed = 0
+        self.dropped = 0
+
+    # -- worker piggyback --------------------------------------------------
+
+    def mark(self) -> int:
+        """Position marker for :meth:`delta_since` (span list length)."""
+        return len(self.spans)
+
+    def delta_since(self, mark: int) -> list[dict[str, Any]]:
+        """Spans recorded since ``mark`` — what a worker ships back."""
+        return self.spans[mark:]
+
+    def absorb(self, spans: Sequence[Mapping[str, Any]]) -> None:
+        """Fold spans shipped from a worker into this recorder."""
+        for span_dict in spans:
+            self.started += 1
+            self.closed += 1
+            self.record(dict(span_dict))
+
+
+#: The process-global recorder every :func:`span` call records into.
+_RECORDER = SpanRecorder()
+
+
+def recorder() -> SpanRecorder:
+    """This process's global :class:`SpanRecorder`."""
+    return _RECORDER
+
+
+@contextmanager
+def span(
+    name: str, cat: str = "repro", **args: Any
+) -> Iterator[dict[str, Any]]:
+    """Record a timed span around the enclosed block.
+
+    Yields the (mutable) span dict so callers can attach result args —
+    e.g. record counts — before the block closes.  The span is closed
+    exactly once, in a ``finally``, whether or not the body raises.
+    """
+    if not telemetry_enabled():
+        yield {}
+        return
+    rec = _RECORDER
+    rec.started += 1
+    span_dict: dict[str, Any] = {
+        "name": name,
+        "cat": cat,
+        "ts": time.time(),
+        "dur": 0.0,
+        "pid": os.getpid(),
+        "args": dict(args),
+    }
+    start = time.perf_counter()
+    try:
+        yield span_dict
+    finally:
+        span_dict["dur"] = time.perf_counter() - start
+        rec.closed += 1
+        rec.record(span_dict)
+        metrics().observe(f"span.{name}_s", span_dict["dur"])

@@ -1,0 +1,155 @@
+"""Chrome trace-event export: spans → ``chrome://tracing``/Perfetto.
+
+The exporter maps the runner's process model onto the trace-event JSON
+object format (the variant both ``chrome://tracing`` and Perfetto
+load):
+
+* the whole run is one trace *process* (the parent's os pid),
+* each os pid that recorded spans — parent or pool worker — becomes a
+  trace *thread* (``tid``), named ``worker <pid>`` (or ``parent``), so
+  a ``--jobs 4`` sweep renders as four lanes of job spans,
+* every span becomes a ``ph:"X"`` complete event with microsecond
+  ``ts``/``dur`` (``dur`` floored at 1µs so zero-length spans stay
+  visible),
+* bus events (optional) become ``ph:"i"`` instant events on the lane
+  of the pid that emitted them.
+
+:func:`validate_trace` is the loadable-schema check the tests use —
+it re-reads the file and asserts the structural invariants the
+viewers rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def trace_events(
+    spans: Sequence[Mapping[str, Any]],
+    events: Iterable[Mapping[str, Any]] = (),
+    parent_pid: int | None = None,
+) -> list[dict[str, Any]]:
+    """Build the ``traceEvents`` list from spans and (optional) events."""
+    if parent_pid is None:
+        parent_pid = os.getpid()
+    out: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": parent_pid,
+            "tid": 0,
+            "args": {"name": "repro campaign"},
+        }
+    ]
+    named_tids: set[int] = set()
+
+    def lane(pid: int) -> int:
+        if pid not in named_tids:
+            named_tids.add(pid)
+            label = "parent" if pid == parent_pid else f"worker {pid}"
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": parent_pid,
+                    "tid": pid,
+                    "args": {"name": label},
+                }
+            )
+        return pid
+
+    for span_dict in spans:
+        pid = int(span_dict.get("pid", parent_pid))
+        out.append(
+            {
+                "ph": "X",
+                "name": str(span_dict.get("name", "?")),
+                "cat": str(span_dict.get("cat", "repro")),
+                "ts": float(span_dict.get("ts", 0.0)) * 1e6,
+                "dur": max(1.0, float(span_dict.get("dur", 0.0)) * 1e6),
+                "pid": parent_pid,
+                "tid": lane(pid),
+                "args": dict(span_dict.get("args", {})),
+            }
+        )
+    for event in events:
+        pid = int(event.get("pid", parent_pid) or parent_pid)
+        out.append(
+            {
+                "ph": "i",
+                "name": f"{event.get('kind', 'event')}:"
+                f"{event.get('job_id', '?')}",
+                "cat": "events",
+                "ts": float(event.get("ts", 0.0)) * 1e6,
+                "pid": parent_pid,
+                "tid": lane(pid),
+                "s": "t",
+                "args": {
+                    key: event[key]
+                    for key in ("attempt", "error", "seq")
+                    if event.get(key) is not None
+                },
+            }
+        )
+    return out
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Mapping[str, Any]],
+    events: Iterable[Mapping[str, Any]] = (),
+    parent_pid: int | None = None,
+    metadata: Mapping[str, Any] | None = None,
+) -> int:
+    """Write a Chrome trace JSON file; returns the event count."""
+    payload: dict[str, Any] = {
+        "traceEvents": trace_events(spans, events, parent_pid=parent_pid),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+def load_trace(path: str) -> dict[str, Any]:
+    """Load a trace file written by :func:`write_chrome_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    if not isinstance(loaded, dict):
+        raise ValueError(f"{path}: trace root must be a JSON object")
+    return loaded
+
+
+def validate_trace(payload: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Assert the structural invariants trace viewers rely on.
+
+    Returns the ``traceEvents`` list on success; raises
+    :class:`ValueError` naming the first offending event otherwise.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace is missing the traceEvents list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "M", "i", "B", "E"):
+            raise ValueError(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{where}: name must be a string")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"{where}: {field} must be an int")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                if not isinstance(event.get(field), (int, float)):
+                    raise ValueError(f"{where}: {field} must be numeric")
+            if event["dur"] <= 0:
+                raise ValueError(f"{where}: dur must be positive")
+    return events

@@ -52,6 +52,16 @@ class TestCounters:
     def test_empty_summary(self):
         assert "nothing to do" in ProgressMonitor().summary()
 
+    def test_summary_total_falls_back_to_terminal_count(self):
+        # Regression: a cached-only replay that never sees scheduled
+        # events must report "3 jobs", not "0 jobs: 3 cached".
+        monitor = ProgressMonitor()
+        for job_id in ("a", "b", "c"):
+            feed(monitor, "cached", job_id=job_id)
+        summary = monitor.summary()
+        assert summary.startswith("3 jobs:")
+        assert "3 cached" in summary
+
 
 class TestActivityTrace:
     def test_mean_concurrency_step_integral(self):
@@ -99,10 +109,28 @@ class TestStream:
         assert lines[1].startswith("[ 2/2] FAILED  k")
         assert "boom" in lines[1]
 
-    def test_non_terminal_events_silent(self):
+    def test_scheduled_and_started_silent(self):
         stream = io.StringIO()
         monitor = ProgressMonitor(stream=stream)
         feed(monitor, "scheduled", total=1)
         feed(monitor, "started")
-        feed(monitor, "retry")
         assert stream.getvalue() == ""
+
+    def test_retry_line_names_the_attempt(self):
+        stream = io.StringIO()
+        monitor = ProgressMonitor(stream=stream)
+        feed(monitor, "scheduled", total=1)
+        feed(monitor, "started", attempt=1)
+        feed(monitor, "retry", attempt=1, error="RuntimeError: boom")
+        lines = stream.getvalue().splitlines()
+        assert lines == ["[ 0/1] retry   j (attempt 1) — RuntimeError: boom"]
+
+    def test_counter_width_follows_total(self):
+        # A >99-job campaign must widen the counter field instead of
+        # overflowing the historical hard-coded 2-digit one.
+        stream = io.StringIO()
+        monitor = ProgressMonitor(stream=stream)
+        feed(monitor, "scheduled", total=120)
+        feed(monitor, "finished", duration_s=0.1)
+        line = stream.getvalue().splitlines()[0]
+        assert line.startswith("[  1/120] ok")

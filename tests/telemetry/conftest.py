@@ -1,0 +1,15 @@
+"""Telemetry test fixtures: isolate the process-global registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    """Every test starts and ends with empty metrics and spans."""
+    reset_telemetry()
+    yield
+    reset_telemetry()

@@ -1,0 +1,176 @@
+"""Metrics registry: recording, snapshot/delta/merge, env gating."""
+
+from __future__ import annotations
+
+from repro.telemetry import (
+    TELEMETRY_ENV_VAR,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    telemetry_enabled,
+    telemetry_sidecar_path,
+)
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        registry = metrics()
+        registry.count("calls")
+        registry.count("calls", 2)
+        assert registry.counter_value("calls") == 3.0
+
+    def test_gauge_last_value_wins(self):
+        registry = metrics()
+        registry.gauge("depth", 5)
+        registry.gauge("depth", 2)
+        assert registry.gauge_value("depth") == 2.0
+
+    def test_gauge_max_keeps_the_peak(self):
+        registry = metrics()
+        registry.gauge_max("peak", 5)
+        registry.gauge_max("peak", 2)
+        assert registry.gauge_value("peak") == 5.0
+
+    def test_histogram_summarises_observations(self):
+        registry = metrics()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("lat", value)
+        hist = registry.histogram("lat")
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_timer_observes_elapsed_seconds(self):
+        registry = metrics()
+        with registry.timer("op_s"):
+            pass
+        hist = registry.histogram("op_s")
+        assert hist.count == 1
+        assert hist.total >= 0.0
+
+    def test_unknown_names_read_as_zero_or_none(self):
+        registry = metrics()
+        assert registry.counter_value("nope") == 0.0
+        assert registry.gauge_value("nope") is None
+        assert registry.histogram("nope") is None
+
+
+class TestSnapshotDeltaMerge:
+    def test_snapshot_is_plain_json(self):
+        registry = metrics()
+        registry.count("c")
+        registry.gauge("g", 1)
+        registry.observe("h", 0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1.0}
+        assert snapshot["gauges"] == {"g": 1.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["workers"] == []
+
+    def test_delta_since_subtracts_counters_and_hist_counts(self):
+        registry = metrics()
+        registry.count("c", 10)
+        registry.observe("h", 1.0)
+        before = registry.snapshot()
+        registry.count("c", 5)
+        registry.observe("h", 2.0)
+        delta = registry.delta_since(before)
+        assert delta["counters"] == {"c": 5.0}
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["total"] == 2.0
+
+    def test_delta_is_empty_when_nothing_happened(self):
+        registry = metrics()
+        registry.count("c")
+        before = registry.snapshot()
+        delta = registry.delta_since(before)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merge_models_the_worker_piggyback(self):
+        # A worker registry records during a job; the parent merges the
+        # delta: counters add, gauges max, histograms fold.
+        parent = MetricsRegistry()
+        parent.count("cache.hit", 2)
+        parent.gauge_max("peak", 10)
+        worker = MetricsRegistry()
+        before = worker.snapshot()
+        worker.count("cache.hit", 3)
+        worker.gauge_max("peak", 25)
+        worker.observe("job_s", 0.5)
+        parent.merge(worker.delta_since(before), worker_pid=1234)
+        assert parent.counter_value("cache.hit") == 5.0
+        assert parent.gauge_value("peak") == 25.0
+        assert parent.histogram("job_s").count == 1
+        assert parent.workers == {1234}
+
+    def test_merged_worker_pids_propagate(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.workers.add(99)
+        parent.merge(child.snapshot())
+        assert 99 in parent.workers
+
+    def test_reset_clears_everything(self):
+        registry = metrics()
+        registry.count("c")
+        registry.gauge("g", 1)
+        registry.observe("h", 1.0)
+        registry.workers.add(1)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["workers"] == []
+
+
+class TestHistogramFold:
+    def test_fold_combines_summaries(self):
+        hist = Histogram()
+        hist.observe(2.0)
+        hist.fold({"count": 2, "total": 6.0, "min": 1.0, "max": 5.0})
+        assert hist.count == 3
+        assert hist.total == 8.0
+        assert hist.min == 1.0
+        assert hist.max == 5.0
+
+    def test_fold_tolerates_missing_extremes(self):
+        hist = Histogram()
+        hist.fold({"count": 1, "total": 1.0, "min": None, "max": None})
+        assert hist.count == 1
+        assert hist.min is None
+
+
+class TestEnvGating:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        assert telemetry_enabled()
+        assert telemetry_sidecar_path() is None
+
+    def test_off_values_disable(self, monkeypatch):
+        for value in ("0", "off", "OFF", "false", "no"):
+            monkeypatch.setenv(TELEMETRY_ENV_VAR, value)
+            assert not telemetry_enabled()
+            assert telemetry_sidecar_path() is None
+
+    def test_path_value_enables_and_names_the_sidecar(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "/tmp/run.telemetry.jsonl")
+        assert telemetry_enabled()
+        assert telemetry_sidecar_path() == "/tmp/run.telemetry.jsonl"
+
+    def test_disabled_recording_is_a_no_op(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "off")
+        registry = metrics()
+        registry.count("c")
+        registry.gauge("g", 1)
+        registry.observe("h", 1.0)
+        with registry.timer("t"):
+            pass
+        monkeypatch.delenv(TELEMETRY_ENV_VAR)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}

@@ -1,0 +1,127 @@
+"""Spans: the closed-exactly-once invariant, capping, worker absorb."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    TELEMETRY_ENV_VAR,
+    SpanRecorder,
+    metrics,
+    recorder,
+    reset_telemetry,
+    span,
+)
+
+
+class TestSpanRecording:
+    def test_span_records_name_cat_pid_and_args(self):
+        with span("job.execute", cat="queue", job_id="j1"):
+            pass
+        rec = recorder()
+        assert len(rec.spans) == 1
+        only = rec.spans[0]
+        assert only["name"] == "job.execute"
+        assert only["cat"] == "queue"
+        assert only["pid"] == os.getpid()
+        assert only["args"] == {"job_id": "j1"}
+        assert only["dur"] >= 0.0
+
+    def test_span_yields_the_mutable_dict(self):
+        with span("work") as current:
+            current["args"]["records"] = 7
+        assert recorder().spans[0]["args"]["records"] == 7
+
+    def test_each_span_feeds_a_latency_histogram(self):
+        with span("merge"):
+            pass
+        hist = metrics().histogram("span.merge_s")
+        assert hist is not None
+        assert hist.count == 1
+
+    def test_disabled_spans_record_nothing(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "off")
+        with span("work") as current:
+            assert current == {}
+        assert recorder().spans == []
+        assert recorder().started == 0
+
+
+class TestClosedExactlyOnce:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2), st.booleans()),
+                    max_size=30))
+    def test_every_started_span_closes_exactly_once(self, plan):
+        # The ISSUE's property: whatever mix of clean exits and raises,
+        # started == closed == recorded.
+        reset_telemetry()
+        for name_index, raises in plan:
+            if raises:
+                with pytest.raises(RuntimeError):
+                    with span(f"s{name_index}"):
+                        raise RuntimeError("body failed")
+            else:
+                with span(f"s{name_index}"):
+                    pass
+        rec = recorder()
+        assert rec.started == len(plan)
+        assert rec.closed == len(plan)
+        assert len(rec.spans) == len(plan)
+
+    def test_nested_spans_all_close_when_inner_raises(self):
+        with pytest.raises(ValueError):
+            with span("outer"):
+                with span("inner"):
+                    raise ValueError("inner failed")
+        rec = recorder()
+        assert rec.started == 2
+        assert rec.closed == 2
+        # Inner closes first (its duration is shorter and recorded
+        # before the outer unwinds).
+        assert [s["name"] for s in rec.spans] == ["inner", "outer"]
+
+
+class TestBoundedRetention:
+    def test_cap_drops_overflow_but_keeps_counting(self):
+        rec = SpanRecorder(max_spans=2)
+        for index in range(5):
+            rec.record({"name": f"s{index}"})
+        assert len(rec.spans) == 2
+        assert rec.dropped == 3
+
+    def test_reset_restores_a_fresh_recorder(self):
+        rec = SpanRecorder(max_spans=1)
+        rec.record({"name": "a"})
+        rec.record({"name": "b"})
+        rec.started = 2
+        rec.closed = 2
+        rec.reset()
+        assert rec.spans == []
+        assert (rec.started, rec.closed, rec.dropped) == (0, 0, 0)
+
+
+class TestWorkerPiggyback:
+    def test_mark_and_delta_ship_only_new_spans(self):
+        with span("before"):
+            pass
+        mark = recorder().mark()
+        with span("after"):
+            pass
+        delta = recorder().delta_since(mark)
+        assert [s["name"] for s in delta] == ["after"]
+
+    def test_absorb_preserves_the_invariant(self):
+        # A parent folding worker spans must still satisfy
+        # started == closed for the closed-exactly-once property.
+        parent = SpanRecorder()
+        parent.absorb([
+            {"name": "job.execute", "pid": 111, "dur": 0.1},
+            {"name": "shard.evaluate", "pid": 111, "dur": 0.2},
+        ])
+        assert parent.started == 2
+        assert parent.closed == 2
+        assert [s["pid"] for s in parent.spans] == [111, 111]

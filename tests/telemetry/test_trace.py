@@ -1,0 +1,106 @@
+"""Chrome trace export: structure, worker lanes, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    load_trace,
+    trace_events,
+    validate_trace,
+    write_chrome_trace,
+)
+
+PARENT = 1000
+WORKER = 2000
+
+SPANS = [
+    {"name": "merge", "cat": "sweep", "ts": 10.0, "dur": 0.5,
+     "pid": PARENT, "args": {"shards": 4}},
+    {"name": "job.execute", "cat": "queue", "ts": 10.1, "dur": 0.0,
+     "pid": WORKER, "args": {"job_id": "j1"}},
+]
+
+EVENTS = [
+    {"kind": "finished", "job_id": "j1", "ts": 10.2, "pid": PARENT,
+     "seq": 3, "attempt": 1},
+]
+
+
+class TestTraceEvents:
+    def test_one_process_one_lane_per_pid(self):
+        events = trace_events(SPANS, EVENTS, parent_pid=PARENT)
+        assert all(e["pid"] == PARENT for e in events)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[PARENT] == "parent"
+        assert names[WORKER] == f"worker {WORKER}"
+
+    def test_spans_become_complete_events_in_microseconds(self):
+        events = trace_events(SPANS, parent_pid=PARENT)
+        merge = next(e for e in events if e["name"] == "merge")
+        assert merge["ph"] == "X"
+        assert merge["ts"] == 10.0 * 1e6
+        assert merge["dur"] == 0.5 * 1e6
+        assert merge["args"] == {"shards": 4}
+
+    def test_zero_length_spans_stay_visible(self):
+        events = trace_events(SPANS, parent_pid=PARENT)
+        job = next(e for e in events if e["name"] == "job.execute")
+        assert job["dur"] == 1.0  # floored at 1µs
+        assert job["tid"] == WORKER
+
+    def test_bus_events_become_instants(self):
+        events = trace_events([], EVENTS, parent_pid=PARENT)
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["name"] == "finished:j1"
+        assert instant["args"] == {"attempt": 1, "seq": 3}
+
+
+class TestWriteAndValidate:
+    def test_written_trace_is_valid_chrome_trace_json(self, tmp_path):
+        path = str(tmp_path / "out.trace.json")
+        count = write_chrome_trace(
+            path, SPANS, EVENTS, parent_pid=PARENT,
+            metadata={"run_id": "r1"},
+        )
+        loaded = load_trace(path)
+        events = validate_trace(loaded)
+        assert len(events) == count
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["metadata"]["run_id"] == "r1"
+
+    def test_load_rejects_non_object_roots(self, tmp_path):
+        path = str(tmp_path / "bad.trace.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([1, 2, 3], handle)
+        with pytest.raises(ValueError, match="JSON object"):
+            load_trace(path)
+
+    def test_validate_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace({})
+
+    def test_validate_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_trace({"traceEvents": [
+                {"ph": "Z", "name": "x", "pid": 1, "tid": 1},
+            ]})
+
+    def test_validate_rejects_non_integer_pid(self):
+        with pytest.raises(ValueError, match="pid"):
+            validate_trace({"traceEvents": [
+                {"ph": "i", "name": "x", "pid": "p", "tid": 1},
+            ]})
+
+    def test_validate_rejects_non_positive_durations(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_trace({"traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": 0.0},
+            ]})

@@ -352,3 +352,115 @@ class TestSweepCommand:
             "--store", str(tmp_path / "s.jsonl"),
         ]) == 2
         assert "--min > 0" in capsys.readouterr().err
+
+
+class TestTelemetryCli:
+    TARGET = "repro.core.batch:break_even_curve"
+
+    @pytest.fixture(autouse=True)
+    def fresh_telemetry(self):
+        from repro.telemetry import reset_telemetry
+
+        reset_telemetry()
+        yield
+        reset_telemetry()
+
+    def swept(self, tmp_path, capsys, *extra):
+        store = str(tmp_path / "sweep.sqlite")
+        argv = [
+            "sweep", self.TARGET,
+            "--parameter", "rate_bps",
+            "--min", "32000", "--max", "4096000", "--points", "30",
+            "--shards", "3", "--jobs", "2",
+            "--store", store, "--quiet", *extra,
+        ]
+        assert main(argv) == 0
+        return store, capsys.readouterr().out
+
+    def test_sweep_writes_valid_trace_and_sidecar(self, capsys, tmp_path):
+        from repro.telemetry import load_trace, read_sidecar, validate_trace
+
+        trace = str(tmp_path / "out.trace.json")
+        sidecar = str(tmp_path / "out.telemetry.jsonl")
+        _, out = self.swept(
+            tmp_path, capsys, "--trace", trace, "--telemetry", sidecar,
+        )
+        assert f"(wrote trace {trace})" in out
+        assert f"(wrote sidecar {sidecar})" in out
+        events = validate_trace(load_trace(trace))
+        assert any(
+            e["ph"] == "X" and e["name"] == "job.execute" for e in events
+        )
+        data = read_sidecar(sidecar)
+        assert data["metrics"]["counters"]["codec.pack.calls"] >= 3
+        assert data["metrics"]["workers"]
+
+    def test_trace_env_var_is_the_fallback(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        trace = str(tmp_path / "env.trace.json")
+        monkeypatch.setenv("REPRO_TRACE", trace)
+        _, out = self.swept(tmp_path, capsys)
+        assert f"(wrote trace {trace})" in out
+
+    def test_trace_export_round_trips_the_sidecar(self, capsys, tmp_path):
+        from repro.telemetry import load_trace, validate_trace
+
+        sidecar = str(tmp_path / "out.telemetry.jsonl")
+        self.swept(tmp_path, capsys, "--telemetry", sidecar)
+        assert main(["trace", "export", sidecar]) == 0
+        out = capsys.readouterr().out
+        exported = sidecar + ".trace.json"
+        assert exported in out
+        assert validate_trace(load_trace(exported))
+
+    def test_telemetry_summary_reports_the_run(self, capsys, tmp_path):
+        sidecar = str(tmp_path / "out.telemetry.jsonl")
+        self.swept(tmp_path, capsys, "--telemetry", sidecar)
+        assert main(["telemetry", "summary", sidecar]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "job.execute" in out
+        assert "codec.pack.calls" in out
+
+    def test_bad_sidecar_fails_cleanly(self, capsys, tmp_path):
+        bad = str(tmp_path / "bad.jsonl")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write('{"t":"event"}\n')
+        assert main(["telemetry", "summary", bad]) == 2
+        assert "sidecar" in capsys.readouterr().err
+        assert main(["trace", "export", bad]) == 2
+
+    def test_store_info_timings_and_bytes_descending(
+        self, capsys, tmp_path
+    ):
+        store, _ = self.swept(tmp_path, capsys)
+        assert main(["store", "info", store, "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "timings  :" in out
+        assert "store.sqlite.iter_s" in out
+        sizes = [
+            int(line.rsplit(" ", 2)[-2].rstrip(","))
+            for line in out.splitlines()
+            if line.startswith("  payload ")
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_run_with_trace_matches_plain_run(self, capsys, tmp_path):
+        assert main(["run", "breakeven"]) == 0
+        plain = capsys.readouterr().out
+        trace = str(tmp_path / "run.trace.json")
+        assert main(["run", "breakeven", "--trace", trace]) == 0
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain)
+        assert f"(wrote trace {trace})" in traced
+
+    def test_campaign_with_trace_writes_the_file(self, capsys, tmp_path):
+        import os as _os
+
+        trace = str(tmp_path / "camp.trace.json")
+        assert main([
+            "campaign", "breakeven", "--quiet", "--trace", trace,
+        ]) == 0
+        assert f"(wrote trace {trace})" in capsys.readouterr().out
+        assert _os.path.exists(trace)
