@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the campaign service, as CI runs it.
+
+Boots ``repro serve`` as a real subprocess on an ephemeral port,
+submits a sharded sweep through :func:`repro.api.submit`, streams the
+run's events over the WebSocket, and asserts:
+
+* the stream is seq-gap-free and bit-exact against the JSONL sidecar,
+* the run finishes ``done`` and its points page back correctly,
+* the server shuts down cleanly on SIGINT (exit code 0).
+
+Artifacts (the sidecar and per-run Chrome trace) are left in the
+scratch directory given as ``argv[1]`` (default ``service-smoke/``)
+for CI to upload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [scratch-dir]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+SWEEP_POINTS = 5000
+SHARDS = 6
+
+
+def main() -> int:
+    scratch = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1 else "service-smoke"
+    )
+    os.makedirs(scratch, exist_ok=True)
+    store = os.path.join(scratch, "smoke.sqlite")
+    trace_dir = os.path.join(scratch, "traces")
+
+    environment = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    environment["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, environment.get("PYTHONPATH")) if p
+    )
+    environment["PYTHONUNBUFFERED"] = "1"
+
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", store, "--port", "0", "--jobs", "2",
+            "--trace", trace_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=environment,
+    )
+    try:
+        assert process.stdout is not None
+        banner = process.stdout.readline()
+        match = re.search(r"listening on (http://[\d.]+:\d+)", banner)
+        if not match:
+            raise SystemExit(f"no listen banner, got: {banner!r}")
+        url = match.group(1)
+        print(f"server up at {url}")
+
+        sys.path.insert(0, src)
+        from repro import api
+        from repro.runner.events import event_from_json
+        from repro.service import ServiceClient
+
+        run_id = api.submit(
+            {
+                "kind": "sweep",
+                "name": "smoke",
+                "target": "repro.core.batch:evaluate_rate_grid",
+                "parameter": "rate_bps",
+                "values": {
+                    "kind": "linspace",
+                    "start": 32_000.0,
+                    "stop": 4_096_000.0,
+                    "num": SWEEP_POINTS,
+                },
+                "shards": SHARDS,
+            },
+            url=url,
+        )
+        print(f"submitted {run_id}")
+
+        lines = list(ServiceClient(url).watch_lines(run_id))
+        seqs = [event_from_json(line).seq for line in lines]
+        if seqs != list(range(1, len(seqs) + 1)):
+            raise SystemExit(f"stream has seq gaps: {seqs[:20]}...")
+        # every job (shards + merge) emits at least scheduled/started/
+        # finished, so the stream must carry >= 3 * (SHARDS + 1) events
+        floor = 3 * (SHARDS + 1)
+        if len(lines) < floor:
+            raise SystemExit(f"only {len(lines)} events (need >= {floor})")
+        print(f"streamed {len(lines)} events, gap-free")
+
+        status = api.status(run_id, url=url)
+        if status["state"] != "done":
+            raise SystemExit(f"run ended {status['state']}: {status['error']}")
+
+        sidecar = os.path.join(store + ".events", f"{run_id}.jsonl")
+        with open(sidecar, encoding="utf-8") as handle:
+            recorded = [line.rstrip("\n") for line in handle if line.strip()]
+        if lines != recorded:
+            raise SystemExit("streamed frames differ from sidecar lines")
+        print("stream is bit-exact against the sidecar")
+
+        page = ServiceClient(url).points(run_id, offset=0, limit=1000)
+        if page["count"] != 1000 or page["done"]:
+            raise SystemExit(f"bad points page: {page['count']}, {page['done']}")
+        print("points paging ok")
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise SystemExit("server did not shut down on SIGINT")
+
+    trace = os.path.join(trace_dir, f"{run_id}.trace.json")
+    if not os.path.exists(trace):
+        raise SystemExit(f"missing per-run trace {trace}")
+    if process.returncode != 0:
+        raise SystemExit(f"server exited {process.returncode}")
+    print("clean shutdown; smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

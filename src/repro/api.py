@@ -1,0 +1,240 @@
+"""``repro.api`` — the stable high-level facade.
+
+One module, a handful of verbs, coherent keywords.  Everything the
+library can do from a script goes through here with the same four
+spellings everywhere they apply:
+
+* ``store=`` — path of the persistent result store,
+* ``backend=`` — its format (``"jsonl"`` / ``"sqlite"`` / ``None`` to
+  auto-resolve),
+* ``jobs=`` — worker processes,
+* ``telemetry=`` — ``False`` disables collection for the call
+  (equivalent to ``REPRO_TELEMETRY=off``), ``None`` leaves the
+  environment's choice alone.
+
+The facade is a *compatibility contract*: signatures here only grow,
+never break, while the underlying modules stay free to refactor
+(their richer keyword surfaces remain available for power users).
+Importing the deep paths keeps working; the ad-hoc top-level re-exports
+``repro.run_sharded_sweep`` / ``repro.sharded_sweep_campaign`` are
+deprecated in favour of :func:`sweep` / :func:`sweep_campaign` and now
+warn.
+
+>>> from repro import api
+>>> result = api.run_experiment("table1")
+>>> outcome = api.sweep("demo", "pkg.mod:fn", "x", [1.0, 2.0],
+...                     store="results.jsonl", jobs=4)
+>>> run_id = api.submit(spec, url="http://127.0.0.1:8321")
+>>> for event in api.watch(run_id, url="http://127.0.0.1:8321"):
+...     print(event.kind, event.job_id)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from .runner.campaign import (
+    Campaign,
+    CampaignResult,
+    registry_campaign,
+    run_campaign as _run_campaign,
+)
+from .runner.events import Event
+from .runner.monitor import ProgressMonitor
+from .runner.sharding import (
+    SweepColumns,
+    collect_arrays,
+    collect_points,
+    run_sharded_sweep as _run_sharded_sweep,
+    sharded_sweep_campaign,
+)
+from .runner.store import ResultStore
+from .telemetry import TELEMETRY_ENV_VAR
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "ProgressMonitor",
+    "ResultStore",
+    "SweepColumns",
+    "cancel",
+    "collect_arrays",
+    "collect_points",
+    "open_store",
+    "registry_campaign",
+    "run_campaign",
+    "run_experiment",
+    "serve",
+    "status",
+    "submit",
+    "sweep",
+    "sweep_campaign",
+    "watch",
+]
+
+#: The stable alias of the sweep-campaign builder.
+sweep_campaign = sharded_sweep_campaign
+
+
+@contextlib.contextmanager
+def _telemetry_override(telemetry: bool | None) -> Iterator[None]:
+    """Temporarily force telemetry on/off for one facade call."""
+    if telemetry is None:
+        yield
+        return
+    previous = os.environ.get(TELEMETRY_ENV_VAR)
+    os.environ[TELEMETRY_ENV_VAR] = "on" if telemetry else "off"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[TELEMETRY_ENV_VAR]
+        else:
+            os.environ[TELEMETRY_ENV_VAR] = previous
+
+
+def open_store(
+    store: str | os.PathLike[str], *, backend: str | None = None
+) -> ResultStore:
+    """Open (creating on first append) a persistent result store."""
+    return ResultStore(store, backend=backend)
+
+
+def run_experiment(experiment_id: str, **overrides: Any) -> Any:
+    """Run one registry experiment; returns its ``ExperimentResult``."""
+    from .experiments import run_experiment as _run
+
+    return _run(experiment_id, **overrides)
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    store: str | os.PathLike[str] | None = None,
+    backend: str | None = None,
+    jobs: int = 1,
+    telemetry: bool | None = None,
+    **kwargs: Any,
+) -> CampaignResult:
+    """Execute a campaign (facade spelling of the engine keywords).
+
+    Extra keyword arguments pass straight through to
+    :func:`repro.runner.campaign.run_campaign` (``monitor=``,
+    ``strict=``, ``cache_preload=``, ``bus=``, ``cancel=``, ...).
+    """
+    with _telemetry_override(telemetry):
+        return _run_campaign(
+            campaign,
+            jobs=jobs,
+            store_path=os.fspath(store) if store is not None else None,
+            store_backend=backend,
+            **kwargs,
+        )
+
+
+def sweep(
+    name: str,
+    target: str,
+    parameter: str,
+    values: Sequence[Any] | Mapping[str, Any],
+    *,
+    store: str | os.PathLike[str],
+    backend: str | None = None,
+    jobs: int = 1,
+    shards: int = 8,
+    telemetry: bool | None = None,
+    **kwargs: Any,
+) -> CampaignResult:
+    """Run one sharded parameter sweep against a persistent store.
+
+    ``values`` is an explicit grid or a descriptor mapping
+    (:func:`repro.runner.sharding.grid_descriptor`).  Extra keywords
+    pass through to :func:`repro.runner.sharding.run_sharded_sweep`
+    (``common=``, ``codec=``, ``flush_chunk=``, ``monitor=``, ...).
+    """
+    with _telemetry_override(telemetry):
+        return _run_sharded_sweep(
+            name,
+            target,
+            parameter,
+            values,
+            store_path=os.fspath(store),
+            store_backend=backend,
+            jobs=jobs,
+            shards=shards,
+            **kwargs,
+        )
+
+
+# -- campaign service ------------------------------------------------------
+
+
+def serve(
+    store: str | os.PathLike[str],
+    *,
+    backend: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    **kwargs: Any,
+) -> Any:
+    """Start a campaign service bound to a store; returns the server.
+
+    The returned :class:`~repro.service.server.CampaignServer` is
+    already listening (``server.url``); it is also a context manager —
+    ``with api.serve("results.jsonl") as server: ...`` stops it on
+    exit.
+    """
+    from .service import CampaignServer
+
+    return CampaignServer(
+        os.fspath(store),
+        host=host,
+        port=port,
+        store_backend=backend,
+        jobs=jobs,
+        **kwargs,
+    ).start()
+
+
+def _client(url: str) -> Any:
+    from .service import ServiceClient
+
+    return ServiceClient(url)
+
+
+def submit(spec: Mapping[str, Any], *, url: str) -> str:
+    """Submit a campaign/sweep spec to a running service; run id back."""
+    return _client(url).submit(dict(spec))
+
+
+def status(run_id: str, *, url: str) -> dict[str, Any]:
+    """One run's status document from a running service."""
+    return _client(url).status(run_id)
+
+
+def cancel(run_id: str, *, url: str) -> dict[str, Any]:
+    """Cooperatively cancel a run on a running service."""
+    return _client(url).cancel(run_id)
+
+
+def watch(
+    run_id: str,
+    *,
+    url: str,
+    after_seq: int = 0,
+    on_event: Callable[[Event], None] | None = None,
+) -> Iterator[Event]:
+    """Stream a run's events (replay + live) from a running service.
+
+    Yields each :class:`~repro.runner.events.Event`; ``on_event`` (a
+    :class:`~repro.runner.monitor.ProgressMonitor`, say) additionally
+    receives every event as it arrives, which is how the CLI's
+    ``--watch`` drives the same TUI as local runs.
+    """
+    for event in _client(url).watch(run_id, after_seq):
+        if on_event is not None:
+            on_event(event)
+        yield event

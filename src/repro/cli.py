@@ -13,6 +13,12 @@ Subcommands
   --points 1000000 --shards 16 --jobs 4 --store sweep.sqlite`` — run
   one importable batch target over a grid as a sharded, resumable,
   memory-bounded campaign,
+* ``repro serve --store results.jsonl --port 8321`` — run the
+  long-lived campaign service: submit specs over HTTP, stream live
+  runs over WebSocket, page merged sweep points, cancel with DELETE,
+* ``repro campaign --watch http://host:8321`` — submit the same batch
+  to a running service instead and stream its progress into the local
+  TUI (``--run ID`` attaches to an existing run),
 * ``repro store info|compact|migrate`` — inspect, compact (latest
   record per key), or convert a result store between the JSONL and
   SQLite backends (``info --timings`` adds backend call latencies),
@@ -47,22 +53,83 @@ from .streaming.pipeline import simulate_always_on, simulate_streaming
 from .streaming.stats import compare_with_model
 
 
-def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
-    """The shared ``--trace`` / ``--telemetry`` run options."""
-    parser.add_argument(
-        "--trace", metavar="FILE", default=None,
-        help=(
-            "write a Chrome trace-event file for this run "
-            "(default: $REPRO_TRACE)"
-        ),
-    )
-    parser.add_argument(
-        "--telemetry", metavar="FILE", default=None, dest="telemetry_file",
-        help=(
-            "write a JSONL telemetry sidecar for this run "
-            "(default: $REPRO_TELEMETRY when it names a path)"
-        ),
-    )
+def _jobs_default() -> int:
+    """``--jobs`` default: ``$REPRO_JOBS``, else serial."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _add_run_options(
+    parser: argparse.ArgumentParser,
+    *,
+    jobs: bool = True,
+    store: bool = False,
+    store_required: bool = False,
+    codec: bool = False,
+    telemetry: bool = True,
+    trace_help: str | None = None,
+) -> None:
+    """The one shared option group every run-shaped command uses.
+
+    All commands spell these flags identically, and each has an
+    environment fallback so services and CI set them once:
+    ``--jobs``/``$REPRO_JOBS``, ``--store``/``$REPRO_STORE``,
+    ``--store-backend``/``$REPRO_STORE_BACKEND``,
+    ``--codec``/``$REPRO_POINT_CODEC``, ``--trace``/``$REPRO_TRACE``,
+    ``--telemetry``/``$REPRO_TELEMETRY``.
+    """
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=_jobs_default(), metavar="N",
+            help=(
+                "worker processes (default: $REPRO_JOBS, else 1 = serial)"
+            ),
+        )
+    if store:
+        env_store = os.environ.get("REPRO_STORE") or None
+        parser.add_argument(
+            "--store", metavar="FILE", default=env_store,
+            required=store_required and env_store is None,
+            help=(
+                "persistent result store (default: $REPRO_STORE)"
+                + ("" if store_required else "; enables cached re-runs")
+            ),
+        )
+        parser.add_argument(
+            "--store-backend", choices=("jsonl", "sqlite"), default=None,
+            help=(
+                "persistence backend for --store (default: auto-detect "
+                "existing format, then $REPRO_STORE_BACKEND, then the "
+                "path extension)"
+            ),
+        )
+    if codec:
+        parser.add_argument(
+            "--codec", choices=("columnar", "json"), default=None,
+            help=(
+                "point payload codec: 'columnar' packs results as binary "
+                "column blocks, 'json' keeps one JSON record per point "
+                "(default: $REPRO_POINT_CODEC, then columnar)"
+            ),
+        )
+    if telemetry:
+        parser.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help=trace_help or (
+                "write a Chrome trace-event file for this run "
+                "(default: $REPRO_TRACE)"
+            ),
+        )
+        parser.add_argument(
+            "--telemetry", metavar="FILE", default=None,
+            dest="telemetry_file",
+            help=(
+                "write a JSONL telemetry sidecar for this run "
+                "(default: $REPRO_TELEMETRY when it names a path)"
+            ),
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -85,11 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE", default=None,
         help="also write the rendered results to FILE",
     )
-    run_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes (default 1 = serial)",
-    )
-    _add_telemetry_arguments(run_parser)
+    _add_run_options(run_parser)
 
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -104,22 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*", metavar="EXPERIMENT", default=[],
         help="experiment ids (default: every registered experiment)",
     )
-    campaign_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes (default 1 = serial)",
-    )
-    campaign_parser.add_argument(
-        "--store", metavar="FILE", default=None,
-        help="persist results to a result store (enables cached re-runs)",
-    )
-    campaign_parser.add_argument(
-        "--store-backend", choices=("jsonl", "sqlite"), default=None,
-        help=(
-            "persistence backend for --store (default: auto-detect "
-            "existing format, then $REPRO_STORE_BACKEND, then the "
-            "path extension)"
-        ),
-    )
+    _add_run_options(campaign_parser, store=True)
     campaign_parser.add_argument(
         "--retries", type=int, default=0, metavar="R",
         help="retry budget per failing job (default 0)",
@@ -128,7 +176,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-job progress lines",
     )
-    _add_telemetry_arguments(campaign_parser)
+    campaign_parser.add_argument(
+        "--watch", metavar="URL", default=None,
+        help=(
+            "submit to a running campaign service at URL and stream "
+            "its live progress instead of executing locally"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--run", metavar="RUN_ID", default=None, dest="watch_run",
+        help=(
+            "with --watch: attach to an existing service run instead "
+            "of submitting a new one"
+        ),
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -174,25 +235,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=8, metavar="N",
         help="contiguous grid shards, one cached job each (default 8)",
     )
-    sweep_parser.add_argument(
-        "--codec", choices=("columnar", "json"), default=None,
-        help=(
-            "point payload codec: 'columnar' packs results as binary "
-            "column blocks, 'json' keeps one JSON record per point "
-            "(default: $REPRO_POINT_CODEC, then columnar)"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes (default 1 = serial)",
-    )
-    sweep_parser.add_argument(
-        "--store", required=True, metavar="FILE",
-        help="result store holding shard + per-point records",
-    )
-    sweep_parser.add_argument(
-        "--store-backend", choices=("jsonl", "sqlite"), default=None,
-        help="persistence backend for --store (default: auto-detect)",
+    _add_run_options(
+        sweep_parser, store=True, store_required=True, codec=True
     )
     sweep_parser.add_argument(
         "--name", default="sweep", metavar="NAME",
@@ -202,7 +246,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-job progress lines",
     )
-    _add_telemetry_arguments(sweep_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived campaign service (HTTP + WebSocket)",
+        description=(
+            "Serve campaigns over HTTP: POST specs to /campaigns, "
+            "watch live runs over WebSocket at /campaigns/{id}/events, "
+            "page merged sweep points, and cancel with DELETE.  The "
+            "store is the source of truth — restarting the server "
+            "re-lists every finished run."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="listen address (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, metavar="PORT",
+        help="listen port; 0 binds an ephemeral one (default 8321)",
+    )
+    _add_run_options(
+        serve_parser,
+        store=True,
+        store_required=True,
+        telemetry=False,
+    )
+    serve_parser.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help=(
+            "directory of per-run event sidecars "
+            "(default: <store> + '.events')"
+        ),
+    )
+    serve_parser.add_argument(
+        "--trace", metavar="DIR", default=None, dest="trace_dir",
+        help=(
+            "export a Chrome trace per finished run into DIR "
+            "(default: $REPRO_TRACE_DIR)"
+        ),
+    )
 
     store_parser = subparsers.add_parser(
         "store",
@@ -483,9 +566,57 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign_watch(args: argparse.Namespace) -> int:
+    """Submit to (or attach to) a campaign service and stream its TUI.
+
+    The remote run feeds the same :class:`ProgressMonitor` a local
+    ``repro campaign`` uses — the service's events subclass
+    ``JobEvent``, so the TUI cannot tell the difference.
+    """
+    from . import api
+    from .runner import ProgressMonitor
+
+    url = args.watch
+    if args.watch_run is not None:
+        run_id = args.watch_run
+        print(f"attaching to run {run_id} at {url}")
+    else:
+        ids = _expand_experiment_ids(args.experiments)
+        spec = {
+            "kind": "campaign",
+            "name": "cli-campaign",
+            "jobs": args.jobs,
+            "specs": [
+                {
+                    "kind": "experiment",
+                    "experiment_id": experiment_id,
+                    "retries": args.retries,
+                }
+                for experiment_id in ids
+            ],
+        }
+        run_id = api.submit(spec, url=url)
+        print(f"submitted run {run_id} to {url}")
+    monitor = None if args.quiet else ProgressMonitor(stream=sys.stdout)
+    for _ in api.watch(run_id, url=url, on_event=monitor):
+        pass
+    status = api.status(run_id, url=url)
+    state = status.get("state", "?")
+    print(f"run {run_id}: {state}")
+    if status.get("error"):
+        print(f"  {status['error']}")
+    return 0 if state == "done" else 1
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
     from .runner import ProgressMonitor, registry_campaign, run_campaign
 
+    if args.watch is not None:
+        return _command_campaign_watch(args)
+    if args.watch_run is not None:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError("--run needs --watch URL")
     ids = _expand_experiment_ids(args.experiments)
     campaign = registry_campaign(ids, retries=args.retries)
     monitor = (
@@ -611,6 +742,29 @@ def _command_sweep(args: argparse.Namespace) -> int:
             },
         )
     return 0 if result.ok else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import CampaignServer, serve_forever
+
+    trace_dir = args.trace_dir or os.environ.get("REPRO_TRACE_DIR") or None
+    server = CampaignServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        store_backend=args.store_backend,
+        jobs=args.jobs,
+        runs_dir=args.runs_dir,
+        trace_dir=trace_dir,
+    ).start()
+    print(f"repro service listening on {server.url}")
+    print(f"  store     : {args.store}")
+    print(f"  runs dir  : {server.runs_dir}")
+    if trace_dir:
+        print(f"  trace dir : {trace_dir}")
+    sys.stdout.flush()
+    serve_forever(server)
+    return 0
 
 
 def _command_store(args: argparse.Namespace) -> int:
@@ -839,6 +993,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_campaign(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "store":
             return _command_store(args)
         if args.command == "trace":

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..analysis.tables import Table
 from ..errors import CampaignError, ConfigurationError
@@ -287,6 +287,7 @@ def run_campaign(
     strict: bool = False,
     run_id: str = "",
     bus: EventBus | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> CampaignResult:
     """Execute a campaign and return its :class:`CampaignResult`.
 
@@ -321,6 +322,12 @@ def run_campaign(
         :func:`~repro.runner.queue.run_jobs` — ``run_id`` stamps every
         published :class:`~repro.runner.events.Event`; an explicit
         ``bus`` shares one stamped stream across runs.
+    cancel:
+        Cooperative cancellation probe polled by the scheduler (pass a
+        ``threading.Event``'s ``is_set``); once it fires, every job not
+        yet started resolves as skipped with error ``"cancelled"``.
+        This is the hook the campaign service's ``DELETE`` endpoint
+        pulls.
     """
     if store_path is not None and store is not None:
         raise ConfigurationError("pass either store_path or store, not both")
@@ -361,6 +368,7 @@ def run_campaign(
             observers=all_observers,
             run_id=run_id,
             bus=bus,
+            cancel=cancel,
         )
         outcome = CampaignResult(
             name=campaign.name,

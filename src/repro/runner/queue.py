@@ -75,6 +75,12 @@ __all__ = [
 
 Observer = Callable[["JobEvent"], None]
 Executor = Callable[[JobSpec], Any]
+#: Cooperative cancellation probe: return True to stop scheduling.
+#: A ``threading.Event``'s bound ``is_set`` method fits directly.
+CancelCheck = Callable[[], bool]
+
+#: Error text stamped on jobs skipped by a cancellation request.
+CANCELLED_ERROR = "cancelled"
 
 
 def topological_order(specs: Sequence[JobSpec]) -> list[JobSpec]:
@@ -198,6 +204,7 @@ class _Run:
         observers: Sequence[Observer],
         run_id: str = "",
         bus: EventBus | None = None,
+        cancel: CancelCheck | None = None,
     ):
         self.order = topological_order(specs)
         self.by_id = {spec.job_id: spec for spec in self.order}
@@ -208,6 +215,7 @@ class _Run:
             for dep in spec.after:
                 self.dependents[dep].append(spec.job_id)
         self.cache = cache
+        self.cancel = cancel
         self.bus = bus if bus is not None else EventBus(run_id=run_id)
         for observer in observers:
             self.bus.subscribe(observer)
@@ -262,6 +270,21 @@ class _Run:
             self.done_by_key[result.key] = result
         if self.cache is not None and result.status == STATUS_OK:
             self.cache.put(self.by_id[result.job_id], result)
+
+    def cancelled(self) -> bool:
+        """Whether the cancellation probe (if any) has fired."""
+        return self.cancel is not None and bool(self.cancel())
+
+    def skip_cancelled(self, spec: JobSpec) -> None:
+        """Resolve one not-yet-started spec as skipped by cancellation."""
+        self.resolve(
+            JobResult(
+                job_id=spec.job_id,
+                key=spec.key,
+                status=STATUS_SKIPPED,
+                error=CANCELLED_ERROR,
+            )
+        )
 
     def deps_resolved(self, spec: JobSpec) -> bool:
         return all(dep in self.results for dep in spec.after)
@@ -318,6 +341,7 @@ def run_jobs(
     executor: Executor = execute,
     run_id: str = "",
     bus: EventBus | None = None,
+    cancel: CancelCheck | None = None,
 ) -> dict[str, JobResult]:
     """Execute a batch of job specs; return results keyed by job id.
 
@@ -344,11 +368,20 @@ def run_jobs(
         An existing :class:`~repro.runner.events.EventBus` to publish
         on — lets a caller share one stamped stream (and its sequence
         numbers) across several ``run_jobs`` invocations.
+    cancel:
+        Cooperative cancellation probe, polled between scheduling
+        decisions (pass a ``threading.Event``'s ``is_set``).  Once it
+        returns True no further job starts: every not-yet-started spec
+        resolves as skipped with error ``"cancelled"`` (emitting its
+        terminal event); attempts already executing finish normally and
+        keep their results.
     """
     spec_list = list(specs)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    run = _Run(spec_list, cache, observers, run_id=run_id, bus=bus)
+    run = _Run(
+        spec_list, cache, observers, run_id=run_id, bus=bus, cancel=cancel
+    )
     if not run.order:
         return {}
     if jobs == 1:
@@ -402,6 +435,9 @@ def _execute_with_retries(
 
 def _run_serial(run: _Run, executor: Executor) -> None:
     for spec in run.order:
+        if run.cancelled():
+            run.skip_cancelled(spec)
+            continue
         failed = run.failed_dep(spec)
         if failed is not None:
             run.skip(spec, failed)
@@ -427,6 +463,11 @@ def _run_pool(run: _Run, jobs: int, executor: Executor) -> None:
     attempts: dict[str, int] = {}
     suspects: list[str] = []
     while pending:
+        if run.cancelled():
+            for spec in pending:
+                if spec.job_id not in run.results:
+                    run.skip_cancelled(spec)
+            return
         solo = next(
             (spec for spec in pending if spec.job_id in suspects), None
         )
@@ -517,6 +558,14 @@ def _batch_round(
 
     def submit_ready(pool: ProcessPoolExecutor) -> None:
         nonlocal pending
+        if run.cancelled():
+            # Stop scheduling: everything not yet started resolves as
+            # skipped; in-flight futures finish and resolve normally.
+            for spec in pending:
+                if spec.job_id not in run.results:
+                    run.skip_cancelled(spec)
+            pending = []
+            return
         inflight_keys = {spec.key for spec in in_flight.values()}
         progress = True
         while progress:

@@ -797,6 +797,8 @@ def run_sharded_sweep(
     strict: bool = True,
     observers: Sequence[Any] = (),
     run_id: str = "",
+    bus: Any = None,
+    cancel: Any = None,
 ):
     """Build and execute a sharded sweep; return its ``CampaignResult``.
 
@@ -834,6 +836,8 @@ def run_sharded_sweep(
         monitor=monitor,
         strict=strict,
         run_id=run_id,
+        bus=bus,
+        cancel=cancel,
     )
 
 

@@ -1,0 +1,49 @@
+"""Campaign service: a long-running experiment server + client.
+
+The service layer the ROADMAP's event protocol was built for: a
+stdlib-only HTTP/1.1 + WebSocket daemon (:class:`CampaignServer`) that
+accepts campaign/sweep submissions, executes them on the existing
+scheduler against a persistent result store, and streams each run's
+``repro.event/1`` envelopes live to any number of WebSocket watchers
+(:class:`~repro.service.hub.EventHub`), with a blocking
+:class:`ServiceClient` to drive it all from scripts, tests, and the
+``repro campaign --watch`` TUI.
+"""
+
+from .client import ProtocolHandshakeError, ServiceClient, ServiceError
+from .hub import DEFAULT_QUEUE_SIZE, EventHub, Subscription
+from .protocol import ProtocolError
+from .server import (
+    RUN_KEY_PREFIX,
+    RUN_SCHEMA,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_INTERRUPTED,
+    STATE_PENDING,
+    STATE_RUNNING,
+    CampaignServer,
+    build_campaign,
+    serve_forever,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_SIZE",
+    "RUN_KEY_PREFIX",
+    "RUN_SCHEMA",
+    "STATE_CANCELLED",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_INTERRUPTED",
+    "STATE_PENDING",
+    "STATE_RUNNING",
+    "CampaignServer",
+    "EventHub",
+    "ProtocolError",
+    "ProtocolHandshakeError",
+    "ServiceClient",
+    "ServiceError",
+    "Subscription",
+    "build_campaign",
+    "serve_forever",
+]

@@ -1,0 +1,225 @@
+"""Blocking client for the campaign service (stdlib only).
+
+:class:`ServiceClient` wraps the REST surface with
+:mod:`http.client` and the WebSocket event stream with a raw socket
+plus the shared sans-IO :class:`~repro.service.protocol.FrameParser`
+(client frames masked, per RFC 6455 §5.3).  :meth:`watch` yields
+decoded :class:`~repro.runner.events.Event` objects, so anything that
+consumes a local bus — the CLI's
+:class:`~repro.runner.monitor.ProgressMonitor` included — consumes a
+remote run unchanged.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+from ..runner.events import Event, event_from_json
+from . import protocol
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One campaign server, addressed by base URL.
+
+    >>> client = ServiceClient("http://127.0.0.1:8321")
+    >>> run_id = client.submit({"kind": "sweep", "name": "demo", ...})
+    >>> for event in client.watch(run_id):
+    ...     print(event.kind, event.job_id)
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ReproError(
+                f"unsupported scheme {parts.scheme!r} (http only)"
+            )
+        if not parts.hostname:
+            raise ReproError(f"base URL {base_url!r} has no host")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # -- REST --------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Any = None
+    ) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                data = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, str(data.get("error", raw[:200]))
+                )
+            return data
+        finally:
+            connection.close()
+
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict[str, Any]) -> str:
+        """``POST /campaigns``; returns the new run id."""
+        return str(self._request("POST", "/campaigns", body=spec)["run_id"])
+
+    def runs(self) -> list[dict[str, Any]]:
+        """``GET /campaigns``."""
+        return list(self._request("GET", "/campaigns")["runs"])
+
+    def status(self, run_id: str) -> dict[str, Any]:
+        """``GET /campaigns/{id}``."""
+        return self._request("GET", f"/campaigns/{run_id}")
+
+    def points(
+        self, run_id: str, offset: int = 0, limit: int | None = None
+    ) -> dict[str, Any]:
+        """``GET /campaigns/{id}/points`` (one page)."""
+        query = f"offset={offset}"
+        if limit is not None:
+            query += f"&limit={limit}"
+        return self._request("GET", f"/campaigns/{run_id}/points?{query}")
+
+    def cancel(self, run_id: str) -> dict[str, Any]:
+        """``DELETE /campaigns/{id}`` (cooperative)."""
+        return self._request("DELETE", f"/campaigns/{run_id}")
+
+    # -- WebSocket ---------------------------------------------------------
+
+    def watch(
+        self,
+        run_id: str,
+        after_seq: int = 0,
+        *,
+        throttle_s: float = 0.0,
+        timeout: float | None = None,
+    ) -> Iterator[Event]:
+        """Stream a run's events until its close frame.
+
+        Yields every :class:`~repro.runner.events.Event` with
+        ``seq > after_seq`` — the replayed backlog first, then live
+        events — exactly as the server's sidecar records them.
+        ``throttle_s`` is the documented slow-client test hook (the
+        *server* sleeps that long after each frame).
+        """
+        for line in self.watch_lines(
+            run_id, after_seq, throttle_s=throttle_s, timeout=timeout
+        ):
+            yield event_from_json(line)
+
+    def watch_lines(
+        self,
+        run_id: str,
+        after_seq: int = 0,
+        *,
+        throttle_s: float = 0.0,
+        timeout: float | None = None,
+    ) -> Iterator[str]:
+        """Like :meth:`watch` but yields the raw canonical JSON lines.
+
+        This is the bit-exactness surface: each yielded string is one
+        WS text-frame payload, byte-identical to the corresponding
+        sidecar line on the server.
+        """
+        target = f"/campaigns/{run_id}/events?after_seq={after_seq}"
+        if throttle_s > 0:
+            target += f"&throttle_s={throttle_s}"
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout or self.timeout
+        )
+        try:
+            key = protocol.new_websocket_key()
+            sock.sendall(
+                protocol.handshake_request(self.host, self.port, target, key)
+            )
+            tail = self._check_handshake(sock, key)
+            parser = protocol.FrameParser()
+            closed = False
+            data = tail
+            while not closed:
+                if not data:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                frames = parser.feed(data)
+                data = b""
+                for frame in frames:
+                    if frame.opcode == protocol.OP_TEXT:
+                        yield frame.text
+                    elif frame.opcode == protocol.OP_PING:
+                        sock.sendall(
+                            protocol.encode_frame(
+                                protocol.OP_PONG, frame.payload, mask=True
+                            )
+                        )
+                    elif frame.opcode == protocol.OP_CLOSE:
+                        sock.sendall(protocol.close_frame(mask=True))
+                        closed = True
+                        break
+        finally:
+            sock.close()
+
+    def _check_handshake(self, sock: socket.socket, key: str) -> bytes:
+        """Read and validate the 101 upgrade response head.
+
+        Returns any stream bytes that arrived in the same segment as
+        the handshake head (already frame data, never discarded).
+        """
+        head = b""
+        while b"\r\n\r\n" not in head:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise ProtocolHandshakeError("connection closed mid-handshake")
+            head += chunk
+            if len(head) > protocol.MAX_HEADER_BYTES:
+                raise ProtocolHandshakeError("oversized handshake response")
+        header, _, rest = head.partition(b"\r\n\r\n")
+        lines = header.decode("latin-1").split("\r\n")
+        status = lines[0].split(" ")
+        if len(status) < 2 or status[1] != "101":
+            body = rest.decode("utf-8", "replace")
+            try:
+                message = str(json.loads(body).get("error", body))
+            except ValueError:
+                message = lines[0]
+            raise ServiceError(
+                int(status[1]) if status[1].isdigit() else 500, message
+            )
+        accept = ""
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != protocol.websocket_accept(key):
+            raise ProtocolHandshakeError("bad Sec-WebSocket-Accept")
+        return rest
+
+
+class ProtocolHandshakeError(ReproError):
+    """The WebSocket upgrade did not complete correctly."""

@@ -1,0 +1,201 @@
+"""WebSocket fan-out hub: one event stream in, N bounded clients out.
+
+The hub is the service-side twin of the runner's
+:class:`~repro.runner.events.EventBus`: the bus stamps and fans events
+out *inside* one run; the hub re-fans each run's stamped stream out to
+any number of remote subscribers, each behind its own bounded
+:class:`asyncio.Queue`.
+
+Design points (the ``job_service``/``ws_hub`` split the ROADMAP names):
+
+* **replayable** — every channel keeps its run's full ordered event
+  log (events are per *job*, not per grid point, so a sharded
+  million-point sweep logs a few hundred envelopes).  A subscriber
+  joining mid-run, or reconnecting with ``?after_seq=N``, replays the
+  gap from the log and then rides the live queue; snapshot + register
+  happen atomically in the loop thread, so the spliced stream is
+  seq-gap-free and duplicate-free.
+* **bounded** — each client's queue has a hard size.  A slow client
+  never backpressures the run or its peers: when its queue is full the
+  event is dropped *for that client only* and counted
+  (``service.ws.dropped``); the client can always recover the gap by
+  reconnecting with ``after_seq``.
+* **single-threaded** — every method must run in the owning event
+  loop's thread.  Worker threads publish through
+  ``loop.call_soon_threadsafe(hub.dispatch, ...)`` (see the server),
+  which serialises all mutations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..runner.events import Event
+from ..telemetry import metrics
+
+#: Default per-client queue bound (events, not bytes).
+DEFAULT_QUEUE_SIZE = 256
+
+#: Queue sentinel meaning "the run finished; no more events".
+STREAM_END = None
+
+
+@dataclass
+class Subscription:
+    """One client's view of a channel: backlog snapshot + live queue."""
+
+    run_id: str
+    client_id: int
+    #: Events already published with ``seq > after_seq``, in order.
+    backlog: list[Event]
+    #: Live queue (``None`` when the run had already finished — the
+    #: backlog is the whole remaining stream).
+    queue: "asyncio.Queue[Any] | None"
+
+
+@dataclass
+class _Channel:
+    """Hub-side state of one run's stream."""
+
+    run_id: str
+    events: list[Event] = field(default_factory=list)
+    queues: dict[int, "asyncio.Queue[Any]"] = field(default_factory=dict)
+    dropped: dict[int, int] = field(default_factory=dict)
+    closed: bool = False
+
+    @property
+    def last_seq(self) -> int:
+        return self.events[-1].seq if self.events else 0
+
+
+class EventHub:
+    """Per-run channels with replay logs and bounded subscriber queues.
+
+    Not thread-safe by design: the owning server confines every call
+    to its event-loop thread (worker threads go through
+    ``call_soon_threadsafe``).
+    """
+
+    def __init__(self, *, queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.queue_size = queue_size
+        self._channels: dict[str, _Channel] = {}
+        self._next_client = 1
+        self._dropped_total = 0
+
+    # -- publisher side ----------------------------------------------------
+
+    def open(self, run_id: str) -> None:
+        """Create the channel for a run (idempotent)."""
+        self._channels.setdefault(run_id, _Channel(run_id))
+
+    def dispatch(self, run_id: str, event: Event) -> None:
+        """Append one event to the log and offer it to every queue.
+
+        A full queue drops the event for that client only, bumping the
+        drop accounting; everyone else (and the log) still gets it.
+        """
+        channel = self._channels.get(run_id)
+        if channel is None or channel.closed:
+            return
+        channel.events.append(event)
+        for client_id, queue in channel.queues.items():
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                channel.dropped[client_id] = (
+                    channel.dropped.get(client_id, 0) + 1
+                )
+                self._dropped_total += 1
+                metrics().count("service.ws.dropped")
+
+    def finish(self, run_id: str) -> None:
+        """Mark a run's stream complete and wake every subscriber.
+
+        The :data:`STREAM_END` sentinel must reach each queue even when
+        it is full — one stale event is evicted (and counted as
+        dropped) to make room, so no client can hang on a finished run.
+        """
+        channel = self._channels.get(run_id)
+        if channel is None or channel.closed:
+            return
+        channel.closed = True
+        for client_id, queue in channel.queues.items():
+            try:
+                queue.put_nowait(STREAM_END)
+            except asyncio.QueueFull:
+                queue.get_nowait()
+                channel.dropped[client_id] = (
+                    channel.dropped.get(client_id, 0) + 1
+                )
+                self._dropped_total += 1
+                metrics().count("service.ws.dropped")
+                queue.put_nowait(STREAM_END)
+
+    def discard(self, run_id: str) -> None:
+        """Drop a channel entirely (only for runs nobody can watch)."""
+        self._channels.pop(run_id, None)
+
+    # -- subscriber side ---------------------------------------------------
+
+    def subscribe(
+        self,
+        run_id: str,
+        after_seq: int = 0,
+        queue_size: int | None = None,
+    ) -> Subscription | None:
+        """Join a channel; ``None`` when the hub holds no such run.
+
+        Atomic snapshot-then-register (no awaits): events published
+        after this call land in the returned queue, events up to it are
+        in the backlog, so backlog + queue replays the stream exactly
+        once, in order.
+        """
+        channel = self._channels.get(run_id)
+        if channel is None:
+            return None
+        backlog = [e for e in channel.events if e.seq > after_seq]
+        client_id = self._next_client
+        self._next_client += 1
+        if channel.closed:
+            return Subscription(run_id, client_id, backlog, None)
+        queue: asyncio.Queue[Any] = asyncio.Queue(
+            maxsize=queue_size or self.queue_size
+        )
+        channel.queues[client_id] = queue
+        metrics().gauge("service.ws.clients", self.client_count())
+        return Subscription(run_id, client_id, backlog, queue)
+
+    def unsubscribe(self, run_id: str, client_id: int) -> None:
+        channel = self._channels.get(run_id)
+        if channel is not None:
+            channel.queues.pop(client_id, None)
+        metrics().gauge("service.ws.clients", self.client_count())
+
+    # -- introspection -----------------------------------------------------
+
+    def client_count(self) -> int:
+        """Currently connected (queue-holding) clients across runs."""
+        return sum(len(c.queues) for c in self._channels.values())
+
+    def dropped_total(self) -> int:
+        """Events dropped to slow clients since the hub was created."""
+        return self._dropped_total
+
+    def last_seq(self, run_id: str) -> int:
+        channel = self._channels.get(run_id)
+        return channel.last_seq if channel is not None else 0
+
+    def channels(self) -> Iterator[str]:
+        return iter(self._channels)
+
+    def stats(self) -> dict[str, int]:
+        """Hub counters for ``/healthz`` and status endpoints."""
+        return {
+            "clients": self.client_count(),
+            "dropped": self._dropped_total,
+            "channels": len(self._channels),
+        }

@@ -1,0 +1,372 @@
+"""Wire protocol for the campaign service: HTTP/1.1 + RFC 6455 frames.
+
+The service is stdlib-only by contract (tier-1 CI must stay
+dependency-light), so both halves of the wire format are hand-rolled
+here and shared by the asyncio server and the blocking client:
+
+* a minimal **HTTP/1.1** request reader / response builder — enough
+  for the service's REST surface (one request per connection,
+  ``Connection: close``), with hard limits on header and body size so
+  a malformed peer cannot balloon memory;
+* the **RFC 6455 WebSocket** primitives — the handshake accept key,
+  frame encoding (server frames unmasked, client frames masked, 7/16/
+  64-bit payload lengths), and a sans-IO incremental
+  :class:`FrameParser` that both the asyncio server loop and the
+  blocking socket client feed raw bytes into.
+
+Nothing in this module knows about campaigns or events; it moves bytes.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import secrets
+import struct
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ReproError
+
+#: RFC 6455 §1.3 handshake GUID.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Frame opcodes this service speaks.
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Normal-closure status code sent when a run's stream ends.
+CLOSE_NORMAL = 1000
+
+#: Caps keeping one hostile/buggy peer from ballooning memory.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Reason phrases for the status codes the service actually sends.
+_REASONS = {
+    101: "Switching Protocols",
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(ReproError):
+    """A peer sent bytes this protocol cannot accept."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    target: str
+    headers: dict[str, str]
+    body: bytes = b""
+    #: Path with the query string stripped, e.g. ``/campaigns/r1/events``.
+    path: str = field(init=False)
+    #: Query parameters (last value wins).
+    query: dict[str, str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        parts = urlsplit(self.target)
+        self.path = parts.path or "/"
+        self.query = dict(parse_qsl(parts.query, keep_blank_values=True))
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_websocket(self) -> bool:
+        """Whether this request asks for a WebSocket upgrade."""
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+
+async def read_request(
+    read: Callable[[int], Awaitable[bytes]]
+) -> HttpRequest | None:
+    """Parse one request from an async byte reader.
+
+    ``read(n)`` must return at most ``n`` bytes (``b""`` at EOF) — an
+    ``asyncio.StreamReader.read`` bound method fits directly.  Returns
+    ``None`` on a clean EOF before any bytes (client closed an idle
+    connection); raises :class:`ProtocolError` on malformed or
+    oversized input.
+    """
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        if len(buffer) > MAX_HEADER_BYTES:
+            raise ProtocolError("request headers exceed size limit")
+        chunk = await read(4096)
+        if not chunk:
+            if not buffer:
+                return None
+            raise ProtocolError("connection closed mid-request")
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(
+            f"bad Content-Length {length_text!r}"
+        ) from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"unacceptable Content-Length {length}")
+    body = rest
+    while len(body) < length:
+        chunk = await read(min(65536, length - len(body)))
+        if not chunk:
+            raise ProtocolError("connection closed mid-body")
+        body += chunk
+    return HttpRequest(method, target, headers, body[:length])
+
+
+def response_bytes(
+    status: int,
+    body: Any = b"",
+    *,
+    content_type: str | None = None,
+    headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """Serialise one HTTP/1.1 response (``Connection: close``).
+
+    A ``dict``/``list`` body is rendered as sorted-key JSON; ``str``
+    bodies are UTF-8 text.  The service speaks one request per
+    connection, so every response closes.
+    """
+    if isinstance(body, (dict, list)):
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        content_type = content_type or "application/json"
+    elif isinstance(body, str):
+        payload = body.encode("utf-8")
+        content_type = content_type or "text/plain; charset=utf-8"
+    else:
+        payload = bytes(body)
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if content_type:
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(payload)}")
+    lines.append("Connection: close")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + payload
+
+
+def json_error(status: int, message: str) -> bytes:
+    """A JSON error response body in the service's standard shape."""
+    return response_bytes(status, {"error": message})
+
+
+# -- RFC 6455 --------------------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a handshake key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def handshake_response(key: str) -> bytes:
+    """The 101 response completing a WebSocket upgrade."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept(key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def handshake_request(
+    host: str, port: int, target: str, key: str
+) -> bytes:
+    """The client-side upgrade request for ``target``."""
+    return (
+        f"GET {target} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\n"
+        "Sec-WebSocket-Version: 13\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def new_websocket_key() -> str:
+    """A fresh random 16-byte handshake key, base64-encoded."""
+    return base64.b64encode(secrets.token_bytes(16)).decode("latin-1")
+
+
+def encode_frame(
+    opcode: int, payload: bytes, *, mask: bool = False
+) -> bytes:
+    """One final (FIN=1) WebSocket frame.
+
+    Servers send unmasked frames; clients MUST mask (RFC 6455 §5.3) —
+    pass ``mask=True`` from the client side.
+    """
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        masked = bytes(
+            byte ^ key[index % 4] for index, byte in enumerate(payload)
+        )
+        return bytes(head) + masked
+    return bytes(head) + payload
+
+
+def text_frame(text: str, *, mask: bool = False) -> bytes:
+    """A text frame carrying ``text``."""
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def close_frame(
+    code: int = CLOSE_NORMAL, reason: str = "", *, mask: bool = False
+) -> bytes:
+    """A close frame with a status code and optional reason."""
+    payload = struct.pack("!H", code) + reason.encode("utf-8")
+    return encode_frame(OP_CLOSE, payload, mask=mask)
+
+
+def close_code(payload: bytes) -> int | None:
+    """The status code carried by a close frame payload (if any)."""
+    if len(payload) >= 2:
+        return int(struct.unpack("!H", payload[:2])[0])
+    return None
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded WebSocket frame."""
+
+    opcode: int
+    payload: bytes
+
+    @property
+    def text(self) -> str:
+        return self.payload.decode("utf-8")
+
+
+class FrameParser:
+    """Incremental, sans-IO WebSocket frame decoder.
+
+    Feed raw bytes as they arrive from any transport; complete frames
+    come back in order.  Both endpoints of this service exchange
+    whole (FIN=1) frames only, so fragmented messages are rejected as
+    a protocol error rather than half-supported.
+    """
+
+    def __init__(self, *, max_payload: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_payload = max_payload
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb ``data``; return every frame it completed."""
+        self._buffer += data
+        frames: list[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Frame | None:
+        buffer = self._buffer
+        if len(buffer) < 2:
+            return None
+        first, second = buffer[0], buffer[1]
+        if not first & 0x80:
+            raise ProtocolError("fragmented frames are not supported")
+        if first & 0x70:
+            raise ProtocolError("reserved frame bits set")
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buffer) < offset + 2:
+                return None
+            length = struct.unpack_from("!H", buffer, offset)[0]
+            offset += 2
+        elif length == 127:
+            if len(buffer) < offset + 8:
+                return None
+            length = struct.unpack_from("!Q", buffer, offset)[0]
+            offset += 8
+        if length > self._max_payload:
+            raise ProtocolError(f"frame payload {length} exceeds limit")
+        key = b""
+        if masked:
+            if len(buffer) < offset + 4:
+                return None
+            key = bytes(buffer[offset : offset + 4])
+            offset += 4
+        if len(buffer) < offset + length:
+            return None
+        payload = bytes(buffer[offset : offset + length])
+        del self._buffer[: offset + length]
+        if masked:
+            payload = bytes(
+                byte ^ key[index % 4]
+                for index, byte in enumerate(payload)
+            )
+        return Frame(opcode, payload)
+
+
+async def iter_frames(
+    read: Callable[[int], Awaitable[bytes]],
+    *,
+    max_payload: int = MAX_FRAME_BYTES,
+) -> AsyncIterator[Frame]:
+    """Yield frames from an async byte reader until EOF."""
+    parser = FrameParser(max_payload=max_payload)
+    while True:
+        data = await read(65536)
+        if not data:
+            return
+        for frame in parser.feed(data):
+            yield frame

@@ -118,3 +118,58 @@ class TestEventBus:
         bus = EventBus(run_id="r1")
         event = bus.publish("finished", "j1", attempt=1, duration_s=0.5)
         assert event_from_json(event_to_json(event)) == event
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_stops_future_delivery(self):
+        seen: list[int] = []
+        bus = EventBus()
+        subscriber = lambda e: seen.append(e.seq)  # noqa: E731
+        bus.subscribe(subscriber)
+        bus.publish("started", "j1")
+        assert bus.unsubscribe(subscriber) is True
+        bus.publish("finished", "j1")
+        assert seen == [1]
+
+    def test_unsubscribe_unknown_subscriber_returns_false(self):
+        bus = EventBus()
+        assert bus.unsubscribe(lambda e: None) is False
+
+    def test_self_unsubscribe_mid_fanout_still_delivers_to_later_subscribers(
+        self,
+    ):
+        seen: list[str] = []
+        bus = EventBus()
+
+        def one_shot(event):
+            seen.append("one-shot")
+            bus.unsubscribe(one_shot)
+
+        bus.subscribe(one_shot)
+        bus.subscribe(lambda e: seen.append("tail"))
+        bus.publish("started", "j1")
+        # The subscriber after the removed one was neither skipped nor
+        # delivered twice, and the one-shot got the in-flight event.
+        assert seen == ["one-shot", "tail"]
+        bus.publish("finished", "j1")
+        assert seen == ["one-shot", "tail", "tail"]
+
+    def test_removing_a_later_subscriber_mid_fanout_still_delivers_it(self):
+        seen: list[str] = []
+        bus = EventBus()
+
+        def later(event):
+            seen.append("later")
+
+        def remover(event):
+            seen.append("remover")
+            bus.unsubscribe(later)
+
+        bus.subscribe(remover)
+        bus.subscribe(later)
+        bus.publish("started", "j1")
+        # 'later' was registered when fanout snapshotted, so it still
+        # sees the in-flight event; subsequent events skip it.
+        assert seen == ["remover", "later"]
+        bus.publish("finished", "j1")
+        assert seen == ["remover", "later", "remover"]

@@ -1,0 +1,50 @@
+"""Service test fixtures.
+
+Campaign runs executed by the service resolve job targets by dotted
+path, so the runner suite's helper module :mod:`runner_workers`
+(``tests/runner``) must be importable from this process and from any
+worker pool it spawns — same trick as ``tests/runner/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_WORKERS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "runner"
+)
+
+if _WORKERS_DIR not in sys.path:
+    sys.path.insert(0, _WORKERS_DIR)
+
+_existing = os.environ.get("PYTHONPATH", "")
+if _WORKERS_DIR not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _WORKERS_DIR + (os.pathsep + _existing if _existing else "")
+    )
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    """A fresh store file path for one server."""
+    return str(tmp_path / "service-store.jsonl")
+
+
+@pytest.fixture()
+def server(store_path):
+    """A running :class:`CampaignServer` on an ephemeral port."""
+    from repro.service import CampaignServer
+
+    with CampaignServer(store_path) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    """A :class:`ServiceClient` bound to the running server."""
+    from repro.service import ServiceClient
+
+    return ServiceClient(server.url)

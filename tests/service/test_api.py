@@ -1,0 +1,180 @@
+"""Tests of the stable ``repro.api`` facade and its deprecation shims."""
+
+from __future__ import annotations
+
+import inspect
+import os
+
+import pytest
+
+import repro
+from repro import api
+from repro.runner.store import ResultStore
+from repro.telemetry import TELEMETRY_ENV_VAR
+
+
+def small_sweep(store, **kwargs):
+    return api.sweep(
+        "facade-sweep",
+        "runner_workers:array_curve",
+        "values",
+        [1.0, 2.0, 3.0, 4.0],
+        store=store,
+        shards=2,
+        **kwargs,
+    )
+
+
+class TestFacadeSurface:
+    def test_reexported_from_package_root(self):
+        assert repro.api is api
+        assert "api" in repro.__all__
+
+    def test_every_contract_verb_is_exported(self):
+        for name in (
+            "run_experiment",
+            "run_campaign",
+            "sweep",
+            "sweep_campaign",
+            "open_store",
+            "serve",
+            "submit",
+            "status",
+            "cancel",
+            "watch",
+        ):
+            assert name in api.__all__
+            assert callable(getattr(api, name))
+
+    def test_coherent_keywords_across_verbs(self):
+        # The facade contract: the same spellings everywhere they apply.
+        expectations = {
+            api.run_campaign: {"store", "backend", "jobs", "telemetry"},
+            api.sweep: {"store", "backend", "jobs", "telemetry", "shards"},
+            api.open_store: {"backend"},
+            api.serve: {"backend", "host", "port", "jobs"},
+        }
+        for verb, keywords in expectations.items():
+            parameters = inspect.signature(verb).parameters
+            for keyword in keywords:
+                assert keyword in parameters, (verb.__name__, keyword)
+                assert (
+                    parameters[keyword].kind
+                    is inspect.Parameter.KEYWORD_ONLY
+                ), (verb.__name__, keyword)
+
+    def test_service_verbs_take_url_keyword_only(self):
+        for verb in (api.submit, api.status, api.cancel, api.watch):
+            parameter = inspect.signature(verb).parameters["url"]
+            assert parameter.kind is inspect.Parameter.KEYWORD_ONLY
+
+
+class TestDeprecatedExports:
+    def test_old_toplevel_names_warn_but_work(self):
+        from repro.runner import sharding
+
+        with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
+            assert repro.run_sharded_sweep is sharding.run_sharded_sweep
+        with pytest.warns(
+            DeprecationWarning, match="repro.api.sweep_campaign"
+        ):
+            assert (
+                repro.sharded_sweep_campaign
+                is sharding.sharded_sweep_campaign
+            )
+
+    def test_facade_aliases_do_not_warn(self):
+        import warnings
+
+        from repro.runner import sharding
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert api.sweep_campaign is sharding.sharded_sweep_campaign
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no_such_name"):
+            repro.no_such_name
+
+
+class TestLocalVerbs:
+    def test_open_store_round_trips(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = api.open_store(path)
+        try:
+            assert isinstance(store, ResultStore)
+            store.append(
+                {"key": "k", "job_id": "j", "status": "ok", "value": 1}
+            )
+        finally:
+            store.close()
+        assert os.path.exists(path)
+
+    def test_sweep_runs_and_persists(self, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        outcome = small_sweep(store)
+        assert outcome.ok
+        campaign = api.sweep_campaign(
+            "facade-sweep",
+            "runner_workers:array_curve",
+            "values",
+            [1.0, 2.0, 3.0, 4.0],
+            store_path=store,
+            shards=2,
+        )
+        decoded = api.collect_arrays(store, campaign)
+        assert list(decoded.values) == [1.0, 2.0, 3.0, 4.0]
+        assert list(decoded.columns["double"]) == [2.0, 4.0, 6.0, 8.0]
+
+    def test_telemetry_override_restores_environment(self, tmp_path):
+        previous = os.environ.pop(TELEMETRY_ENV_VAR, None)
+        try:
+            outcome = small_sweep(
+                str(tmp_path / "quiet.jsonl"), telemetry=False
+            )
+            assert outcome.ok
+            assert TELEMETRY_ENV_VAR not in os.environ
+        finally:
+            if previous is not None:
+                os.environ[TELEMETRY_ENV_VAR] = previous
+
+    def test_run_campaign_facade_keywords(self, tmp_path):
+        campaign = api.Campaign("facade-campaign")
+        campaign.call("sum", "runner_workers:add", a=2, b=3)
+        outcome = api.run_campaign(
+            campaign, store=str(tmp_path / "c.jsonl"), jobs=1
+        )
+        assert outcome.ok
+        assert outcome.results["sum"].value == 5
+
+    def test_run_experiment_returns_registry_result(self):
+        result = api.run_experiment("table1")
+        assert result.experiment_id == "table1"
+
+
+class TestServiceVerbs:
+    def test_submit_watch_status_cancel_round_trip(self, tmp_path):
+        store = str(tmp_path / "served.jsonl")
+        with api.serve(store) as server:
+            run_id = api.submit(
+                {
+                    "kind": "sweep",
+                    "name": "api-sweep",
+                    "target": "runner_workers:array_curve",
+                    "parameter": "values",
+                    "values": [1.0, 2.0, 3.0],
+                    "shards": 1,
+                },
+                url=server.url,
+            )
+            observed = []
+            events = list(
+                api.watch(run_id, url=server.url, on_event=observed.append)
+            )
+            assert events  # the stream closed after a full replay
+            assert observed == events
+            assert all(event.run_id == run_id for event in events)
+            status = api.status(run_id, url=server.url)
+            assert status["state"] == "done"
+            # cancel of a finished run reports its terminal state
+            assert api.cancel(run_id, url=server.url)["state"] == "done"

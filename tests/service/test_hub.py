@@ -1,0 +1,208 @@
+"""Unit tests for the EventHub fan-out (replay, bounds, drop accounting)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runner.events import Event
+from repro.service.hub import DEFAULT_QUEUE_SIZE, EventHub, STREAM_END
+
+
+def make_event(seq: int, run_id: str = "r1") -> Event:
+    return Event(
+        kind="finished",
+        job_id=f"job-{seq}",
+        seq=seq,
+        run_id=run_id,
+    )
+
+
+def drain(queue: "asyncio.Queue") -> list:
+    items = []
+    while not queue.empty():
+        items.append(queue.get_nowait())
+    return items
+
+
+def run(coro_fn):
+    """Run an async test body under a private loop."""
+    return asyncio.run(coro_fn())
+
+
+class TestSubscribe:
+    def test_unknown_run_returns_none(self):
+        async def body():
+            assert EventHub().subscribe("missing") is None
+
+        run(body)
+
+    def test_backlog_then_live_splice_is_gap_free(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            for seq in range(1, 4):
+                hub.dispatch("r1", make_event(seq))
+            sub = hub.subscribe("r1")
+            assert sub is not None
+            for seq in range(4, 7):
+                hub.dispatch("r1", make_event(seq))
+            got = [e.seq for e in sub.backlog] + [
+                e.seq for e in drain(sub.queue)
+            ]
+            assert got == [1, 2, 3, 4, 5, 6]
+
+        run(body)
+
+    def test_after_seq_filters_backlog(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            for seq in range(1, 6):
+                hub.dispatch("r1", make_event(seq))
+            sub = hub.subscribe("r1", after_seq=3)
+            assert [e.seq for e in sub.backlog] == [4, 5]
+
+        run(body)
+
+    def test_subscribe_after_finish_gets_backlog_without_queue(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            hub.dispatch("r1", make_event(1))
+            hub.finish("r1")
+            sub = hub.subscribe("r1")
+            assert sub is not None
+            assert sub.queue is None
+            assert [e.seq for e in sub.backlog] == [1]
+
+        run(body)
+
+    def test_unsubscribe_stops_delivery_and_updates_count(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            sub = hub.subscribe("r1")
+            assert hub.client_count() == 1
+            hub.unsubscribe("r1", sub.client_id)
+            assert hub.client_count() == 0
+            hub.dispatch("r1", make_event(1))
+            assert sub.queue.empty()
+            # unsubscribing twice (or for a gone run) is harmless
+            hub.unsubscribe("r1", sub.client_id)
+            hub.unsubscribe("nope", 99)
+
+        run(body)
+
+
+class TestDispatch:
+    def test_dispatch_before_open_is_dropped(self):
+        async def body():
+            hub = EventHub()
+            hub.dispatch("r1", make_event(1))
+            assert hub.last_seq("r1") == 0
+
+        run(body)
+
+    def test_dispatch_after_finish_is_ignored(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            hub.finish("r1")
+            hub.dispatch("r1", make_event(1))
+            assert hub.last_seq("r1") == 0
+
+        run(body)
+
+    def test_full_queue_drops_for_that_client_only(self):
+        async def body():
+            hub = EventHub(queue_size=2)
+            hub.open("r1")
+            slow = hub.subscribe("r1")
+            fast = hub.subscribe("r1", queue_size=16)
+            for seq in range(1, 6):
+                hub.dispatch("r1", make_event(seq))
+            assert [e.seq for e in drain(slow.queue)] == [1, 2]
+            assert [e.seq for e in drain(fast.queue)] == [1, 2, 3, 4, 5]
+            assert hub.dropped_total() == 3
+            # the log still has everything: a reconnect can recover
+            resumed = hub.subscribe("r1", after_seq=2)
+            assert [e.seq for e in resumed.backlog] == [3, 4, 5]
+
+        run(body)
+
+
+class TestFinish:
+    def test_finish_delivers_sentinel(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            sub = hub.subscribe("r1")
+            hub.dispatch("r1", make_event(1))
+            hub.finish("r1")
+            items = drain(sub.queue)
+            assert items[0].seq == 1
+            assert items[-1] is STREAM_END
+
+        run(body)
+
+    def test_finish_evicts_one_event_when_queue_full(self):
+        async def body():
+            hub = EventHub(queue_size=2)
+            hub.open("r1")
+            sub = hub.subscribe("r1")
+            for seq in range(1, 4):
+                hub.dispatch("r1", make_event(seq))
+            dropped_before = hub.dropped_total()
+            hub.finish("r1")
+            items = drain(sub.queue)
+            # oldest queued event evicted so the sentinel always lands
+            assert items == [items[0], STREAM_END]
+            assert items[0].seq == 2
+            assert hub.dropped_total() == dropped_before + 1
+
+        run(body)
+
+    def test_finish_twice_is_idempotent(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            sub = hub.subscribe("r1")
+            hub.finish("r1")
+            hub.finish("r1")
+            assert drain(sub.queue) == [STREAM_END]
+
+        run(body)
+
+
+class TestIntrospection:
+    def test_stats_and_channels(self):
+        async def body():
+            hub = EventHub(queue_size=1)
+            hub.open("r1")
+            hub.open("r2")
+            hub.subscribe("r1")
+            hub.dispatch("r1", make_event(1))
+            hub.dispatch("r1", make_event(2))  # dropped (queue_size=1)
+            stats = hub.stats()
+            assert stats == {"clients": 1, "dropped": 1, "channels": 2}
+            assert sorted(hub.channels()) == ["r1", "r2"]
+            assert hub.last_seq("r1") == 2
+            assert hub.last_seq("r2") == 0
+
+        run(body)
+
+    def test_discard_removes_channel(self):
+        async def body():
+            hub = EventHub()
+            hub.open("r1")
+            hub.discard("r1")
+            assert hub.subscribe("r1") is None
+
+        run(body)
+
+    def test_queue_size_validation(self):
+        with pytest.raises(ValueError):
+            EventHub(queue_size=0)
+        assert EventHub().queue_size == DEFAULT_QUEUE_SIZE

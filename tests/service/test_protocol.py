@@ -1,0 +1,232 @@
+"""Unit tests for the hand-rolled HTTP/1.1 + RFC 6455 wire layer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    CLOSE_NORMAL,
+    Frame,
+    FrameParser,
+    HttpRequest,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    ProtocolError,
+    close_code,
+    close_frame,
+    encode_frame,
+    handshake_request,
+    handshake_response,
+    json_error,
+    new_websocket_key,
+    read_request,
+    response_bytes,
+    text_frame,
+    websocket_accept,
+)
+
+
+def feed_reader(*chunks: bytes):
+    """An async ``read(n)`` yielding the chunks then EOF."""
+    pending = list(chunks)
+
+    async def read(_n: int) -> bytes:
+        return pending.pop(0) if pending else b""
+
+    return read
+
+
+def parse(raw: bytes, *, chunk: int = 0) -> HttpRequest | None:
+    """Run ``read_request`` over raw bytes (optionally re-chunked)."""
+    if chunk:
+        chunks = [raw[i : i + chunk] for i in range(0, len(raw), chunk)]
+    else:
+        chunks = [raw]
+    return asyncio.run(read_request(feed_reader(*chunks)))
+
+
+class TestHttpRequest:
+    def test_parses_request_line_headers_and_query(self):
+        raw = (
+            b"GET /campaigns/r1/events?after_seq=7&throttle_s=0.1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"X-Thing:  padded value \r\n"
+            b"\r\n"
+        )
+        request = parse(raw)
+        assert request is not None
+        assert request.method == "GET"
+        assert request.path == "/campaigns/r1/events"
+        assert request.query == {"after_seq": "7", "throttle_s": "0.1"}
+        assert request.header("x-thing") == "padded value"
+        assert request.header("X-Thing") == "padded value"
+        assert not request.wants_websocket
+
+    def test_reads_body_across_chunks(self):
+        body = json.dumps({"kind": "sweep"}).encode()
+        raw = (
+            b"POST /campaigns HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        for chunk in (0, 1, 7):
+            request = parse(raw, chunk=chunk)
+            assert request is not None
+            assert request.method == "POST"
+            assert request.body == body
+
+    def test_clean_eof_before_bytes_returns_none(self):
+        assert asyncio.run(read_request(feed_reader())) is None
+
+    def test_eof_mid_request_raises(self):
+        with pytest.raises(ProtocolError):
+            asyncio.run(read_request(feed_reader(b"GET / HTTP/1.1\r\n")))
+
+    def test_eof_mid_body_raises(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(ProtocolError):
+            parse(raw)
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(ProtocolError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_bad_content_length_raises(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+
+    def test_oversized_headers_raise(self):
+        # limit must trip while the terminator is still in flight
+        filler = b"X-Pad: " + b"a" * 70_000 + b"\r\n"
+        with pytest.raises(ProtocolError):
+            parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n", chunk=4096)
+
+    def test_oversized_body_rejected_by_content_length(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            + f"Content-Length: {protocol.MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(ProtocolError):
+            parse(raw)
+
+    def test_websocket_upgrade_detection(self):
+        raw = (
+            b"GET /campaigns/r1/events HTTP/1.1\r\n"
+            b"Upgrade: WebSocket\r\n"
+            b"Connection: keep-alive, Upgrade\r\n"
+            b"Sec-WebSocket-Key: abc\r\n"
+            b"\r\n"
+        )
+        request = parse(raw)
+        assert request is not None
+        assert request.wants_websocket
+
+
+class TestResponseBytes:
+    def test_json_body_is_sorted_compact(self):
+        raw = response_bytes(200, {"b": 1, "a": 2})
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert b"Connection: close" in head
+        assert payload == json.dumps({"b": 1, "a": 2}, sort_keys=True).encode()
+        assert f"Content-Length: {len(payload)}".encode() in head
+
+    def test_text_and_raw_bodies(self):
+        assert response_bytes(200, "ok").endswith(b"\r\n\r\nok")
+        assert response_bytes(204).endswith(b"Content-Length: 0\r\nConnection: close\r\n\r\n")
+
+    def test_json_error_shape(self):
+        raw = json_error(404, "no such run")
+        assert raw.startswith(b"HTTP/1.1 404 Not Found")
+        assert json.loads(raw.partition(b"\r\n\r\n")[2]) == {"error": "no such run"}
+
+
+class TestHandshake:
+    def test_rfc6455_vector(self):
+        # The worked example from RFC 6455 section 1.3.
+        assert (
+            websocket_accept("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_handshake_response_carries_accept(self):
+        key = new_websocket_key()
+        raw = handshake_response(key)
+        assert raw.startswith(b"HTTP/1.1 101 Switching Protocols")
+        assert websocket_accept(key).encode() in raw
+
+    def test_handshake_request_round_trips_through_read_request(self):
+        key = new_websocket_key()
+        raw = handshake_request("localhost", 8321, "/campaigns/r1/events", key)
+        request = parse(raw)
+        assert request is not None
+        assert request.wants_websocket
+        assert request.header("sec-websocket-key") == key
+
+
+class TestFrames:
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536])
+    def test_encode_parse_round_trip_all_length_forms(self, mask, size):
+        payload = bytes(i % 251 for i in range(size))
+        frames = FrameParser().feed(encode_frame(OP_TEXT, payload, mask=mask))
+        assert frames == [Frame(OP_TEXT, payload)]
+
+    def test_incremental_feed_byte_by_byte(self):
+        raw = text_frame("hello stream", mask=True)
+        parser = FrameParser()
+        frames: list[Frame] = []
+        for i in range(len(raw)):
+            frames += parser.feed(raw[i : i + 1])
+        assert [f.text for f in frames] == ["hello stream"]
+
+    def test_multiple_frames_in_one_segment(self):
+        raw = text_frame("a") + encode_frame(OP_PING, b"hb") + text_frame("b")
+        frames = FrameParser().feed(raw)
+        assert [(f.opcode, f.payload) for f in frames] == [
+            (OP_TEXT, b"a"),
+            (OP_PING, b"hb"),
+            (OP_TEXT, b"b"),
+        ]
+
+    def test_close_frame_round_trip(self):
+        frames = FrameParser().feed(close_frame(CLOSE_NORMAL, "done"))
+        assert frames[0].opcode == OP_CLOSE
+        assert close_code(frames[0].payload) == CLOSE_NORMAL
+        assert frames[0].payload[2:] == b"done"
+        assert close_code(b"") is None
+
+    def test_fragmented_frames_rejected(self):
+        # FIN=0 text frame: continuation frames are out of contract.
+        raw = bytes([0x01, 0x01]) + b"x"
+        with pytest.raises(ProtocolError):
+            FrameParser().feed(raw)
+
+    def test_reserved_bits_rejected(self):
+        raw = bytes([0x80 | 0x40 | OP_TEXT, 0x01]) + b"x"
+        with pytest.raises(ProtocolError):
+            FrameParser().feed(raw)
+
+    def test_oversized_frame_rejected(self):
+        head = bytes([0x80 | OP_TEXT, 127]) + struct.pack("!Q", 1 << 40)
+        with pytest.raises(ProtocolError):
+            FrameParser(max_payload=1024).feed(head)
+
+    def test_iter_frames_reads_until_eof(self):
+        raw = text_frame("one") + text_frame("two")
+
+        async def collect():
+            return [
+                frame
+                async for frame in protocol.iter_frames(feed_reader(raw))
+            ]
+
+        frames = asyncio.run(collect())
+        assert [f.text for f in frames] == ["one", "two"]
