@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Canned chaos scenarios, as CI runs them.
+
+Three deterministic fault plans against the real pipeline, each
+asserting the system converges (or fails loudly) with no hangs and no
+silent data loss:
+
+* ``worker-crash`` — a pool worker killed hard (``os._exit``) on a
+  job's first attempt; the retry must converge on the replacement
+  worker, with the sibling job unharmed.
+* ``torn-write``  — a merge block append truncated mid-record
+  (power-loss model); the retry must re-append, the tear must be
+  quarantined by the checksum scan, and ``repro store verify`` must
+  flag the damage with exit code 1 while the merged points stay
+  bit-exact against an undisturbed baseline.
+* ``ws-drop``     — the campaign server's WebSocket send severed with
+  no close frame; the client must surface it loudly without
+  ``reconnect`` and resume bit-exactly with it.
+
+Artifacts (event sidecars, client transcripts, a fault/metric
+summary) are left in the scratch directory given as ``argv[1]``
+(default ``chaos-smoke/``) for CI to upload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [scratch-dir] [scenario]
+
+``scenario`` filters to one of ``worker-crash``, ``torn-write``,
+``ws-drop`` (default: all three).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+SCENARIOS = ("worker-crash", "torn-write", "ws-drop")
+
+GRID = [float(v) for v in range(200)]
+
+
+def _workers_target() -> str:
+    """Make ``runner_workers`` importable here and in pool workers."""
+    workers_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tests", "runner",
+    )
+    if workers_dir not in sys.path:
+        sys.path.insert(0, workers_dir)
+    existing = os.environ.get("PYTHONPATH", "")
+    if workers_dir not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            workers_dir + (os.pathsep + existing if existing else "")
+        )
+    return "runner_workers:array_curve"
+
+
+def worker_crash(scratch: str) -> dict[str, object]:
+    """A hard worker kill on the first attempt converges via retry."""
+    from repro.runner.jobs import JobSpec
+    from repro.runner.queue import run_jobs
+
+    plan = {
+        "rules": [
+            {"site": "queue.attempt", "action": "crash",
+             "job_id": "crashy#1"},
+        ]
+    }
+    specs = [
+        JobSpec("crashy", "callable", "runner_workers:add",
+                params={"a": 20, "b": 22}, retries=2),
+        JobSpec("bystander", "callable", "runner_workers:add",
+                params={"a": 3, "b": 4}, retries=2),
+    ]
+    results = run_jobs(specs, jobs=2, faults=plan)
+    assert results["crashy"].status == "ok", results["crashy"].error
+    assert results["crashy"].value == 42
+    assert results["crashy"].attempts == 2, "crash must cost one attempt"
+    assert results["bystander"].status == "ok"
+    assert results["bystander"].value == 7
+    return {
+        "crashy_attempts": results["crashy"].attempts,
+        "bystander_attempts": results["bystander"].attempts,
+    }
+
+
+def torn_write(scratch: str) -> dict[str, object]:
+    """A torn merge append is retried, quarantined, and flagged."""
+    from repro.cli import main as repro_main
+    from repro.runner import (
+        ResultStore,
+        collect_points,
+        run_campaign,
+        sharded_sweep_campaign,
+    )
+    from repro.runner.integrity import damage_total
+
+    target = _workers_target()
+
+    def sweep(store_path):
+        return sharded_sweep_campaign(
+            "chaos", target, "values", GRID,
+            store_path=store_path, shards=4, retries=2,
+        )
+
+    baseline_store = os.path.join(scratch, "torn-baseline.jsonl")
+    baseline_campaign = sweep(baseline_store)
+    assert run_campaign(
+        baseline_campaign, store_path=baseline_store
+    ).ok
+    baseline = collect_points(baseline_store, baseline_campaign)
+
+    store_path = os.path.join(scratch, "torn.jsonl")
+    campaign = sweep(store_path)
+    plan = {
+        "rules": [
+            {"site": "store.append", "action": "torn_write",
+             "bytes": 500, "job_id": "chaos/block*"},
+        ]
+    }
+    result = run_campaign(campaign, store_path=store_path, faults=plan)
+    assert result.ok, f"retry did not converge: {result.failures}"
+    assert result.results["chaos/merge"].attempts == 2
+    assert collect_points(store_path, campaign) == baseline, (
+        "merged points drifted from the undisturbed baseline"
+    )
+
+    store = ResultStore(store_path)
+    try:
+        stats = store.verify()
+    finally:
+        store.close()
+    assert damage_total(stats) >= 1, "the tear left no quarantined record"
+    # The operator surface agrees: verify exits 1 on a damaged store.
+    assert repro_main(["store", "verify", store_path]) == 1
+    return {
+        "merge_attempts": result.results["chaos/merge"].attempts,
+        "quarantined": damage_total(stats),
+    }
+
+
+def ws_drop(scratch: str) -> dict[str, object]:
+    """A severed WS send is loud alone, seamless with reconnect."""
+    from repro.faults import activate, reset
+    from repro.service import CampaignServer, ServiceClient
+    from repro.service.client import ServiceError
+
+    target = _workers_target()
+    store_path = os.path.join(scratch, "ws-store.jsonl")
+    spec = {
+        "kind": "sweep", "name": "wsdrop", "target": target,
+        "parameter": "values", "values": GRID, "shards": 4,
+    }
+    with CampaignServer(store_path) as server:
+        client = ServiceClient(server.url, timeout=15.0)
+        run_id = client.submit(spec)
+        deadline = time.monotonic() + 60.0
+        while client.status(run_id)["state"] not in (
+            "done", "failed", "cancelled"
+        ):
+            assert time.monotonic() < deadline, "run never finished"
+            time.sleep(0.1)
+        assert client.status(run_id)["state"] == "done"
+        baseline = list(client.watch_lines(run_id))
+
+        # Without reconnect: the drop must be loud, never a silent
+        # truncation of the stream.
+        activate({"rules": [
+            {"site": "service.ws.send", "action": "drop", "nth": 3},
+        ]})
+        try:
+            try:
+                list(client.watch_lines(run_id))
+            except ServiceError as error:
+                assert error.status == 502, error
+            else:
+                raise AssertionError("dropped stream ended silently")
+        finally:
+            reset()
+
+        # With reconnect: two injected drops, one bit-exact stream.
+        activate({"rules": [
+            {"site": "service.ws.send", "action": "drop",
+             "nth": 4, "times": 2},
+        ]})
+        try:
+            resumed = list(
+                client.watch_lines(
+                    run_id, reconnect=5, reconnect_delay_s=0.1
+                )
+            )
+        finally:
+            reset()
+        assert resumed == baseline, "reconnect stream drifted"
+        transcript = os.path.join(scratch, "ws-transcript.jsonl")
+        with open(transcript, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(resumed) + "\n")
+    return {"events": len(baseline), "run_id": run_id}
+
+
+def main() -> int:
+    scratch = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1 else "chaos-smoke"
+    )
+    wanted = sys.argv[2:] or list(SCENARIOS)
+    unknown = set(wanted) - set(SCENARIOS)
+    if unknown:
+        print(f"unknown scenario(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+    os.makedirs(scratch, exist_ok=True)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    _workers_target()
+
+    from repro.telemetry import metrics
+
+    runners = {
+        "worker-crash": worker_crash,
+        "torn-write": torn_write,
+        "ws-drop": ws_drop,
+    }
+    summary: dict[str, object] = {}
+    for name in wanted:
+        start = time.monotonic()
+        details = runners[name](scratch)
+        elapsed = time.monotonic() - start
+        details["elapsed_s"] = round(elapsed, 3)
+        summary[name] = details
+        print(f"chaos {name}: ok ({elapsed:.1f}s) {details}")
+    summary["faults_fired"] = {
+        key: value
+        for key, value in metrics().snapshot()["counters"].items()
+        if key.startswith("faults.fired")
+    }
+    with open(
+        os.path.join(scratch, "chaos-summary.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    print(f"chaos smoke: all green -> {scratch}/chaos-summary.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -327,6 +327,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="force the backend instead of auto-detecting",
     )
 
+    verify_parser = store_sub.add_parser(
+        "verify",
+        help="integrity-scan a store's checksums (exit 1 on damage)",
+        description=(
+            "Read-only full-history checksum pass.  Reports verified, "
+            "legacy-unchecked, corrupt (per payload kind), and "
+            "unreadable record counts.  Damaged records stay "
+            "quarantined in place — re-running the campaign recomputes "
+            "them.  Exits 1 when any damage is found."
+        ),
+    )
+    verify_parser.add_argument("path", metavar="STORE")
+    verify_parser.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default=None,
+        help="force the backend instead of auto-detecting",
+    )
+
     migrate_parser = store_sub.add_parser(
         "migrate",
         help="copy a store into a fresh store (e.g. JSONL -> SQLite)",
@@ -791,6 +808,27 @@ def _command_store(args: argparse.Namespace) -> int:
 
         raise ConfigurationError(f"store {args.path!r} does not exist")
     store = ResultStore(args.path, backend=args.backend)
+    if args.store_command == "verify":
+        from .runner.integrity import damage_total
+
+        stats = store.verify()
+        print(f"store     : {args.path}")
+        print(f"backend   : {store.backend_name}")
+        print(f"records   : {stats['records']}")
+        print(f"verified  : {stats['checked']}")
+        print(f"unchecked : {stats['unchecked']} (pre-checksum records)")
+        for kind in sorted(stats["corrupt"]):
+            print(f"  corrupt {kind}: {stats['corrupt'][kind]} "
+                  f"records quarantined")
+        print(f"corrupt   : {stats['corrupt_total']}")
+        print(f"unreadable: {stats['unreadable']}")
+        store.close()
+        if damage_total(stats) > 0:
+            print("DAMAGED: store holds quarantined records; "
+                  "re-run the campaign to recompute them")
+            return 1
+        print("ok: every checksummed record verified")
+        return 0
     if args.store_command == "compact":
         before = len(store)
         dropped = store.compact()

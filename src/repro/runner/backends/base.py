@@ -142,6 +142,17 @@ class StoreBackend(Protocol):
         """Drop superseded history; return how many records were removed."""
         ...
 
+    def verify(self) -> dict[str, Any]:
+        """Full integrity pass over the persisted history (read-only).
+
+        Returns the :func:`~repro.runner.integrity.new_verify_stats`
+        shape: total records, checksum-verified / legacy-unchecked
+        counts, corrupt records per payload kind, and unreadable
+        entries.  Scans never crash on damage — corrupt records are
+        quarantined (skipped and counted) here and on every read path.
+        """
+        ...
+
     def close(self) -> None:
         """Release any held resources (idempotent)."""
         ...

@@ -19,6 +19,13 @@ Binary column payloads (``bytes`` values, see
 :mod:`repro.runner.codec`) are base64-wrapped on write and restored to
 real ``bytes`` on read, so columnar records round-trip through the
 text log unchanged.
+
+Integrity: every line embeds a ``"check"`` CRC-32 token computed over
+the rest of the line (see :mod:`repro.runner.integrity`).  Scans
+verify it and *quarantine* mismatches — the damaged record is skipped
+and counted (``store.jsonl.corrupt``), never yielded — so corruption
+degrades to a cache miss instead of wrong data.  Lines written before
+checksums existed carry no token and pass unchecked.
 """
 
 from __future__ import annotations
@@ -28,8 +35,15 @@ import os
 from typing import Any, Iterator, Mapping
 
 from ...errors import ConfigurationError
+from ...faults import ACTION_TORN_WRITE, InjectedFault, fault_site
 from ...telemetry import metrics
-from ..codec import jsonable_bytes, restore_bytes
+from ..codec import jsonable_bytes, payload_kind, restore_bytes
+from ..integrity import (
+    count_corrupt,
+    new_verify_stats,
+    stamp_check,
+    verify_jsonable,
+)
 from .base import surviving_indices, validate_record
 
 #: Compact JSON encoding shared by every write path.
@@ -37,9 +51,12 @@ _SEPARATORS = (",", ":")
 
 
 def _dump(record: Mapping[str, Any]) -> str:
-    """One record as a compact, sorted, bytes-safe JSON line body."""
+    """One record as a compact, sorted, checksummed JSON line body."""
+    payload = jsonable_bytes(record)
+    if payload is record:
+        payload = dict(payload)
     return json.dumps(
-        jsonable_bytes(record), sort_keys=True, separators=_SEPARATORS
+        stamp_check(payload), sort_keys=True, separators=_SEPARATORS
     )
 
 
@@ -82,9 +99,14 @@ class JsonlBackend:
         """Append a batch with one flush+fsync for the whole batch."""
         if not records:
             return
+        fired = fault_site("store.append", records[0].get("job_id"))
         lines = "".join(
             _dump(validate_record(record)) + "\n" for record in records
         )
+        if fired is not None and fired.action == ACTION_TORN_WRITE:
+            # Injected power-loss model: persist a truncated batch,
+            # then fail the append like the crashed writer would have.
+            lines = lines[: max(0, len(lines) - fired.torn_bytes)]
         # json.dumps emits pure ASCII (ensure_ascii), so the string
         # length IS the on-disk byte count — no second encode needed.
         metrics().count("store.jsonl.append.bytes", len(lines))
@@ -100,6 +122,11 @@ class JsonlBackend:
         if created:
             # Make the new directory entry itself durable.
             _fsync_dir(self.path)
+        if fired is not None:
+            raise InjectedFault(
+                f"injected torn write ({fired.torn_bytes} bytes lost) "
+                f"at {self.path}"
+            )
 
     def _ends_with_newline(self) -> bool:
         with open(self.path, "rb") as handle:
@@ -128,6 +155,7 @@ class JsonlBackend:
         """
         if not os.path.exists(self.path):
             return
+        fault_site("store.iter")
         with open(self.path, "rb") as handle:
             for raw in handle:
                 line = raw.strip()
@@ -143,8 +171,14 @@ class JsonlBackend:
                         f"store path {self.path!r} is not a JSONL "
                         f"result store: {error}"
                     ) from error
-                if isinstance(record, dict):
-                    yield restore_bytes(record), len(raw)
+                if not isinstance(record, dict):
+                    continue
+                if verify_jsonable(record) is False:
+                    # Quarantine: checksum mismatch — skip and count,
+                    # never surface damaged data.
+                    metrics().count("store.jsonl.corrupt")
+                    continue
+                yield restore_bytes(record), len(raw)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_records())
@@ -182,6 +216,9 @@ class JsonlBackend:
                     ) from error
                 if not isinstance(record, dict):
                     continue
+                if verify_jsonable(record) is False:
+                    metrics().count("store.jsonl.corrupt")
+                    continue
                 if status is not None and record.get("status") != status:
                     continue
                 winners[record["key"]] = line_at
@@ -199,6 +236,7 @@ class JsonlBackend:
         """
         if not os.path.exists(self.path):
             return
+        fault_site("store.iter")
         offsets = self._iter_winning_offsets(status)
         if not offsets:
             return
@@ -207,6 +245,9 @@ class JsonlBackend:
                 handle.seek(line_at)
                 record = json.loads(handle.readline())
                 if isinstance(record, dict):
+                    # Winners were checksum-verified in the offset
+                    # pass; just strip the storage-internal token.
+                    record.pop("check", None)
                     yield restore_bytes(record)
 
     def latest_by_key(
@@ -218,6 +259,7 @@ class JsonlBackend:
         }
 
     def get(self, key: str) -> dict[str, Any] | None:
+        fault_site("store.get", key)
         found: dict[str, Any] | None = None
         for record in self.iter_records():
             if record["key"] == key and record.get("status") == "ok":
@@ -237,6 +279,40 @@ class JsonlBackend:
         }
 
     # -- maintenance -------------------------------------------------------
+
+    def verify(self) -> dict[str, Any]:
+        """Full-file integrity pass (see :mod:`repro.runner.integrity`).
+
+        Counts every line: verified, unchecked (pre-checksum legacy),
+        corrupt (parseable but failing its checksum, charged to its
+        payload kind), and unreadable (not JSON — e.g. a torn trailing
+        line).  Read-only; quarantined records stay in place.
+        """
+        stats = new_verify_stats(self.name)
+        if not os.path.exists(self.path):
+            return stats
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                stats["records"] += 1
+                try:
+                    record = json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    stats["unreadable"] += 1
+                    continue
+                if not isinstance(record, dict):
+                    stats["unreadable"] += 1
+                    continue
+                verdict = verify_jsonable(record)
+                if verdict is None:
+                    stats["unchecked"] += 1
+                elif verdict:
+                    stats["checked"] += 1
+                else:
+                    count_corrupt(stats, payload_kind(record))
+        return stats
 
     def compact(self) -> int:
         """Atomically rewrite the file keeping only surviving records.

@@ -20,6 +20,14 @@ acknowledged ``append`` survives a killed process (commits are ordered
 and torn writes are rolled back on recovery); only an OS-level power
 loss can lose the very latest commits, which matches the JSONL
 backend's torn-trailing-line tolerance in spirit.
+
+Integrity: each row carries a ``crc`` CRC-32 over its JSON text
+chained with its native blob (:mod:`repro.runner.integrity`).  Every
+decode verifies it and quarantines mismatches — the row is skipped
+and counted (``store.sqlite.corrupt``), a corrupt ``get`` winner
+reads as missing — so bit rot inside a blob degrades to a cache miss,
+never to silently wrong column data.  Rows from databases created
+before the column existed have ``crc`` NULL and pass unchecked.
 """
 
 from __future__ import annotations
@@ -30,8 +38,10 @@ import sqlite3
 from typing import Any, Iterator, Mapping
 
 from ...errors import ConfigurationError
+from ...faults import ACTION_TORN_WRITE, InjectedFault, fault_site
 from ...telemetry import metrics
-from ..codec import extract_blob, inject_blob
+from ..codec import extract_blob, inject_blob, payload_kind
+from ..integrity import count_corrupt, new_verify_stats, row_checksum
 from .base import validate_record
 
 _SCHEMA = """
@@ -42,7 +52,8 @@ CREATE TABLE IF NOT EXISTS records (
     status    TEXT NOT NULL,
     stored_at REAL,
     record    TEXT NOT NULL,
-    blob      BLOB
+    blob      BLOB,
+    crc       INTEGER
 );
 CREATE INDEX IF NOT EXISTS idx_records_key ON records (key, id);
 CREATE INDEX IF NOT EXISTS idx_records_job ON records (job_id, id);
@@ -87,6 +98,12 @@ class SqliteBackend:
                     conn.execute(
                         "ALTER TABLE records ADD COLUMN blob BLOB"
                     )
+                if "crc" not in columns:
+                    # Pre-checksum store: old rows keep crc NULL and
+                    # verify as "unchecked"; new appends are stamped.
+                    conn.execute(
+                        "ALTER TABLE records ADD COLUMN crc INTEGER"
+                    )
                 conn.commit()
             except sqlite3.DatabaseError as error:
                 raise ConfigurationError(
@@ -110,25 +127,41 @@ class SqliteBackend:
         """Insert a batch in order within a single transaction."""
         if not records:
             return
+        fired = fault_site("store.append", records[0].get("job_id"))
         rows: list[
-            tuple[str, str | None, str, float | None, str, bytes | None]
+            tuple[
+                str, str | None, str, float | None, str,
+                bytes | None, int,
+            ]
         ] = []
         for record in records:
             record = validate_record(record)
             stored_at = record.get("stored_at")
             jsonable, blob = extract_blob(record)
+            text = json.dumps(
+                jsonable, sort_keys=True, separators=_SEPARATORS
+            )
             rows.append(
                 (
                     record["key"],
                     record.get("job_id"),
                     record["status"],
                     float(stored_at) if stored_at is not None else None,
-                    json.dumps(
-                        jsonable, sort_keys=True, separators=_SEPARATORS
-                    ),
+                    text,
                     blob,
+                    row_checksum(text, blob),
                 )
             )
+        if fired is not None and fired.action == ACTION_TORN_WRITE:
+            # Injected bit-rot model: the last row's payload loses its
+            # tail while the checksum still covers the full payload —
+            # exactly what scans must detect and quarantine.
+            key, job_id, status, stored_at_f, text, blob, crc = rows[-1]
+            if blob is not None and len(blob) > 0:
+                blob = blob[: max(0, len(blob) - fired.torn_bytes)]
+            else:
+                text = text[: max(1, len(text) - fired.torn_bytes)]
+            rows[-1] = (key, job_id, status, stored_at_f, text, blob, crc)
         # JSON text is ASCII (ensure_ascii), so len() counts bytes.
         metrics().count(
             "store.sqlite.append.bytes",
@@ -141,17 +174,39 @@ class SqliteBackend:
         with conn:
             conn.executemany(
                 "INSERT INTO records (key, job_id, status, stored_at,"
-                " record, blob) VALUES (?, ?, ?, ?, ?, ?)",
+                " record, blob, crc) VALUES (?, ?, ?, ?, ?, ?, ?)",
                 rows,
+            )
+        if fired is not None:
+            raise InjectedFault(
+                f"injected torn write ({fired.torn_bytes} bytes lost) "
+                f"at {self.path}"
             )
 
     # -- reads -------------------------------------------------------------
 
     @staticmethod
-    def _decode(row: tuple[str, bytes | None]) -> dict[str, Any]:
-        record = inject_blob(json.loads(row[0]), row[1])
+    def _row_ok(row: tuple[str, bytes | None, int | None]) -> bool:
+        """Verify one row's checksum (NULL crc = legacy, passes)."""
+        return row[2] is None or row_checksum(row[0], row[1]) == row[2]
+
+    def _decode(
+        self, row: tuple[str, bytes | None, int | None]
+    ) -> dict[str, Any] | None:
+        """Decode one verified row; ``None`` quarantines a corrupt one."""
+        if not self._row_ok(row):
+            metrics().count("store.sqlite.corrupt")
+            return None
+        try:
+            record = inject_blob(json.loads(row[0]), row[1])
+        except (ValueError, ConfigurationError):
+            # Unparseable despite a passing (NULL) checksum: damaged
+            # legacy row — quarantine rather than crash the scan.
+            metrics().count("store.sqlite.corrupt")
+            return None
         if not isinstance(record, dict):  # pragma: no cover - defensive
-            raise ConfigurationError("malformed record in SQLite store")
+            metrics().count("store.sqlite.corrupt")
+            return None
         return record
 
     def load(self) -> list[dict[str, Any]]:
@@ -159,11 +214,14 @@ class SqliteBackend:
 
     def iter_records(self) -> Iterator[dict[str, Any]]:
         """Stream records in append order from a dedicated cursor."""
+        fault_site("store.iter")
         cursor = self._connect().execute(
-            "SELECT record, blob FROM records ORDER BY id"
+            "SELECT record, blob, crc FROM records ORDER BY id"
         )
         for row in cursor:
-            yield self._decode(row)
+            record = self._decode(row)
+            if record is not None:
+                yield record
 
     def iter_records_with_size(
         self,
@@ -173,14 +231,18 @@ class SqliteBackend:
         ``stored_bytes`` counts the JSON text plus the native blob —
         the per-record payload footprint ``repro store info`` reports.
         """
+        fault_site("store.iter")
         cursor = self._connect().execute(
-            "SELECT record, blob FROM records ORDER BY id"
+            "SELECT record, blob, crc FROM records ORDER BY id"
         )
         for row in cursor:
+            record = self._decode(row)
+            if record is None:
+                continue
             size = len(row[0].encode("utf-8")) + (
                 len(row[1]) if row[1] is not None else 0
             )
-            yield self._decode(row), size
+            yield record, size
 
     def __len__(self) -> int:
         row = self._connect().execute(
@@ -192,11 +254,14 @@ class SqliteBackend:
         return iter(self.load())
 
     def get(self, key: str) -> dict[str, Any] | None:
+        fault_site("store.get", key)
         row = self._connect().execute(
-            "SELECT record, blob FROM records WHERE key = ?"
+            "SELECT record, blob, crc FROM records WHERE key = ?"
             " AND status = 'ok' ORDER BY id DESC LIMIT 1",
             (key,),
         ).fetchone()
+        # A corrupt winner decodes to None — a cache miss, so the
+        # campaign layer recomputes instead of consuming damage.
         return self._decode(row) if row is not None else None
 
     def iter_latest_by_key(
@@ -208,22 +273,25 @@ class SqliteBackend:
         order; nothing is materialised beyond SQLite's own cursor
         window, so million-record histories stream in O(1) memory.
         """
+        fault_site("store.iter")
         if status is None:
             cursor = self._connect().execute(
-                "SELECT record, blob FROM records WHERE id IN"
+                "SELECT record, blob, crc FROM records WHERE id IN"
                 " (SELECT MAX(id) FROM records GROUP BY key)"
                 " ORDER BY id"
             )
         else:
             cursor = self._connect().execute(
-                "SELECT record, blob FROM records WHERE id IN"
+                "SELECT record, blob, crc FROM records WHERE id IN"
                 " (SELECT MAX(id) FROM records WHERE status = ?"
                 "  GROUP BY key)"
                 " ORDER BY id",
                 (status,),
             )
         for row in cursor:
-            yield self._decode(row)
+            record = self._decode(row)
+            if record is not None:
+                yield record
 
     def latest_by_key(
         self, status: str | None = "ok"
@@ -235,11 +303,15 @@ class SqliteBackend:
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:
         cursor = self._connect().execute(
-            "SELECT record, blob FROM records WHERE job_id = ?"
+            "SELECT record, blob, crc FROM records WHERE job_id = ?"
             " ORDER BY id",
             (job_id,),
         )
-        return [self._decode(row) for row in cursor]
+        return [
+            record
+            for record in (self._decode(row) for row in cursor)
+            if record is not None
+        ]
 
     def keys(self) -> set[str]:
         cursor = self._connect().execute(
@@ -248,6 +320,49 @@ class SqliteBackend:
         return {row[0] for row in cursor}
 
     # -- maintenance -------------------------------------------------------
+
+    def verify(self) -> dict[str, Any]:
+        """Full-table integrity pass (see :mod:`repro.runner.integrity`).
+
+        Counts every row: verified, unchecked (NULL ``crc`` legacy
+        rows), corrupt (failing the row checksum, charged to a payload
+        kind when the JSON still parses), and unreadable (unparseable
+        JSON).  Read-only; quarantined rows stay in place.
+        """
+        stats = new_verify_stats(self.name)
+        if not os.path.exists(self.path):
+            return stats
+        cursor = self._connect().execute(
+            "SELECT record, blob, crc FROM records ORDER BY id"
+        )
+        for row in cursor:
+            stats["records"] += 1
+            if row[2] is None:
+                try:
+                    parsed = json.loads(row[0])
+                except ValueError:
+                    stats["unreadable"] += 1
+                    continue
+                if not isinstance(parsed, dict):
+                    stats["unreadable"] += 1
+                    continue
+                stats["unchecked"] += 1
+                continue
+            if self._row_ok(row):
+                stats["checked"] += 1
+                continue
+            try:
+                parsed = json.loads(row[0])
+            except ValueError:
+                stats["unreadable"] += 1
+                continue
+            kind = (
+                payload_kind(parsed)
+                if isinstance(parsed, dict)
+                else "other"
+            )
+            count_corrupt(stats, kind)
+        return stats
 
     def compact(self) -> int:
         """Delete superseded rows and reclaim their space.

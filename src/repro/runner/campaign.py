@@ -288,6 +288,8 @@ def run_campaign(
     run_id: str = "",
     bus: EventBus | None = None,
     cancel: Callable[[], bool] | None = None,
+    backoff_seed: int | None = None,
+    faults: Any = None,
 ) -> CampaignResult:
     """Execute a campaign and return its :class:`CampaignResult`.
 
@@ -328,6 +330,14 @@ def run_campaign(
         yet started resolves as skipped with error ``"cancelled"``.
         This is the hook the campaign service's ``DELETE`` endpoint
         pulls.
+    backoff_seed:
+        Seed for retry-backoff jitter, forwarded to
+        :func:`~repro.runner.queue.run_jobs` (``None`` = entropy).
+    faults:
+        Optional fault-injection plan for the run (a
+        :class:`~repro.faults.FaultPlan`, plan mapping, inline JSON,
+        or plan-file path), forwarded to
+        :func:`~repro.runner.queue.run_jobs`.
     """
     if store_path is not None and store is not None:
         raise ConfigurationError("pass either store_path or store, not both")
@@ -369,6 +379,8 @@ def run_campaign(
             run_id=run_id,
             bus=bus,
             cancel=cancel,
+            backoff_seed=backoff_seed,
+            faults=faults,
         )
         outcome = CampaignResult(
             name=campaign.name,

@@ -62,6 +62,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..faults import fault_site
 from ..telemetry import metrics
 
 #: Environment variable naming the default point codec.
@@ -353,6 +354,7 @@ def unpack_columns(
     come back as numpy arrays backed by the payload blob (zero copy for
     float64/int64), ``json`` columns as plain lists.
     """
+    fault_site("codec.unpack")
     start_ns = time.perf_counter_ns()
     count = int(payload["count"])
     blob = payload["blob"]

@@ -40,6 +40,7 @@ EVENT_SCHEMA = "repro.event/1"
 #: Event kinds emitted to observers, in lifecycle order.
 EVENT_SCHEDULED = "scheduled"
 EVENT_STARTED = "started"
+EVENT_TIMEOUT = "timeout"
 EVENT_RETRY = "retry"
 EVENT_FINISHED = "finished"
 EVENT_FAILED = "failed"
@@ -61,11 +62,13 @@ class JobEvent:
     job_id:
         The affected job.
     attempt:
-        1-based attempt number for started/retry/finished/failed events.
+        1-based attempt number for started/timeout/retry/finished/
+        failed events.
     duration_s:
-        Wall time of the attempt, for finished/failed events.
+        Wall time of the attempt, for finished/failed events (the
+        exceeded deadline, for timeout events).
     error:
-        Error text for retry/failed/skipped events.
+        Error text for timeout/retry/failed/skipped events.
     total:
         Total number of jobs in the batch (constant per run).
     done:

@@ -1,0 +1,132 @@
+"""Record integrity: stdlib checksums and quarantine accounting.
+
+Both store backends stamp every record with a CRC-32 checksum at
+append time and verify it on every scan, so silent corruption — a
+torn write past the JSON parser's tolerance, a flipped bit in a
+column blob, a truncated SQLite row — is *detected and skipped*, never
+returned as data.  A damaged record is quarantined in place: the scan
+counts it (``store.<backend>.corrupt``), moves on, and the content
+key it occupied simply reads as "missing", which the campaign layer
+already treats as "re-compute".  Nothing crashes, nothing is silently
+wrong.
+
+The checksum is CRC-32 via :func:`zlib.crc32` — the strongest
+integrity check the standard library computes at C speed (the CRC32C
+polynomial itself has no stdlib implementation, and a pure-Python
+table walk would tax million-record scans; the error-detection
+properties here are equivalent for this purpose).  Tokens are
+self-describing (``"crc32:9c3f0a11"``) so a future backend can adopt
+a different algorithm without a format break.
+
+Checksums are storage-layer-internal: the JSONL backend embeds the
+token as a ``"check"`` field computed over the record's canonical
+JSON *without* that field, and strips it again on read; the SQLite
+backend keeps a ``crc`` column over the row's JSON text plus its
+native blob.  Records written before checksums existed verify as
+"unchecked" and pass — old stores stay readable, and one compaction
+or migration re-stamps everything.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Mapping
+
+#: Record field the JSONL backend stores its token in.
+CHECK_FIELD = "check"
+
+#: Token prefix naming the checksum algorithm.
+CHECK_PREFIX = "crc32:"
+
+#: Compact JSON encoding shared with the backends.
+_SEPARATORS = (",", ":")
+
+
+def checksum_bytes(data: bytes, value: int = 0) -> int:
+    """CRC-32 of ``data`` (chainable via ``value`` like zlib.crc32)."""
+    return zlib.crc32(data, value) & 0xFFFFFFFF
+
+
+def check_token(data: bytes) -> str:
+    """The self-describing checksum token for one payload."""
+    return f"{CHECK_PREFIX}{checksum_bytes(data):08x}"
+
+
+def token_ok(token: Any, data: bytes) -> bool:
+    """Whether a stored token matches ``data``.
+
+    Unknown token shapes (wrong prefix, not a string) fail closed —
+    a record claiming a checksum we cannot verify is treated as
+    corrupt, not waved through.
+    """
+    if not isinstance(token, str) or not token.startswith(CHECK_PREFIX):
+        return False
+    return token == check_token(data)
+
+
+def canonical_body(record: Mapping[str, Any]) -> str:
+    """The canonical JSON text a record's checksum covers.
+
+    Sorted keys, compact separators, ``check`` field excluded — the
+    exact line body the JSONL backend writes, reproducible from the
+    parsed record because canonical JSON round-trips byte-stable
+    through ``json.loads``/``json.dumps``.
+    """
+    if CHECK_FIELD in record:
+        record = {k: v for k, v in record.items() if k != CHECK_FIELD}
+    return json.dumps(record, sort_keys=True, separators=_SEPARATORS)
+
+
+def stamp_check(jsonable: dict[str, Any]) -> dict[str, Any]:
+    """Return ``jsonable`` with a fresh ``check`` token embedded."""
+    jsonable.pop(CHECK_FIELD, None)
+    body = json.dumps(jsonable, sort_keys=True, separators=_SEPARATORS)
+    jsonable[CHECK_FIELD] = check_token(body.encode("utf-8"))
+    return jsonable
+
+
+def verify_jsonable(record: dict[str, Any]) -> bool | None:
+    """Verify and strip a parsed JSONL record's ``check`` field.
+
+    Returns ``True`` (verified), ``False`` (corrupt), or ``None``
+    (legacy record with no checksum).  The ``check`` field is removed
+    either way — checksums never leak to upper layers.
+    """
+    token = record.pop(CHECK_FIELD, None)
+    if token is None:
+        return None
+    body = json.dumps(record, sort_keys=True, separators=_SEPARATORS)
+    return token_ok(token, body.encode("utf-8"))
+
+
+def row_checksum(record_json: str, blob: bytes | None) -> int:
+    """The SQLite row checksum: JSON text chained with the blob."""
+    value = checksum_bytes(record_json.encode("utf-8"))
+    if blob is not None:
+        value = checksum_bytes(blob, value)
+    return value
+
+
+def new_verify_stats(backend: str) -> dict[str, Any]:
+    """The empty accumulator :meth:`StoreBackend.verify` fills in."""
+    return {
+        "backend": backend,
+        "records": 0,
+        "checked": 0,
+        "unchecked": 0,
+        "corrupt": {},
+        "corrupt_total": 0,
+        "unreadable": 0,
+    }
+
+
+def count_corrupt(stats: dict[str, Any], kind: str) -> None:
+    """Charge one corrupt record to its payload kind."""
+    stats["corrupt"][kind] = stats["corrupt"].get(kind, 0) + 1
+    stats["corrupt_total"] += 1
+
+
+def damage_total(stats: Mapping[str, Any]) -> int:
+    """Records that failed verification (corrupt + unreadable)."""
+    return int(stats["corrupt_total"]) + int(stats["unreadable"])

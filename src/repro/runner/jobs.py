@@ -162,6 +162,22 @@ class JobSpec:
         Ids of jobs that must succeed before this one may start.
     retries:
         How many times a failed execution is retried before giving up.
+    deadline_s:
+        Per-attempt wall-clock budget, seconds.  An attempt still
+        running when it expires is abandoned (the scheduler emits a
+        ``timeout`` event) and charged against the retry budget.
+        ``None`` defers to the ``REPRO_JOB_DEADLINE_S`` environment
+        default, if set.
+    retry_backoff_s:
+        Base delay for exponential backoff between retries.  Each
+        retry waits a uniformly jittered ``[0, base * 2**(attempt-1)]``
+        seconds (capped), so a flapping shared resource is not hammered
+        in lockstep.  ``0`` retries immediately (the historical
+        behaviour).
+
+    Neither resilience knob enters :attr:`key` — *what* a job computes
+    is independent of how patiently it is executed, so changing a
+    deadline never invalidates cached results.
     """
 
     job_id: str
@@ -170,6 +186,8 @@ class JobSpec:
     params: Any = field(default_factory=dict)
     after: tuple[str, ...] = ()
     retries: int = 0
+    deadline_s: float | None = None
+    retry_backoff_s: float = 0.0
     _key: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -181,6 +199,10 @@ class JobSpec:
             )
         if self.retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ConfigurationError("deadline_s must be positive")
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
         if not self.target:
             if self.kind != KIND_EXPERIMENT:
                 raise ConfigurationError(

@@ -24,6 +24,7 @@ from .events import (
     EVENT_SCHEDULED,
     EVENT_SKIPPED,
     EVENT_STARTED,
+    EVENT_TIMEOUT,
     TERMINAL_EVENTS,
     JobEvent,
 )
@@ -76,12 +77,17 @@ class ProgressMonitor:
             # its own started event, so the job is not in flight between.
             self._active = max(0, self._active - 1)
             self.in_flight.record(now, float(self._active))
-        if self._stream is not None and event.kind == EVENT_RETRY:
-            # Retries are worth a line of their own (with the attempt
-            # number) — a silently re-running job looks like a hang.
+        if self._stream is not None and event.kind in (
+            EVENT_RETRY, EVENT_TIMEOUT
+        ):
+            # Retries and expired deadlines are worth a line of their
+            # own (with the attempt number) — a silently re-running
+            # job looks like a hang.  A timeout event is always
+            # followed by a retry or a terminal failure, so it carries
+            # no in-flight accounting of its own.
             line = (
                 f"[{self.done:{self._width()}d}/{self.total}] "
-                f"{'retry':7s} {event.job_id} (attempt {event.attempt})"
+                f"{event.kind:7s} {event.job_id} (attempt {event.attempt})"
             )
             if event.error:
                 line += f" — {event.error}"

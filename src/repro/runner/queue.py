@@ -5,6 +5,17 @@ and executes them respecting ``after`` dependencies, retrying failures
 up to each spec's budget, consulting an optional content-addressed
 cache, and emitting :class:`JobEvent` notifications to observers.
 
+Resilience: every attempt may carry a wall-clock **deadline**
+(``JobSpec.deadline_s``, or the ``REPRO_JOB_DEADLINE_S`` environment
+default) — an attempt that outlives it is abandoned, emits a
+``timeout`` event, and is charged against the retry budget, so one
+hung job can never wedge a campaign.  Retries wait an exponentially
+growing, fully jittered **backoff** (``JobSpec.retry_backoff_s``),
+seedable per run for deterministic tests.  The scheduler also hosts
+the ``queue.attempt`` fault-injection site (:mod:`repro.faults`):
+``run_jobs(..., faults=...)`` activates a plan for the run, exported
+to pool workers through the environment.
+
 ``jobs=1`` runs everything serially in-process (no pickling, easiest to
 debug); ``jobs>1`` fans ready jobs out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`.  Both paths share the
@@ -25,12 +36,22 @@ parallel campaign aggregates observability without extra IPC.
 from __future__ import annotations
 
 import os
+import random
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError
+from ..faults import (
+    FaultPlan,
+    active_faults,
+    coerce_plan,
+    fault_site,
+    faults_active,
+)
 from ..telemetry import metrics, recorder, span
 from .cache import ResultCache
 from .events import (
@@ -41,6 +62,7 @@ from .events import (
     EVENT_SCHEDULED,
     EVENT_SKIPPED,
     EVENT_STARTED,
+    EVENT_TIMEOUT,
     Event,
     EventBus,
     JobEvent,
@@ -63,6 +85,7 @@ __all__ = [
     "EVENT_SCHEDULED",
     "EVENT_SKIPPED",
     "EVENT_STARTED",
+    "EVENT_TIMEOUT",
     "Event",
     "EventBus",
     "Executor",
@@ -81,6 +104,56 @@ CancelCheck = Callable[[], bool]
 
 #: Error text stamped on jobs skipped by a cancellation request.
 CANCELLED_ERROR = "cancelled"
+
+#: Environment variable supplying a default per-attempt deadline for
+#: specs that set none (``JobSpec.deadline_s`` wins when present).
+DEADLINE_ENV_VAR = "REPRO_JOB_DEADLINE_S"
+
+#: Ceiling on any single jittered backoff delay, seconds.
+BACKOFF_CAP_S = 30.0
+
+
+class _DeadlineExceeded(Exception):
+    """Internal marker: an attempt outlived its wall-clock deadline."""
+
+    def __init__(self, deadline_s: float):
+        super().__init__(f"deadline exceeded ({deadline_s:g}s)")
+        self.deadline_s = deadline_s
+
+
+def _env_deadline() -> float | None:
+    """The :data:`DEADLINE_ENV_VAR` default deadline, validated."""
+    raw = os.environ.get(DEADLINE_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{DEADLINE_ENV_VAR} must be a number of seconds, got {raw!r}"
+        ) from None
+    if not value > 0:
+        raise ConfigurationError(
+            f"{DEADLINE_ENV_VAR} must be positive, got {raw!r}"
+        )
+    return value
+
+
+def _backoff_delay(
+    spec: JobSpec, attempt: int, rng: random.Random
+) -> float:
+    """Full-jitter exponential backoff before retrying ``spec``.
+
+    ``attempt`` is the 1-based attempt that just failed; the delay is
+    uniform in ``[0, min(cap, base * 2**(attempt-1))]`` — the classic
+    "full jitter" scheme, which decorrelates retry storms better than
+    equal or decorrelated jitter at the same mean delay.
+    """
+    base = spec.retry_backoff_s
+    if base <= 0:
+        return 0.0
+    ceiling = min(BACKOFF_CAP_S, base * (2.0 ** (attempt - 1)))
+    return rng.uniform(0.0, ceiling)
 
 
 def topological_order(specs: Sequence[JobSpec]) -> list[JobSpec]:
@@ -125,12 +198,61 @@ def topological_order(specs: Sequence[JobSpec]) -> list[JobSpec]:
     return order
 
 
-def _attempt(spec: JobSpec, executor: Executor) -> tuple[Any, float, int]:
-    """Run one attempt, returning ``(value, duration_s, pid)``."""
+def _attempt(
+    spec: JobSpec, executor: Executor, attempt: int = 0
+) -> tuple[Any, float, int]:
+    """Run one attempt, returning ``(value, duration_s, pid)``.
+
+    The ``queue.attempt`` fault site exposes ``"<job_id>#<attempt>"``
+    as its job-id context: fault rules can target every attempt of a
+    job (``"shard-3#*"``), or exactly one (``"shard-3#1"``) — the only
+    trigger shape that stays deterministic across worker replacement,
+    since per-rule ``nth`` counters are per-process and a crashed
+    worker's replacement starts counting from zero.
+    """
+    fault_site("queue.attempt", f"{spec.job_id}#{attempt}")
     start = time.perf_counter()
     with span("job.execute", cat="queue", job_id=spec.job_id):
         value = executor(spec)
     return value, time.perf_counter() - start, os.getpid()
+
+
+def _attempt_with_deadline(
+    spec: JobSpec,
+    executor: Executor,
+    deadline: float | None,
+    attempt: int = 0,
+) -> tuple[Any, float, int]:
+    """Serial attempt under a wall-clock watchdog.
+
+    With no deadline this is :func:`_attempt` unchanged (no thread).
+    Otherwise the attempt runs on a daemon thread the caller waits on
+    for at most ``deadline`` seconds; on expiry the thread is abandoned
+    (it cannot be killed, but it no longer blocks the campaign) and
+    :class:`_DeadlineExceeded` is raised.  A late result from an
+    abandoned attempt is discarded, never resolved.
+    """
+    if deadline is None:
+        return _attempt(spec, executor, attempt)
+    box: list[tuple[str, Any]] = []
+
+    def _target() -> None:
+        try:
+            box.append(("ok", _attempt(spec, executor, attempt)))
+        except BaseException as error:  # noqa: BLE001 - relayed to caller
+            box.append(("err", error))
+
+    watchdog = threading.Thread(
+        target=_target, name=f"attempt-{spec.job_id}", daemon=True
+    )
+    watchdog.start()
+    watchdog.join(deadline)
+    if watchdog.is_alive() or not box:
+        raise _DeadlineExceeded(deadline)
+    status, payload = box[0]
+    if status == "err":
+        raise payload
+    return payload
 
 
 def _telemetry_marks() -> tuple[dict[str, Any], int]:
@@ -150,7 +272,9 @@ def _telemetry_delta(
     return {"metrics": delta, "spans": spans}
 
 
-def _pool_attempt(spec: JobSpec) -> tuple[Any, float, int, Any]:
+def _pool_attempt(
+    spec: JobSpec, attempt: int = 0
+) -> tuple[Any, float, int, Any]:
     """Module-level worker entry point (picklable by reference).
 
     Returns ``(value, duration_s, pid, telemetry)`` — the fourth slot
@@ -158,16 +282,16 @@ def _pool_attempt(spec: JobSpec) -> tuple[Any, float, int, Any]:
     into the parent's registries when the result resolves.
     """
     marks = _telemetry_marks()
-    value, duration, pid = _attempt(spec, execute)
+    value, duration, pid = _attempt(spec, execute, attempt)
     return value, duration, pid, _telemetry_delta(marks)
 
 
 def _pool_custom_attempt(
-    spec: JobSpec, executor: Executor
+    spec: JobSpec, executor: Executor, attempt: int = 0
 ) -> tuple[Any, float, int, Any]:
     """Worker entry point for a custom (picklable) executor."""
     marks = _telemetry_marks()
-    value, duration, pid = _attempt(spec, executor)
+    value, duration, pid = _attempt(spec, executor, attempt)
     return value, duration, pid, _telemetry_delta(marks)
 
 
@@ -194,6 +318,23 @@ def _make_pool(max_workers: int) -> ProcessPoolExecutor:
     )
 
 
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting for hung workers.
+
+    ``ProcessPoolExecutor`` has no per-task cancellation once a worker
+    is executing, so an expired deadline means replacing the pool:
+    terminate every worker (hung ones included — that is the point),
+    then shut down without blocking.  The executor machinery treats
+    the terminations like any other abrupt worker death and unwinds
+    cleanly; a later ``shutdown(wait=True)`` from a context manager
+    only joins already-dead processes.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class _Run:
     """Shared bookkeeping for one :func:`run_jobs` invocation."""
 
@@ -205,8 +346,14 @@ class _Run:
         run_id: str = "",
         bus: EventBus | None = None,
         cancel: CancelCheck | None = None,
+        backoff_seed: int | None = None,
     ):
         self.order = topological_order(specs)
+        self.default_deadline = _env_deadline()
+        #: One rng for every backoff draw in the run: seeded, the whole
+        #: retry schedule is reproducible; unseeded, delays decorrelate
+        #: across concurrent campaigns (what production wants).
+        self.backoff_rng = random.Random(backoff_seed)
         self.by_id = {spec.job_id: spec for spec in self.order}
         self.dependents: dict[str, list[str]] = {
             spec.job_id: [] for spec in self.order
@@ -270,6 +417,33 @@ class _Run:
             self.done_by_key[result.key] = result
         if self.cache is not None and result.status == STATUS_OK:
             self.cache.put(self.by_id[result.job_id], result)
+
+    def deadline_for(self, spec: JobSpec) -> float | None:
+        """Effective per-attempt deadline: spec first, then env default."""
+        if spec.deadline_s is not None:
+            return spec.deadline_s
+        return self.default_deadline
+
+    def backoff_delay(self, spec: JobSpec, attempt: int) -> float:
+        """Draw (and record) the jittered delay before the next retry."""
+        delay = _backoff_delay(spec, attempt, self.backoff_rng)
+        if delay > 0:
+            metrics().observe("queue.backoff_s", delay)
+        return delay
+
+    def timed_out(self, spec: JobSpec, attempt: int) -> str:
+        """Account one expired attempt; returns its error text."""
+        deadline = self.deadline_for(spec)
+        error_text = f"deadline exceeded ({deadline:g}s)"
+        metrics().count("queue.timeouts")
+        self._event(
+            EVENT_TIMEOUT,
+            spec.job_id,
+            attempt=attempt,
+            duration_s=float(deadline or 0.0),
+            error=error_text,
+        )
+        return error_text
 
     def cancelled(self) -> bool:
         """Whether the cancellation probe (if any) has fired."""
@@ -342,6 +516,8 @@ def run_jobs(
     run_id: str = "",
     bus: EventBus | None = None,
     cancel: CancelCheck | None = None,
+    backoff_seed: int | None = None,
+    faults: FaultPlan | str | Mapping[str, Any] | None = None,
 ) -> dict[str, JobResult]:
     """Execute a batch of job specs; return results keyed by job id.
 
@@ -375,59 +551,93 @@ def run_jobs(
         resolves as skipped with error ``"cancelled"`` (emitting its
         terminal event); attempts already executing finish normally and
         keep their results.
+    backoff_seed:
+        Seed for the run's retry-backoff jitter.  ``None`` (default)
+        draws from entropy; a fixed seed makes the whole retry
+        schedule reproducible for tests.
+    faults:
+        Optional fault-injection plan for this run — a
+        :class:`~repro.faults.FaultPlan`, a plan mapping, inline JSON,
+        or a plan-file path (see :func:`~repro.faults.coerce_plan`).
+        Activated for the duration of the call and exported through
+        ``REPRO_FAULTS`` so pool workers inherit it.  Jobs already
+        honouring ``REPRO_FAULTS`` from the environment need nothing
+        here.
     """
     spec_list = list(specs)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    run = _Run(
-        spec_list, cache, observers, run_id=run_id, bus=bus, cancel=cancel
-    )
-    if not run.order:
-        return {}
-    if jobs == 1:
-        _run_serial(run, executor)
-    else:
-        _run_pool(run, jobs, executor)
-    return run.results
+    if faults is None:
+        # A malformed REPRO_FAULTS plan must fail the run up front,
+        # not surface as a per-job failure at the first probe.
+        faults_active()
+    with active_faults(coerce_plan(faults)):
+        run = _Run(
+            spec_list, cache, observers, run_id=run_id, bus=bus,
+            cancel=cancel, backoff_seed=backoff_seed,
+        )
+        if not run.order:
+            return {}
+        if jobs == 1:
+            _run_serial(run, executor)
+        else:
+            _run_pool(run, jobs, executor)
+        return run.results
 
 
 def _execute_with_retries(
     run: _Run, spec: JobSpec, executor: Executor
 ) -> None:
-    """Serial path: attempt (with retries) and resolve one spec."""
+    """Serial path: attempt (with retries) and resolve one spec.
+
+    One counter (``attempt``) drives the loop, the events, and the
+    final result's ``attempts`` field — it can never disagree with
+    itself the way a loop index plus a recomputed ``retries + 1``
+    could.
+    """
     error_text = ""
     duration = 0.0
-    for attempt in range(1, spec.retries + 2):
+    deadline = run.deadline_for(spec)
+    attempt = 0
+    while attempt <= spec.retries:
+        attempt += 1
         run._event(EVENT_STARTED, spec.job_id, attempt=attempt)
         try:
-            value, duration, pid = _attempt(spec, executor)
+            value, duration, pid = _attempt_with_deadline(
+                spec, executor, deadline, attempt
+            )
+        except _DeadlineExceeded:
+            error_text = run.timed_out(spec, attempt)
         except Exception as error:  # noqa: BLE001 - jobs may raise anything
             error_text = f"{type(error).__name__}: {error}"
-            if attempt <= spec.retries:
-                run._event(
-                    EVENT_RETRY, spec.job_id, attempt=attempt,
-                    error=error_text,
+        else:
+            run.resolve(
+                JobResult(
+                    job_id=spec.job_id,
+                    key=spec.key,
+                    status=STATUS_OK,
+                    value=value,
+                    attempts=attempt,
+                    duration_s=duration,
+                    worker_pid=pid,
                 )
-            continue
-        run.resolve(
-            JobResult(
-                job_id=spec.job_id,
-                key=spec.key,
-                status=STATUS_OK,
-                value=value,
-                attempts=attempt,
-                duration_s=duration,
-                worker_pid=pid,
             )
-        )
-        return
+            return
+        if attempt <= spec.retries:
+            run._event(
+                EVENT_RETRY, spec.job_id, attempt=attempt,
+                error=error_text,
+            )
+            delay = run.backoff_delay(spec, attempt)
+            if delay > 0:
+                time.sleep(delay)
     run.resolve(
         JobResult(
             job_id=spec.job_id,
             key=spec.key,
             status=STATUS_FAILED,
             error=error_text,
-            attempts=spec.retries + 1,
+            attempts=attempt,
             duration_s=duration,
         )
     )
@@ -496,6 +706,7 @@ def _solo_round(
     if run.from_cache(spec):  # a same-key twin may have finished since
         return
     error_text = ""
+    deadline = run.deadline_for(spec)
     while True:
         attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
         attempt = attempts[spec.job_id]
@@ -503,10 +714,24 @@ def _solo_round(
         try:
             with _make_pool(1) as pool:
                 if executor is execute:
-                    future = pool.submit(_pool_attempt, spec)
+                    future = pool.submit(_pool_attempt, spec, attempt)
                 else:
-                    future = pool.submit(_pool_custom_attempt, spec, executor)
-                value, duration, pid, telemetry = future.result()
+                    future = pool.submit(
+                        _pool_custom_attempt, spec, executor, attempt
+                    )
+                try:
+                    value, duration, pid, telemetry = future.result(
+                        timeout=deadline
+                    )
+                except FutureTimeout:
+                    if future.done():
+                        # The *job* raised TimeoutError; let it take the
+                        # ordinary job-failure path below.
+                        raise
+                    _abandon_pool(pool)
+                    raise _DeadlineExceeded(deadline or 0.0) from None
+        except _DeadlineExceeded:
+            error_text = run.timed_out(spec, attempt)
         except BrokenProcessPool:
             error_text = "worker process died (job killed its worker)"
         except Exception as error:  # noqa: BLE001 - jobs may raise anything
@@ -529,6 +754,9 @@ def _solo_round(
             run._event(
                 EVENT_RETRY, spec.job_id, attempt=attempt, error=error_text
             )
+            delay = run.backoff_delay(spec, attempt)
+            if delay > 0:
+                time.sleep(delay)
             continue
         run.resolve(
             JobResult(
@@ -542,6 +770,86 @@ def _solo_round(
         return
 
 
+def _expired_futures(
+    in_flight: dict[Future, JobSpec], deadlines: dict[Future, float]
+) -> list[Future]:
+    """In-flight futures whose deadline has passed and are not done."""
+    now = time.monotonic()
+    return [
+        future
+        for future, cutoff in deadlines.items()
+        if future in in_flight and now >= cutoff and not future.done()
+    ]
+
+
+def _evict_overdue(
+    run: _Run,
+    pool: ProcessPoolExecutor,
+    in_flight: dict[Future, JobSpec],
+    deadlines: dict[Future, float],
+    attempts: dict[str, int],
+    overdue: list[Future],
+) -> list[JobSpec]:
+    """Replace a pool holding expired attempts; return specs to requeue.
+
+    Three populations, three treatments:
+
+    * an overdue future the pool never *started* is cancelled and
+      requeued with its attempt refunded (queue wait ate the window —
+      an undersized pool, not a hung job),
+    * an overdue *running* attempt is charged: ``timeout`` event, then
+      retry (no backoff — a hung retry already pays the full deadline)
+      or terminal failure by its budget,
+    * innocent in-flight jobs lose their worker with the pool; they are
+      requeued with the interrupted attempt refunded.
+
+    The caller restores topological order over the returned specs.
+    """
+    requeue: list[JobSpec] = []
+    for future in overdue:
+        spec = in_flight.pop(future)
+        deadlines.pop(future, None)
+        if future.cancel():
+            run._event(
+                EVENT_RETRY, spec.job_id,
+                attempt=attempts.get(spec.job_id, 0),
+                error="pool replaced before the attempt started; requeued",
+            )
+            attempts[spec.job_id] -= 1
+            requeue.append(spec)
+            continue
+        attempt = attempts[spec.job_id]
+        error_text = run.timed_out(spec, attempt)
+        if attempt <= spec.retries:
+            run._event(
+                EVENT_RETRY, spec.job_id, attempt=attempt,
+                error=error_text,
+            )
+            requeue.append(spec)
+        else:
+            run.resolve(
+                JobResult(
+                    job_id=spec.job_id,
+                    key=spec.key,
+                    status=STATUS_FAILED,
+                    error=error_text,
+                    attempts=attempt,
+                )
+            )
+    for spec in in_flight.values():
+        run._event(
+            EVENT_RETRY, spec.job_id,
+            attempt=attempts.get(spec.job_id, 0),
+            error="pool replaced (deadline eviction); requeued",
+        )
+        attempts[spec.job_id] -= 1
+        requeue.append(spec)
+    in_flight.clear()
+    deadlines.clear()
+    _abandon_pool(pool)
+    return requeue
+
+
 def _batch_round(
     run: _Run,
     jobs: int,
@@ -549,12 +857,27 @@ def _batch_round(
     pending: list[JobSpec],
     attempts: dict[str, int],
 ) -> tuple[list[str], list[JobSpec]]:
-    """Run one pool until the work drains or the pool breaks.
+    """Run one pool until the work drains, breaks, or misses a deadline.
 
     Returns ``(suspect_job_ids, remaining_pending)`` — suspects are the
     jobs that were in flight when the pool broke (empty normally).
+
+    Deadlines: a future's clock starts at submission (the pool cannot
+    report when a worker picks a task up), so in a saturated pool the
+    budget covers queue wait plus execution.  A future the pool never
+    started is cancelled and requeued *uncharged* when its window
+    expires — only attempts that actually ran are charged.  Because
+    workers cannot be interrupted individually, an expired running
+    attempt evicts the whole pool (:func:`_abandon_pool`); innocent
+    co-flying jobs are requeued with the interrupted attempt refunded.
     """
     in_flight: dict[Future, JobSpec] = {}
+    #: Absolute monotonic cutoffs for in-flight futures with deadlines.
+    deadlines: dict[Future, float] = {}
+    #: job id -> monotonic instant its backoff window closes.  Local to
+    #: the round: a pool replacement forgets open windows, which only
+    #: makes those retries sooner, never lost.
+    not_before: dict[str, float] = {}
 
     def submit_ready(pool: ProcessPoolExecutor) -> None:
         nonlocal pending
@@ -567,43 +890,74 @@ def _batch_round(
             pending = []
             return
         inflight_keys = {spec.key for spec in in_flight.values()}
-        progress = True
-        while progress:
-            progress = False
-            still_pending: list[JobSpec] = []
-            for spec in pending:
-                if spec.job_id in run.results:
-                    # Already resolved in an earlier round (a pool break
-                    # can leave stale entries in the pending list).
-                    continue
-                if not run.deps_resolved(spec):
-                    still_pending.append(spec)
-                    continue
-                failed = run.failed_dep(spec)
-                if failed is not None:
-                    run.skip(spec, failed)
-                    progress = True  # may unblock dependents' skip cascade
-                    continue
-                if run.from_cache(spec):
-                    progress = True  # cached result may ready dependents
-                    continue
-                if spec.key in inflight_keys:
-                    # A same-key job is already executing; hold this one
-                    # back so it resolves as "cached" like in serial mode.
-                    still_pending.append(spec)
-                    continue
-                attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
-                run._event(
-                    EVENT_STARTED, spec.job_id,
-                    attempt=attempts[spec.job_id],
-                )
-                if executor is execute:
-                    future = pool.submit(_pool_attempt, spec)
-                else:
-                    future = pool.submit(_pool_custom_attempt, spec, executor)
-                in_flight[future] = spec
-                inflight_keys.add(spec.key)
-            pending = still_pending
+        while True:
+            progress = True
+            while progress:
+                progress = False
+                now = time.monotonic()
+                still_pending: list[JobSpec] = []
+                for spec in pending:
+                    if spec.job_id in run.results:
+                        # Already resolved in an earlier round (a pool break
+                        # can leave stale entries in the pending list).
+                        continue
+                    if not run.deps_resolved(spec):
+                        still_pending.append(spec)
+                        continue
+                    failed = run.failed_dep(spec)
+                    if failed is not None:
+                        run.skip(spec, failed)
+                        progress = True  # may unblock dependents' skip cascade
+                        continue
+                    if run.from_cache(spec):
+                        progress = True  # cached result may ready dependents
+                        continue
+                    if spec.key in inflight_keys:
+                        # A same-key job is already executing; hold this one
+                        # back so it resolves as "cached" like in serial mode.
+                        still_pending.append(spec)
+                        continue
+                    if not_before.get(spec.job_id, 0.0) > now:
+                        # Backoff window still open; retry later.
+                        still_pending.append(spec)
+                        continue
+                    not_before.pop(spec.job_id, None)
+                    attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
+                    run._event(
+                        EVENT_STARTED, spec.job_id,
+                        attempt=attempts[spec.job_id],
+                    )
+                    if executor is execute:
+                        future = pool.submit(
+                            _pool_attempt, spec, attempts[spec.job_id]
+                        )
+                    else:
+                        future = pool.submit(
+                            _pool_custom_attempt, spec, executor,
+                            attempts[spec.job_id],
+                        )
+                    deadline = run.deadline_for(spec)
+                    if deadline is not None:
+                        deadlines[future] = now + deadline
+                    in_flight[future] = spec
+                    inflight_keys.add(spec.key)
+                pending = still_pending
+            if in_flight or not pending:
+                break
+            # Nothing executing, yet work remains: every runnable spec
+            # is inside a backoff window (dep-blocked specs need
+            # in-flight work to unblock, which there is none of).
+            # Sleep the shortest window out so the round cannot spin.
+            waits = [
+                not_before[spec.job_id] - time.monotonic()
+                for spec in pending
+                if spec.job_id in not_before
+            ]
+            if not waits:
+                break
+            pause = max(0.0, min(waits))
+            if pause > 0:
+                time.sleep(pause)
         metrics().gauge("queue.depth", len(pending))
         metrics().gauge_max("queue.active", len(in_flight))
 
@@ -611,11 +965,18 @@ def _batch_round(
         with _make_pool(jobs) as pool:
             submit_ready(pool)
             while in_flight:
+                timeout = None
+                if deadlines:
+                    timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
                 done, _ = wait(
-                    list(in_flight), return_when=FIRST_COMPLETED
+                    list(in_flight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
                 )
                 for future in done:
                     spec = in_flight.pop(future)
+                    deadlines.pop(future, None)
                     attempt = attempts[spec.job_id]
                     try:
                         value, duration, pid, telemetry = future.result()
@@ -629,6 +990,11 @@ def _batch_round(
                                 EVENT_RETRY, spec.job_id, attempt=attempt,
                                 error=error_text,
                             )
+                            delay = run.backoff_delay(spec, attempt)
+                            if delay > 0:
+                                not_before[spec.job_id] = (
+                                    time.monotonic() + delay
+                                )
                             pending.append(spec)  # resubmit below
                         else:
                             run.resolve(
@@ -653,6 +1019,17 @@ def _batch_round(
                             telemetry=telemetry,
                         )
                     )
+                overdue = _expired_futures(in_flight, deadlines)
+                if overdue:
+                    requeue = _evict_overdue(
+                        run, pool, in_flight, deadlines, attempts, overdue
+                    )
+                    requeue.extend(pending)
+                    order_index = {
+                        spec.job_id: i for i, spec in enumerate(run.order)
+                    }
+                    requeue.sort(key=lambda spec: order_index[spec.job_id])
+                    return [], requeue
                 submit_ready(pool)
     except BrokenProcessPool:
         # Someone killed a worker; every in-flight job is a suspect and

@@ -48,6 +48,7 @@ from typing import Any, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError, InfeasibleDesignError
+from ..faults import fault_site
 from ..telemetry import metrics, span
 from . import codec as _codec
 from .campaign import Campaign
@@ -537,6 +538,7 @@ class _BlockWriter:
             }
 
     def _emit(self, lo: int, hi: int) -> None:
+        fault_site("merge.flush")
         with metrics().timer("merge.flush_s"):
             payload = _codec.pack_series(
                 self._values[lo:hi],
@@ -631,6 +633,7 @@ def merge_shards(
             nonlocal chunk, point_records
             if not chunk:
                 return
+            fault_site("merge.flush")
             with metrics().timer("merge.flush_s"):
                 store.append_many(chunk)
             point_records += len(chunk)

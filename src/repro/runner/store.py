@@ -196,6 +196,19 @@ class ResultStore:
 
     # -- maintenance -------------------------------------------------------
 
+    def verify(self) -> dict[str, Any]:
+        """Integrity-scan the whole history (see backend ``verify``).
+
+        Read-only: damaged records are reported, not rewritten — they
+        stay quarantined on every read path, and recomputing their
+        jobs (the content key now reads as missing) restores the data.
+        """
+        name = self._metric("verify")
+        metrics().count(name)
+        with metrics().timer(f"{name}_s"):
+            stats = self._backend.verify()
+        return stats
+
     def compact(self) -> int:
         """Drop superseded history (keep latest + latest-``ok`` per key).
 

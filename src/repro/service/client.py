@@ -15,6 +15,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Any, Iterator
 from urllib.parse import urlsplit
 
@@ -119,6 +120,8 @@ class ServiceClient:
         *,
         throttle_s: float = 0.0,
         timeout: float | None = None,
+        reconnect: int = 0,
+        reconnect_delay_s: float = 0.5,
     ) -> Iterator[Event]:
         """Stream a run's events until its close frame.
 
@@ -127,9 +130,20 @@ class ServiceClient:
         events — exactly as the server's sidecar records them.
         ``throttle_s`` is the documented slow-client test hook (the
         *server* sleeps that long after each frame).
+
+        ``reconnect`` allows that many re-dials after a dropped or
+        stalled stream (server restart, injected WS drop); the stream
+        resumes from the last seen ``seq`` via the server's
+        ``?after_seq=`` replay, so the yielded sequence stays
+        bit-exact and gap-free across reconnects.
         """
         for line in self.watch_lines(
-            run_id, after_seq, throttle_s=throttle_s, timeout=timeout
+            run_id,
+            after_seq,
+            throttle_s=throttle_s,
+            timeout=timeout,
+            reconnect=reconnect,
+            reconnect_delay_s=reconnect_delay_s,
         ):
             yield event_from_json(line)
 
@@ -140,20 +154,67 @@ class ServiceClient:
         *,
         throttle_s: float = 0.0,
         timeout: float | None = None,
+        reconnect: int = 0,
+        reconnect_delay_s: float = 0.5,
     ) -> Iterator[str]:
         """Like :meth:`watch` but yields the raw canonical JSON lines.
 
         This is the bit-exactness surface: each yielded string is one
         WS text-frame payload, byte-identical to the corresponding
-        sidecar line on the server.
+        sidecar line on the server.  A stream that dies without a
+        close frame raises :class:`ServiceError` (status 502 for an
+        abrupt EOF, 408 for a read stall) unless ``reconnect``
+        attempts remain, in which case the client re-dials after
+        ``reconnect_delay_s`` and resumes from the highest ``seq`` it
+        already yielded — the server replays the sidecar, so no line
+        is lost or repeated.
         """
+        last_seq = after_seq
+        attempts_left = max(0, reconnect)
+        while True:
+            try:
+                for line in self._stream_once(
+                    run_id, last_seq, throttle_s, timeout
+                ):
+                    try:
+                        seq = json.loads(line).get("seq")
+                    except ValueError:
+                        seq = None
+                    if isinstance(seq, int) and seq > last_seq:
+                        last_seq = seq
+                    yield line
+                return
+            except (ServiceError, OSError):
+                if attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                time.sleep(reconnect_delay_s)
+
+    def _stream_once(
+        self,
+        run_id: str,
+        after_seq: int,
+        throttle_s: float,
+        timeout: float | None,
+    ) -> Iterator[str]:
+        """One WebSocket dial: handshake, then frames until close.
+
+        The connect timeout doubles as the streaming read timeout
+        (applied with ``settimeout`` after the dial), so a stalled
+        server surfaces as ``ServiceError`` 408 instead of a silent
+        hang; an EOF without a close frame — killed server, dropped
+        connection — raises 502 instead of ending the iteration as if
+        the stream had finished.
+        """
+        stall_s = timeout or self.timeout
         target = f"/campaigns/{run_id}/events?after_seq={after_seq}"
         if throttle_s > 0:
             target += f"&throttle_s={throttle_s}"
         sock = socket.create_connection(
-            (self.host, self.port), timeout=timeout or self.timeout
+            (self.host, self.port), timeout=stall_s
         )
         try:
+            sock.settimeout(stall_s)
             key = protocol.new_websocket_key()
             sock.sendall(
                 protocol.handshake_request(self.host, self.port, target, key)
@@ -164,9 +225,20 @@ class ServiceClient:
             data = tail
             while not closed:
                 if not data:
-                    data = sock.recv(65536)
+                    try:
+                        data = sock.recv(65536)
+                    except TimeoutError:
+                        raise ServiceError(
+                            408,
+                            f"event stream stalled: no data for "
+                            f"{stall_s:g}s",
+                        ) from None
                     if not data:
-                        break
+                        raise ServiceError(
+                            502,
+                            "server closed the event stream without a "
+                            "close frame",
+                        )
                 frames = parser.feed(data)
                 data = b""
                 for frame in frames:

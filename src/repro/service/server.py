@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..errors import ConfigurationError, ReproError
+from ..faults import ACTION_DROP, fault_site
 from ..runner.campaign import Campaign, run_campaign
 from ..runner.events import Event, EventBus, event_from_json, event_to_json
 from ..runner.jobs import json_safe
@@ -251,6 +252,11 @@ class CampaignServer:
     queue_size:
         Per-WebSocket-client queue bound (see
         :class:`~repro.service.hub.EventHub`).
+    drain_grace_s:
+        How long :meth:`stop` lets in-flight WebSocket streams finish
+        naturally (deliver their ``STREAM_END`` tail and close frame)
+        before cancelling them.  Run threads are always joined first,
+        so run records and sidecars are flushed regardless.
     """
 
     def __init__(
@@ -264,6 +270,7 @@ class CampaignServer:
         runs_dir: str | None = None,
         trace_dir: str | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        drain_grace_s: float = 2.0,
     ) -> None:
         self.store_path = str(store_path)
         self.store_backend = store_backend
@@ -272,6 +279,7 @@ class CampaignServer:
         self.jobs = jobs
         self.runs_dir = runs_dir or self.store_path + ".events"
         self.trace_dir = trace_dir
+        self.drain_grace_s = drain_grace_s
         self.hub = EventHub(queue_size=queue_size)
         self._runs: dict[str, _RunState] = {}
         self._runs_lock = threading.Lock()
@@ -303,7 +311,11 @@ class CampaignServer:
         return self
 
     def stop(self) -> None:
-        """Cancel every live run, close the listener, join the thread."""
+        """Cancel every live run, close the listener, join the thread.
+
+        Idempotent: an explicit ``stop()`` inside a ``with`` block (or
+        any repeated call) is a no-op the second time around.
+        """
         with self._runs_lock:
             runs = list(self._runs.values())
         for run in runs:
@@ -312,10 +324,13 @@ class CampaignServer:
             if run.thread is not None:
                 run.thread.join()
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            if not self._loop.is_closed():
+                self._loop.call_soon_threadsafe(self._stop.set)
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        self._loop = None
+        self._stop = None
 
     def __enter__(self) -> "CampaignServer":
         # idempotent so `with api.serve(...)` (already started) works
@@ -354,6 +369,16 @@ class CampaignServer:
         finally:
             server.close()
             await server.wait_closed()
+            # Graceful drain: stop() has already joined every run
+            # thread, so each live channel has its STREAM_END queued
+            # and each sidecar/run record is on disk.  Give in-flight
+            # streams a grace window to deliver that tail and their
+            # close frame before cancelling whatever remains (idle
+            # keep-alive connections, pathologically slow clients).
+            if self._connections and self.drain_grace_s > 0:
+                await asyncio.wait(
+                    self._connections, timeout=self.drain_grace_s
+                )
             for task in list(self._connections):
                 task.cancel()
             if self._connections:
@@ -821,7 +846,7 @@ class CampaignServer:
         await writer.drain()
         try:
             await self._stream_events(
-                writer, reader, subscription, replay, throttle_s
+                writer, reader, subscription, replay, throttle_s, run_id
             )
         except (ConnectionError, BrokenPipeError):
             pass
@@ -836,8 +861,18 @@ class CampaignServer:
         subscription: Subscription | None,
         replay: list[str] | None,
         throttle_s: float,
+        run_id: str,
     ) -> None:
         async def send_line(line: str) -> None:
+            fired = fault_site("service.ws.send", run_id)
+            if fired is not None and fired.action == ACTION_DROP:
+                # Injected network partition: kill the transport with
+                # no close frame, exactly what a yanked cable looks
+                # like to the client (ServiceError 502 → reconnect).
+                writer.transport.abort()
+                raise ConnectionResetError(
+                    f"injected WS drop for run {run_id}"
+                )
             writer.write(protocol.text_frame(line))
             await writer.drain()
             if throttle_s > 0:

@@ -1,0 +1,39 @@
+"""Fault-injection test fixtures.
+
+Every test here arms process-global state (the active plan and the
+``REPRO_FAULTS`` env check), so an autouse fixture restores the
+pristine import state around each test — no plan, env unchecked.
+Worker-pool tests also need :mod:`runner_workers` importable, same
+trick as ``tests/runner/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_WORKERS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "runner"
+)
+
+if _WORKERS_DIR not in sys.path:
+    sys.path.insert(0, _WORKERS_DIR)
+
+_existing = os.environ.get("PYTHONPATH", "")
+if _WORKERS_DIR not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _WORKERS_DIR + (os.pathsep + _existing if _existing else "")
+    )
+
+
+@pytest.fixture(autouse=True)
+def pristine_faults(monkeypatch):
+    """Disarm fault injection and clear its env var around each test."""
+    from repro.faults import FAULTS_ENV_VAR, reset
+
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    reset()
+    yield
+    reset()

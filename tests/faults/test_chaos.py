@@ -1,0 +1,160 @@
+"""Chaos suite: random fault plans against a real sharded sweep.
+
+The property under test is the robustness contract of the whole
+pipeline: under any plan of injected raises and torn writes, a
+campaign either
+
+* converges — every job succeeds (retries absorbing the faults) and
+  the merged points are *bit-exact* against an undisturbed baseline —
+  or
+* fails loudly — the result reports the failed jobs with their error
+  text, or the injection surfaces as an exception.
+
+What must never happen is the third thing: an "ok" result whose data
+silently differs, or a store scan that crashes on quarantined damage.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan, InjectedFault, reset
+from repro.runner import (
+    ResultStore,
+    collect_points,
+    run_campaign,
+    run_jobs,
+    sharded_sweep_campaign,
+)
+from repro.runner.integrity import damage_total
+from repro.runner.jobs import JobSpec
+
+GRID = [float(v) for v in range(12)]
+TARGET = "runner_workers:array_curve"
+
+#: Site patterns a random plan may aim at (all exercised by a sweep).
+SITES = (
+    "queue.attempt",
+    "store.append",
+    "store.iter",
+    "store.get",
+    "codec.unpack",
+    "merge.flush",
+    "store.*",
+    "*",
+)
+
+_rules = st.lists(
+    st.fixed_dictionaries(
+        {
+            "site": st.sampled_from(SITES),
+            "action": st.sampled_from(["raise", "torn_write"]),
+            "nth": st.integers(min_value=1, max_value=5),
+            "times": st.integers(min_value=1, max_value=2),
+        }
+    ),
+    min_size=0,
+    max_size=4,
+)
+
+
+def _sweep(store_path, **kwargs):
+    return sharded_sweep_campaign(
+        "chaos", TARGET, "values", GRID, store_path=store_path, shards=2,
+        retries=3, **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The undisturbed sweep's merged points (the bit-exact oracle)."""
+    store_path = str(tmp_path_factory.mktemp("baseline") / "s.jsonl")
+    campaign = _sweep(store_path)
+    result = run_campaign(campaign, store_path=store_path)
+    assert result.ok
+    return collect_points(store_path, campaign)
+
+
+class TestChaosProperty:
+    @given(rules=_rules)
+    @settings(max_examples=25, deadline=None)
+    def test_converges_bit_exact_or_fails_loudly(
+        self, rules, baseline, tmp_path_factory
+    ):
+        reset()  # hypothesis reuses the process; no plan bleed-over
+        store_path = str(tmp_path_factory.mktemp("chaos") / "s.jsonl")
+        campaign = _sweep(store_path)
+        plan = FaultPlan.from_json({"rules": rules})
+        try:
+            result = run_campaign(
+                campaign, store_path=store_path, faults=plan
+            )
+        except (InjectedFault, ReproError):
+            return  # loud is allowed; silent wrongness is not
+        finally:
+            reset()
+        if result.ok:
+            assert collect_points(store_path, campaign) == baseline
+        else:
+            assert result.failures
+            for job_id in result.failures:
+                assert result.results[job_id].error
+        # Quarantined damage never breaks a scan.
+        store = ResultStore(store_path)
+        try:
+            stats = store.verify()
+        finally:
+            store.close()
+        assert damage_total(stats) >= 0
+
+
+class TestCannedScenarios:
+    def test_torn_write_quarantined_then_retried(self, tmp_path):
+        store_path = str(tmp_path / "s.jsonl")
+        campaign = _sweep(store_path)
+        # Aimed at the merge's block-record append (job-id context):
+        # that write happens inside the merge attempt, so the retry
+        # loop absorbs the injected power loss and re-appends it.
+        plan = {
+            "rules": [
+                {"site": "store.append", "action": "torn_write",
+                 "bytes": 400, "job_id": "chaos/block*"},
+            ]
+        }
+        result = run_campaign(
+            campaign, store_path=store_path, faults=plan
+        )
+        assert result.ok  # the retry re-appended past the torn record
+        assert result.results["chaos/merge"].attempts == 2
+        store = ResultStore(store_path)
+        try:
+            stats = store.verify()
+        finally:
+            store.close()
+        assert damage_total(stats) >= 1  # the tear is still on disk
+
+    def test_worker_crash_converges_across_pool_replacement(
+        self, tmp_path
+    ):
+        # A crash kills the worker process hard (os._exit); the
+        # "<job_id>#<attempt>" site context makes the rule fire on the
+        # first attempt only, whichever replacement worker runs it.
+        plan = {
+            "rules": [
+                {"site": "queue.attempt", "action": "crash",
+                 "job_id": "c1#1"},
+            ]
+        }
+        specs = [
+            JobSpec("c1", "callable", "runner_workers:add",
+                    params={"a": 1, "b": 2}, retries=2),
+            JobSpec("c2", "callable", "runner_workers:add",
+                    params={"a": 3, "b": 4}, retries=2),
+        ]
+        results = run_jobs(specs, jobs=2, faults=plan)
+        assert results["c1"].status == "ok" and results["c1"].value == 3
+        assert results["c1"].attempts == 2
+        assert results["c2"].status == "ok" and results["c2"].value == 7

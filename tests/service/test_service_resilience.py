@@ -1,0 +1,219 @@
+"""Service resilience tests: stalls, drops, reconnects, shutdown drain."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.faults import activate, reset
+from repro.service import CampaignServer, ServiceClient
+from repro.service.client import ServiceError
+from repro.service.server import TERMINAL_STATES
+
+
+@pytest.fixture(autouse=True)
+def pristine_faults():
+    reset()
+    yield
+    reset()
+
+
+def sweep_spec(name="sweep", num=20, shards=2):
+    return {
+        "kind": "sweep",
+        "name": name,
+        "target": "runner_workers:array_curve",
+        "parameter": "values",
+        "values": [float(v) for v in range(num)],
+        "shards": shards,
+    }
+
+
+def slow_spec(name="slow", count=6, delay_s=0.3):
+    return {
+        "kind": "sweep",
+        "name": name,
+        "target": "runner_workers:slow_identity",
+        "parameter": "value",
+        "values": [float(v) for v in range(count)],
+        "shards": count,
+        "batch": False,
+        "common": {"delay_s": delay_s},
+    }
+
+
+def wait_terminal(client, run_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.status(run_id)
+        if status["state"] in TERMINAL_STATES:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"run {run_id} still {status['state']!r}")
+
+
+def seqs(lines):
+    return [json.loads(line)["seq"] for line in lines]
+
+
+class TestStreamFailureModes:
+    def test_abrupt_eof_raises_not_truncates(self, server, client):
+        run_id = client.submit(sweep_spec())
+        wait_terminal(client, run_id)
+        activate(
+            {"rules": [{"site": "service.ws.send", "action": "drop",
+                        "nth": 3}]}
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.watch_lines(run_id))
+        assert excinfo.value.status == 502
+        assert "without a close frame" in str(excinfo.value)
+
+    def test_stalled_stream_raises_408(self, server, client):
+        run_id = client.submit(sweep_spec())
+        wait_terminal(client, run_id)
+        # A hang on the send path freezes the stream mid-flight; the
+        # client's read timeout turns that into a clear error instead
+        # of a silent hang.
+        activate(
+            {"rules": [{"site": "service.ws.send", "action": "hang",
+                        "seconds": 5.0, "nth": 2}]}
+        )
+        start = time.monotonic()
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.watch_lines(run_id, timeout=0.5))
+        assert excinfo.value.status == 408
+        assert time.monotonic() - start < 4.0
+
+
+class TestAutoReconnect:
+    def test_reconnect_resumes_bit_exact(self, server, client):
+        run_id = client.submit(sweep_spec())
+        wait_terminal(client, run_id)
+        baseline = list(client.watch_lines(run_id))
+        assert baseline
+        activate(
+            {"rules": [{"site": "service.ws.send", "action": "drop",
+                        "nth": 4, "times": 2}]}
+        )
+        got = list(
+            client.watch_lines(
+                run_id, reconnect=5, reconnect_delay_s=0.05
+            )
+        )
+        assert got == baseline
+
+    def test_watch_events_across_reconnect(self, server, client):
+        run_id = client.submit(sweep_spec())
+        wait_terminal(client, run_id)
+        baseline = [e.seq for e in client.watch(run_id)]
+        activate(
+            {"rules": [{"site": "service.ws.send", "action": "drop",
+                        "nth": 2}]}
+        )
+        events = list(
+            client.watch(run_id, reconnect=3, reconnect_delay_s=0.05)
+        )
+        assert [e.seq for e in events] == baseline
+
+    def test_reconnect_budget_exhausted_raises(self, server, client):
+        run_id = client.submit(sweep_spec())
+        wait_terminal(client, run_id)
+        # Every dial drops on its first frame; one reconnect cannot
+        # outlast a p=1 rule with no fire cap.
+        activate(
+            {"rules": [{"site": "service.ws.send", "action": "drop",
+                        "p": 1.0, "seed": 1, "times": 0}]}
+        )
+        with pytest.raises(ServiceError):
+            list(
+                client.watch_lines(
+                    run_id, reconnect=2, reconnect_delay_s=0.01
+                )
+            )
+
+
+class TestShutdownMidStream:
+    def test_clean_close_and_gap_free_prefix(self, store_path):
+        with CampaignServer(store_path) as server:
+            client = ServiceClient(server.url, timeout=10.0)
+            run_id = client.submit(slow_spec())
+            received: list[str] = []
+            failure: list[BaseException] = []
+
+            def watch():
+                try:
+                    for line in client.watch_lines(run_id, timeout=10.0):
+                        received.append(line)
+                except BaseException as error:  # noqa: BLE001
+                    failure.append(error)
+
+            watcher = threading.Thread(target=watch)
+            watcher.start()
+            time.sleep(0.4)  # let the stream go live mid-run
+            server.stop()
+            watcher.join(timeout=15.0)
+            assert not watcher.is_alive()
+        # Shutdown delivered a clean close, never an abrupt EOF: the
+        # run thread is joined (cancelled), STREAM_END flushed, and
+        # the drain window let the close frame out.
+        assert not failure
+        assert received
+        got = seqs(received)
+        assert got == list(range(got[0], got[0] + len(got)))
+
+    def test_sidecar_matches_what_clients_saw(self, store_path):
+        with CampaignServer(store_path) as server:
+            client = ServiceClient(server.url, timeout=10.0)
+            run_id = client.submit(slow_spec(count=4, delay_s=0.2))
+            received: list[str] = []
+            watcher = threading.Thread(
+                target=lambda: received.extend(
+                    client.watch_lines(run_id, timeout=10.0)
+                )
+            )
+            watcher.start()
+            time.sleep(0.3)
+            server.stop()
+            watcher.join(timeout=15.0)
+            events_path = f"{store_path}.events/{run_id}.jsonl"
+        with open(events_path, "r", encoding="utf-8") as handle:
+            sidecar = [line.rstrip("\n") for line in handle if line.strip()]
+        # Byte-identical prefix: a client transcript diffs cleanly
+        # against the stream of record.
+        assert received == sidecar[: len(received)]
+
+
+class TestReconnectAfterRestart:
+    def test_resume_from_sidecar_is_gap_free(self, tmp_path):
+        store_path = str(tmp_path / "store.jsonl")
+        with CampaignServer(store_path) as first:
+            client = ServiceClient(first.url, timeout=10.0)
+            run_id = client.submit(sweep_spec())
+            wait_terminal(client, run_id)
+            baseline = list(client.watch_lines(run_id))
+        assert len(baseline) > 6
+
+        seen = baseline[:5]  # what the client got before the restart
+        with CampaignServer(store_path) as second:
+            reclient = ServiceClient(second.url, timeout=10.0)
+            resumed = list(
+                reclient.watch_lines(
+                    run_id, after_seq=seqs(seen)[-1]
+                )
+            )
+        assert seen + resumed == baseline
+
+    def test_restarted_server_lists_the_run(self, tmp_path):
+        store_path = str(tmp_path / "store.jsonl")
+        with CampaignServer(store_path) as first:
+            client = ServiceClient(first.url, timeout=10.0)
+            run_id = client.submit(sweep_spec())
+            wait_terminal(client, run_id)
+        with CampaignServer(store_path) as second:
+            reclient = ServiceClient(second.url, timeout=10.0)
+            listed = {run["run_id"] for run in reclient.runs()}
+        assert run_id in listed
