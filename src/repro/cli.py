@@ -87,6 +87,16 @@ def _add_run_options(
                 "worker processes (default: $REPRO_JOBS, else 1 = serial)"
             ),
         )
+        parser.add_argument(
+            "--executor", choices=("serial", "pool", "fleet"),
+            default=os.environ.get("REPRO_EXECUTOR") or None,
+            help=(
+                "execution backend: 'serial' runs in-process, 'pool' "
+                "fans out over a process pool, 'fleet' runs independent "
+                "lease-tracked worker processes that survive crashes "
+                "(default: $REPRO_EXECUTOR, else serial/pool by --jobs)"
+            ),
+        )
     if store:
         env_store = os.environ.get("REPRO_STORE") or None
         parser.add_argument(
@@ -285,6 +295,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "export a Chrome trace per finished run into DIR "
             "(default: $REPRO_TRACE_DIR)"
         ),
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="run one fleet worker task and exit (internal)",
+        description=(
+            "Internal entry point spawned by the fleet execution "
+            "backend as 'repro worker --task FILE': load the pickled "
+            "task, heartbeat its lease from a daemon thread, run the "
+            "single job attempt, and commit the result file "
+            "atomically.  Not intended for interactive use."
+        ),
+    )
+    worker_parser.add_argument(
+        "--task", required=True, metavar="FILE",
+        help="pickled task file written by the fleet supervisor",
     )
 
     store_parser = subparsers.add_parser(
@@ -551,16 +577,18 @@ def _command_run(args: argparse.Namespace) -> int:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     ids = _expand_experiment_ids(args.experiments)
     capture, trace, sidecar = _telemetry_capture(args)
-    if jobs > 1 or capture is not None:
+    if jobs > 1 or capture is not None or args.executor is not None:
         # Duplicate ids execute once but render every time they were
         # asked for, matching serial output exactly.  A telemetry
-        # capture routes the serial case through the queue too, so the
-        # run emits the same event stream either way.
+        # capture or explicit backend choice routes the serial case
+        # through the queue too, so the run emits the same event
+        # stream either way.
         results = run_experiments(
             list(dict.fromkeys(ids)),
             jobs=jobs,
             observers=[capture] if capture is not None else [],
             run_id=capture.run_id if capture is not None else "",
+            executor=args.executor,
         )
         rendered = [results[experiment_id].render() for experiment_id in ids]
         for text in rendered:
@@ -612,6 +640,8 @@ def _command_campaign_watch(args: argparse.Namespace) -> int:
                 for experiment_id in ids
             ],
         }
+        if args.executor is not None:
+            spec["executor"] = args.executor
         run_id = api.submit(spec, url=url)
         print(f"submitted run {run_id} to {url}")
     monitor = None if args.quiet else ProgressMonitor(stream=sys.stdout)
@@ -648,6 +678,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         observers=[capture] if capture is not None else [],
         monitor=monitor,
         run_id=capture.run_id if capture is not None else "",
+        executor=args.executor,
     )
     print()
     print(result.summary())
@@ -721,6 +752,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         strict=False,
         observers=[capture] if capture is not None else [],
         run_id=capture.run_id if capture is not None else "",
+        executor=args.executor,
     )
     print()
     print(result.summary())
@@ -771,6 +803,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
         store_backend=args.store_backend,
         jobs=args.jobs,
+        executor=args.executor,
         runs_dir=args.runs_dir,
         trace_dir=trace_dir,
     ).start()
@@ -1033,6 +1066,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_sweep(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "worker":
+            from .runner.executors.worker import worker_main
+
+            return worker_main(args.task)
         if args.command == "store":
             return _command_store(args)
         if args.command == "trace":

@@ -97,6 +97,7 @@ def run_experiments(
     store_path: str | None = None,
     store_backend: str | None = None,
     run_id: str = "",
+    executor: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several experiments through the campaign queue.
 
@@ -120,6 +121,7 @@ def run_experiments(
         store_backend=store_backend,
         strict=True,
         run_id=run_id,
+        executor=executor,
     )
     return {
         job_id: outcome.results[job_id].value for job_id in outcome.order

@@ -68,7 +68,8 @@ class FaultRule:
         ``fnmatch`` glob matched against the instrumented site name
         (``queue.attempt``, ``store.append``, ``store.iter``,
         ``store.get``, ``codec.unpack``, ``merge.flush``,
-        ``service.ws.send``).
+        ``service.ws.send``, ``executor.dispatch``,
+        ``worker.heartbeat``, ``lease.renew``).
     action:
         One of :data:`KNOWN_ACTIONS`.
     job_id:

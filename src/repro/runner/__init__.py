@@ -10,6 +10,8 @@ content-addressed memoization, and a persistent JSONL result store:
   (:class:`Event`, :class:`EventBus`) every layer publishes on,
 * :mod:`~repro.runner.queue` — the dependency-aware scheduler
   (:func:`run_jobs`, :func:`parallel_map`),
+* :mod:`~repro.runner.executors` — pluggable execution backends
+  (serial / process pool / lease-tracked worker fleet),
 * :mod:`~repro.runner.cache` — content-addressed memoization with
   provenance-stamp invalidation,
 * :mod:`~repro.runner.store` — the persistent, resumable result store,
@@ -50,12 +52,23 @@ from .campaign import (
     run_campaign,
 )
 from .events import (
+    EVENT_LOST,
+    EVENT_REQUEUED,
     EVENT_SCHEMA,
     TERMINAL_EVENTS,
     Event,
     EventBus,
     event_from_json,
     event_to_json,
+)
+from .executors import (
+    EXECUTOR_ENV_VAR,
+    EXECUTOR_KINDS,
+    ExecutionBackend,
+    FleetExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
 )
 from .jobs import (
     STATUS_CACHED,
@@ -96,13 +109,20 @@ __all__ = [
     "CODEC_JSON",
     "Campaign",
     "CampaignResult",
+    "EVENT_LOST",
+    "EVENT_REQUEUED",
     "EVENT_SCHEMA",
+    "EXECUTOR_ENV_VAR",
+    "EXECUTOR_KINDS",
     "Event",
     "EventBus",
+    "ExecutionBackend",
+    "FleetExecutor",
     "JobEvent",
     "JobResult",
     "JobSpec",
     "JsonlBackend",
+    "PoolExecutor",
     "ProgressMonitor",
     "ResultCache",
     "ResultStore",
@@ -111,6 +131,7 @@ __all__ = [
     "STATUS_OK",
     "STATUS_SKIPPED",
     "STORAGE_FORMAT",
+    "SerialExecutor",
     "SqliteBackend",
     "StoreBackend",
     "SweepColumns",
@@ -124,6 +145,7 @@ __all__ = [
     "grid_descriptor",
     "iter_points",
     "lookup_point",
+    "make_executor",
     "migrate_store",
     "parallel_map",
     "provenance_stamp",

@@ -177,6 +177,7 @@ class JsonlBackend:
                     # Quarantine: checksum mismatch — skip and count,
                     # never surface damaged data.
                     metrics().count("store.jsonl.corrupt")
+                    metrics().count("store.jsonl.quarantined")
                     continue
                 yield restore_bytes(record), len(raw)
 
@@ -218,6 +219,7 @@ class JsonlBackend:
                     continue
                 if verify_jsonable(record) is False:
                     metrics().count("store.jsonl.corrupt")
+                    metrics().count("store.jsonl.quarantined")
                     continue
                 if status is not None and record.get("status") != status:
                     continue

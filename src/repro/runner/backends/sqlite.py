@@ -196,6 +196,7 @@ class SqliteBackend:
         """Decode one verified row; ``None`` quarantines a corrupt one."""
         if not self._row_ok(row):
             metrics().count("store.sqlite.corrupt")
+            metrics().count("store.sqlite.quarantined")
             return None
         try:
             record = inject_blob(json.loads(row[0]), row[1])
@@ -203,9 +204,11 @@ class SqliteBackend:
             # Unparseable despite a passing (NULL) checksum: damaged
             # legacy row — quarantine rather than crash the scan.
             metrics().count("store.sqlite.corrupt")
+            metrics().count("store.sqlite.quarantined")
             return None
         if not isinstance(record, dict):  # pragma: no cover - defensive
             metrics().count("store.sqlite.corrupt")
+            metrics().count("store.sqlite.quarantined")
             return None
         return record
 

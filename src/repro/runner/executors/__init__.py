@@ -1,0 +1,55 @@
+"""Pluggable execution backends for the job scheduler.
+
+The scheduler in :mod:`repro.runner.queue` owns policy (order, retry
+budgets, backoff, caching, events); the backends here own mechanism —
+where an attempt runs and how its loss is detected.  See
+:mod:`repro.runner.executors.base` for the protocol and
+:func:`make_executor` for resolution (explicit choice >
+``REPRO_EXECUTOR`` > jobs count).
+"""
+
+from .base import (
+    EXECUTOR_ENV_VAR,
+    EXECUTOR_KINDS,
+    KIND_FLEET,
+    KIND_POOL,
+    KIND_SERIAL,
+    OUTCOME_ERROR,
+    OUTCOME_LOST,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    AttemptOutcome,
+    DeadlineExceeded,
+    ExecutionBackend,
+    ExecutorFn,
+    WorkerInfo,
+    make_executor,
+    resolve_executor_kind,
+    run_one_attempt,
+)
+from .fleet import FleetExecutor
+from .pool import PoolExecutor
+from .serial import SerialExecutor
+
+__all__ = [
+    "EXECUTOR_ENV_VAR",
+    "EXECUTOR_KINDS",
+    "KIND_FLEET",
+    "KIND_POOL",
+    "KIND_SERIAL",
+    "OUTCOME_ERROR",
+    "OUTCOME_LOST",
+    "OUTCOME_OK",
+    "OUTCOME_TIMEOUT",
+    "AttemptOutcome",
+    "DeadlineExceeded",
+    "ExecutionBackend",
+    "ExecutorFn",
+    "FleetExecutor",
+    "PoolExecutor",
+    "SerialExecutor",
+    "WorkerInfo",
+    "make_executor",
+    "resolve_executor_kind",
+    "run_one_attempt",
+]

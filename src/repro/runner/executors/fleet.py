@@ -1,0 +1,668 @@
+"""Fleet execution backend: independent workers under lease records.
+
+Each dispatched attempt runs in its own single-job subprocess (spawned
+through the ``repro worker`` CLI entrypoint) and is tracked by **lease
+records** appended to a content-keyed store (``leases.jsonl`` in the
+fleet directory).  The supervisor writes ``dispatched`` when it spawns
+a worker; the worker appends ``running`` heartbeats every
+``heartbeat_s`` and a ``done``/``failed`` terminal on exit; the
+supervisor appends ``lost`` / ``expired`` / ``cancelled`` /
+``orphaned`` when it retires a worker itself.  The latest record per
+lease key is the lease's current state, and the append-only history is
+the fleet's transcript (uploaded as a CI artifact by the chaos job).
+
+Fault model:
+
+* **lost worker** — the subprocess exits without writing its result
+  file: the attempt is reported lost (charged) and the scheduler
+  requeues it under the job's retry budget,
+* **hung or wedged worker** — the lease's heartbeat goes stale past
+  ``lease_ttl_s``: the worker is killed, the lease marked ``expired``,
+  and the attempt reported lost exactly as above,
+* **straggler** — an attempt running far past the fleet's observed
+  completion times (``straggler_factor`` × the ``straggler_pct``-th
+  percentile) gets a speculative twin; the first result wins, the
+  loser is killed, and duplicates are impossible structurally (one
+  outcome per ticket) and deduplicated by content key downstream,
+* **supervisor crash** — a new fleet over the same directory fences
+  orphaned workers from the previous incarnation (kills any that are
+  still alive) before dispatching, so a resumed campaign can never
+  race a zombie writer; completed work resumes from the result store
+  as usual.
+
+Lease appends from worker and supervisor interleave in one JSONL file;
+a torn line (killed writer) is quarantined by the store's checksum
+scan, which at worst ages the lease into expiry — the safe direction.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from ...errors import ConfigurationError
+from ...faults import fault_site
+from ...telemetry import metrics
+from ..jobs import JobSpec, execute
+from ..store import ResultStore
+from .base import (
+    OUTCOME_ERROR,
+    OUTCOME_LOST,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    AttemptOutcome,
+    ExecutionBackend,
+    ExecutorFn,
+    WorkerInfo,
+)
+
+#: Environment knobs (documented in the README env table).
+LEASE_TTL_ENV_VAR = "REPRO_LEASE_TTL_S"
+STRAGGLER_PCT_ENV_VAR = "REPRO_STRAGGLER_PCT"
+STRAGGLER_FACTOR_ENV_VAR = "REPRO_STRAGGLER_FACTOR"
+STRAGGLER_MIN_DONE_ENV_VAR = "REPRO_STRAGGLER_MIN_DONE"
+
+DEFAULT_LEASE_TTL_S = 10.0
+DEFAULT_STRAGGLER_PCT = 95.0
+DEFAULT_STRAGGLER_FACTOR = 1.5
+DEFAULT_STRAGGLER_MIN_DONE = 3
+DEFAULT_STRAGGLER_FLOOR_S = 0.5
+DEFAULT_STARTUP_GRACE_S = 15.0
+
+#: Lease states a worker or supervisor may append.
+LEASE_DISPATCHED = "dispatched"
+LEASE_RUNNING = "running"
+LEASE_DONE = "done"
+LEASE_FAILED = "failed"
+LEASE_CANCELLED = "cancelled"
+LEASE_EXPIRED = "expired"
+LEASE_LOST = "lost"
+LEASE_ORPHANED = "orphaned"
+#: States that end a lease (nothing more will be appended for it).
+TERMINAL_LEASE_STATES = frozenset(
+    {
+        LEASE_DONE,
+        LEASE_FAILED,
+        LEASE_CANCELLED,
+        LEASE_EXPIRED,
+        LEASE_LOST,
+        LEASE_ORPHANED,
+    }
+)
+
+#: File name of the lease transcript inside the fleet directory.
+LEASES_FILENAME = "leases.jsonl"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {raw!r}")
+    return value
+
+
+def _percentile(values: list[float], pct: float) -> float:
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+def lease_record(
+    key: str,
+    job_id: str,
+    worker_id: str,
+    state: str,
+    *,
+    attempt: int = 0,
+    pid: int = 0,
+) -> dict[str, Any]:
+    """One lease record, shaped for the content-keyed store."""
+    return {
+        "key": key,
+        "job_id": job_id,
+        "status": "ok",
+        "value": {
+            "worker": worker_id,
+            "state": state,
+            "attempt": attempt,
+            "pid": pid,
+            # Monotonic beats survive wall-clock jumps and compare
+            # across processes on one machine (CLOCK_MONOTONIC is
+            # system-wide); the wall timestamp is for humans.
+            "beat": time.monotonic(),
+            "ts": time.time(),
+        },
+    }
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, PermissionError, OSError):
+        return False
+    return True
+
+
+def _looks_like_worker(pid: int) -> bool:
+    """Best-effort guard against fencing a reused pid (Linux only)."""
+    try:
+        with open(f"/proc/{pid}/cmdline", "rb") as handle:
+            cmdline = handle.read().decode("utf-8", errors="replace")
+    except OSError:
+        return False
+    return "repro" in cmdline and "worker" in cmdline
+
+
+@dataclass
+class _Proc:
+    """One live worker subprocess serving one attempt."""
+
+    worker_id: str
+    lease_key: str
+    popen: subprocess.Popen[bytes]
+    result_path: str
+    log: IO[bytes]
+    started: float
+    speculative: bool
+    beat: float
+    beaten: bool = False
+    retired: bool = False
+    #: Terminal lease state this proc was retired with ("" while live).
+    retired_state: str = ""
+
+
+@dataclass
+class _Ticket:
+    spec: JobSpec
+    attempt: int
+    cutoff: float | None
+    started: float
+    procs: list[_Proc] = field(default_factory=list)
+    twin_dispatched: bool = False
+
+
+class FleetExecutor(ExecutionBackend):
+    """N independent single-job workers under lease-based supervision."""
+
+    name = "fleet"
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        executor_fn: ExecutorFn = execute,
+        fleet_dir: str | None = None,
+        lease_ttl_s: float | None = None,
+        heartbeat_s: float | None = None,
+        straggler_pct: float | None = None,
+        straggler_factor: float | None = None,
+        straggler_min_done: int | None = None,
+        straggler_floor_s: float = DEFAULT_STRAGGLER_FLOOR_S,
+        startup_grace_s: float = DEFAULT_STARTUP_GRACE_S,
+    ):
+        self._jobs = max(1, int(jobs))
+        self._fn = executor_fn
+        self._ephemeral = fleet_dir is None
+        self._dir = (
+            tempfile.mkdtemp(prefix="repro-fleet-")
+            if fleet_dir is None
+            else os.path.abspath(fleet_dir)
+        )
+        os.makedirs(os.path.join(self._dir, "tasks"), exist_ok=True)
+        os.makedirs(os.path.join(self._dir, "logs"), exist_ok=True)
+        self._lease_path = os.path.join(self._dir, LEASES_FILENAME)
+        self._ttl = (
+            lease_ttl_s
+            if lease_ttl_s is not None
+            else _env_float(LEASE_TTL_ENV_VAR, DEFAULT_LEASE_TTL_S)
+        )
+        if not self._ttl > 0:
+            raise ConfigurationError(
+                f"lease_ttl_s must be positive, got {self._ttl}"
+            )
+        self._heartbeat_s = (
+            heartbeat_s if heartbeat_s is not None else self._ttl / 3.0
+        )
+        self._straggler_pct = (
+            straggler_pct
+            if straggler_pct is not None
+            else _env_float(STRAGGLER_PCT_ENV_VAR, DEFAULT_STRAGGLER_PCT)
+        )
+        self._straggler_factor = (
+            straggler_factor
+            if straggler_factor is not None
+            else _env_float(
+                STRAGGLER_FACTOR_ENV_VAR, DEFAULT_STRAGGLER_FACTOR
+            )
+        )
+        self._straggler_min_done = (
+            straggler_min_done
+            if straggler_min_done is not None
+            else int(
+                _env_float(
+                    STRAGGLER_MIN_DONE_ENV_VAR,
+                    float(DEFAULT_STRAGGLER_MIN_DONE),
+                )
+            )
+        )
+        self._straggler_floor_s = straggler_floor_s
+        self._startup_grace_s = max(startup_grace_s, self._ttl)
+        self._store = ResultStore(self._lease_path, backend="jsonl")
+        self._tickets: dict[str, _Ticket] = {}
+        self._ready: dict[str, AttemptOutcome] = {}
+        self._durations: list[float] = []
+        self._seq = 0
+        self._wseq = 0
+        self._lease_view: dict[str, dict[str, Any]] = {}
+        self._lease_view_at = -math.inf
+        self._fence_orphans()
+
+    # -- lease bookkeeping -------------------------------------------------
+
+    @property
+    def fleet_dir(self) -> str:
+        """Directory holding leases, task files, and worker logs."""
+        return self._dir
+
+    @property
+    def lease_path(self) -> str:
+        """Path of the lease transcript (JSONL)."""
+        return self._lease_path
+
+    def _append_lease(
+        self, proc_or_key: _Proc | str, job_id: str, state: str,
+        *, attempt: int = 0, pid: int = 0, worker_id: str = "",
+    ) -> None:
+        if isinstance(proc_or_key, _Proc):
+            key = proc_or_key.lease_key
+            worker_id = proc_or_key.worker_id
+            pid = proc_or_key.popen.pid
+        else:
+            key = proc_or_key
+        try:
+            self._store.append(
+                lease_record(
+                    key, job_id, worker_id, state, attempt=attempt, pid=pid
+                )
+            )
+        except Exception:  # noqa: BLE001 - lease writes are best-effort
+            # A failed supervisor append must never take the run down;
+            # the lease simply ages toward expiry, the safe direction.
+            pass
+
+    def _leases(self, max_age_s: float | None = None) -> dict[str, dict[str, Any]]:
+        """Latest lease state per key, cached for ``max_age_s``."""
+        if max_age_s is None:
+            max_age_s = min(self._ttl / 4.0, 0.2)
+        now = time.monotonic()
+        if now - self._lease_view_at >= max_age_s:
+            try:
+                self._lease_view = self._store.latest_by_key("ok")
+            except Exception:  # noqa: BLE001 - a torn scan degrades, never kills
+                self._lease_view = {}
+            self._lease_view_at = now
+        return self._lease_view
+
+    def _fence_orphans(self) -> None:
+        """Kill workers a previous (crashed) supervisor left running."""
+        try:
+            leases = self._store.latest_by_key("ok")
+        except Exception:  # noqa: BLE001
+            return
+        for key, record in leases.items():
+            value = record.get("value") or {}
+            state = value.get("state")
+            if state in TERMINAL_LEASE_STATES or state is None:
+                continue
+            pid = int(value.get("pid") or 0)
+            if pid and _pid_alive(pid) and _looks_like_worker(pid):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+            metrics().count("executor.leases.orphaned")
+            self._append_lease(
+                key, str(record.get("job_id") or ""), LEASE_ORPHANED,
+                attempt=int(value.get("attempt") or 0), pid=pid,
+                worker_id=str(value.get("worker") or ""),
+            )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def capacity(self) -> int:
+        return self._jobs
+
+    def _spawn(
+        self, spec: JobSpec, attempt: int, *, speculative: bool
+    ) -> _Proc:
+        fault_site("executor.dispatch", f"{spec.job_id}#{attempt}")
+        self._wseq += 1
+        worker_id = f"w{self._wseq:04d}"
+        lease_key = f"lease/{spec.key}#{attempt}#{worker_id}"
+        task_path = os.path.join(self._dir, "tasks", f"{worker_id}.task")
+        result_path = os.path.join(
+            self._dir, "tasks", f"{worker_id}.result"
+        )
+        log_path = os.path.join(self._dir, "logs", f"{worker_id}.log")
+        task = {
+            "spec": spec,
+            "attempt": attempt,
+            "fn": None if self._fn is execute else self._fn,
+            "lease_path": self._lease_path,
+            "lease_key": lease_key,
+            "worker_id": worker_id,
+            "heartbeat_s": self._heartbeat_s,
+            "result_path": result_path,
+        }
+        with open(task_path, "wb") as handle:
+            pickle.dump(task, handle)
+        env = os.environ.copy()
+        # Workers are fresh interpreters (no fork): ship the parent's
+        # import roots so repro itself, test helper modules, and any
+        # pickled-by-reference executor all resolve in the child.
+        roots = [entry or os.getcwd() for entry in sys.path]
+        for existing in env.get("PYTHONPATH", "").split(os.pathsep):
+            if existing:
+                roots.append(existing)
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(roots))
+        log = open(log_path, "ab")
+        popen = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--task", task_path],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        proc = _Proc(
+            worker_id=worker_id,
+            lease_key=lease_key,
+            popen=popen,
+            result_path=result_path,
+            log=log,
+            started=time.monotonic(),
+            speculative=speculative,
+            beat=time.monotonic(),
+        )
+        self._append_lease(
+            proc, spec.job_id, LEASE_DISPATCHED, attempt=attempt
+        )
+        metrics().count("executor.dispatches")
+        if speculative:
+            metrics().count("executor.speculative.dispatched")
+        return proc
+
+    def submit(
+        self, spec: JobSpec, attempt: int, deadline_s: float | None
+    ) -> str:
+        self._seq += 1
+        ticket = f"f{self._seq}"
+        now = time.monotonic()
+        entry = _Ticket(
+            spec=spec,
+            attempt=attempt,
+            cutoff=now + deadline_s if deadline_s is not None else None,
+            started=now,
+        )
+        entry.procs.append(self._spawn(spec, attempt, speculative=False))
+        self._tickets[ticket] = entry
+        return ticket
+
+    # -- supervision loop --------------------------------------------------
+
+    def poll(self, timeout: float | None) -> list[str]:
+        end = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            self._scan()
+            if self._ready or not self._tickets:
+                return list(self._ready)
+            if end is not None and time.monotonic() >= end:
+                return []
+            pause = 0.02
+            if end is not None:
+                pause = min(pause, max(0.0, end - time.monotonic()))
+            time.sleep(pause)
+
+    def collect(self, ticket: str) -> AttemptOutcome:
+        return self._ready.pop(ticket)
+
+    def _kill(self, proc: _Proc) -> None:
+        if proc.retired:
+            return
+        try:
+            proc.popen.kill()
+        except OSError:
+            pass
+        try:
+            proc.popen.wait(timeout=5.0)
+        except Exception:  # noqa: BLE001 - reaping is best-effort
+            pass
+
+    def _retire(
+        self, entry: _Ticket, proc: _Proc, state: str, *, kill: bool
+    ) -> None:
+        if proc.retired:
+            return
+        if kill:
+            self._kill(proc)
+        proc.retired = True
+        proc.retired_state = state
+        try:
+            proc.log.close()
+        except OSError:
+            pass
+        self._append_lease(
+            proc, entry.spec.job_id, state, attempt=entry.attempt
+        )
+
+    def _live(self, entry: _Ticket) -> list[_Proc]:
+        return [proc for proc in entry.procs if not proc.retired]
+
+    def _live_total(self) -> int:
+        return sum(len(self._live(t)) for t in self._tickets.values())
+
+    def _read_result(self, proc: _Proc) -> dict[str, Any] | None:
+        if not os.path.exists(proc.result_path):
+            return None
+        try:
+            with open(proc.result_path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # noqa: BLE001 - treat unreadable as absent
+            return None
+
+    def _settle(
+        self, tid: str, entry: _Ticket, proc: _Proc, payload: dict[str, Any]
+    ) -> None:
+        """First completed attempt wins; the loser twin is cancelled."""
+        for other in self._live(entry):
+            if other is proc:
+                continue
+            if self._read_result(other) is not None:
+                metrics().count("executor.speculative.duplicates")
+            self._retire(entry, other, LEASE_CANCELLED, kill=True)
+        if proc.speculative:
+            metrics().count("executor.speculative.wins")
+        ok = payload.get("status") == "ok"
+        self._retire(
+            entry, proc, LEASE_DONE if ok else LEASE_FAILED, kill=False
+        )
+        duration = float(payload.get("duration_s") or 0.0)
+        if ok:
+            # Calibrate the straggler threshold on supervisor-observed
+            # wall time (spawn to result), not the in-worker duration:
+            # interpreter startup and import cost are part of what a
+            # replacement twin would have to pay too, so excluding
+            # them would flag every short job as a straggler.
+            self._durations.append(time.monotonic() - proc.started)
+        self._ready[tid] = AttemptOutcome(
+            tid,
+            entry.spec.job_id,
+            entry.attempt,
+            OUTCOME_OK if ok else OUTCOME_ERROR,
+            value=payload.get("value"),
+            error=str(payload.get("error") or ""),
+            duration_s=duration,
+            worker_pid=int(payload.get("pid") or 0),
+            telemetry=payload.get("telemetry"),
+        )
+        del self._tickets[tid]
+
+    def _straggler_cutoff(self) -> float | None:
+        if len(self._durations) < self._straggler_min_done:
+            return None
+        typical = _percentile(self._durations, self._straggler_pct)
+        return max(
+            self._straggler_floor_s, typical * self._straggler_factor
+        )
+
+    def _scan(self) -> None:
+        now = time.monotonic()
+        leases = self._leases()
+        for tid, entry in list(self._tickets.items()):
+            # 1. A finished worker? First result wins.
+            settled = False
+            for proc in self._live(entry):
+                payload = self._read_result(proc)
+                if payload is not None:
+                    self._settle(tid, entry, proc, payload)
+                    settled = True
+                    break
+            if settled:
+                continue
+            # 2. Expired deadline: the whole attempt is overdue.
+            if entry.cutoff is not None and now >= entry.cutoff:
+                for proc in self._live(entry):
+                    self._retire(entry, proc, LEASE_CANCELLED, kill=True)
+                self._ready[tid] = AttemptOutcome(
+                    tid, entry.spec.job_id, entry.attempt, OUTCOME_TIMEOUT
+                )
+                del self._tickets[tid]
+                continue
+            # 3. Dead or lease-expired workers.
+            for proc in self._live(entry):
+                lease = (leases.get(proc.lease_key) or {}).get("value") or {}
+                if lease.get("state") == LEASE_RUNNING:
+                    proc.beaten = True
+                    proc.beat = max(
+                        proc.beat, float(lease.get("beat") or 0.0)
+                    )
+                if proc.popen.poll() is not None:
+                    payload = self._read_result(proc)
+                    if payload is not None:
+                        # Result landed in the exit race; it counts.
+                        self._settle(tid, entry, proc, payload)
+                        break
+                    metrics().count("executor.workers.lost")
+                    self._retire(entry, proc, LEASE_LOST, kill=False)
+                    continue
+                threshold = (
+                    self._ttl if proc.beaten else self._startup_grace_s
+                )
+                if now - proc.beat > threshold:
+                    metrics().count("executor.leases.expired")
+                    metrics().count("executor.workers.lost")
+                    self._retire(entry, proc, LEASE_EXPIRED, kill=True)
+            if tid not in self._tickets:
+                continue  # settled inside the liveness sweep
+            if not self._live(entry):
+                exit_codes = sorted(
+                    {
+                        proc.popen.returncode
+                        for proc in entry.procs
+                        if proc.popen.returncode is not None
+                    }
+                )
+                # A lease-expired proc was SIGKILLed by *us*, so its
+                # exit code describes the fencing, not the failure —
+                # the expiry is the story worth telling.
+                if any(
+                    proc.retired_state == LEASE_EXPIRED
+                    for proc in entry.procs
+                ):
+                    detail = "lease expired"
+                elif exit_codes:
+                    detail = f"exit {exit_codes[0]}"
+                else:
+                    detail = "lease expired"
+                self._ready[tid] = AttemptOutcome(
+                    tid,
+                    entry.spec.job_id,
+                    entry.attempt,
+                    OUTCOME_LOST,
+                    error=(
+                        f"worker process died ({detail}) before "
+                        "returning a result"
+                    ),
+                )
+                del self._tickets[tid]
+                continue
+            # 4. Straggler? Speculatively dispatch a twin.
+            cutoff = self._straggler_cutoff()
+            if (
+                cutoff is not None
+                and not entry.twin_dispatched
+                and now - entry.started > cutoff
+                and self._live_total() < self._jobs
+            ):
+                entry.twin_dispatched = True
+                entry.procs.append(
+                    self._spawn(entry.spec, entry.attempt, speculative=True)
+                )
+        metrics().gauge("executor.workers.live", self._live_total())
+
+    # -- cancellation & teardown -------------------------------------------
+
+    def cancel(self, ticket: str) -> bool:
+        entry = self._tickets.pop(ticket, None)
+        if entry is None:
+            return False  # outcome already ready; collect it instead
+        for proc in self._live(entry):
+            self._retire(entry, proc, LEASE_CANCELLED, kill=True)
+        return True
+
+    def shutdown(self) -> None:
+        for tid in list(self._tickets):
+            self.cancel(tid)
+        self._ready.clear()
+        metrics().gauge("executor.workers.live", 0)
+        self._store.close()
+        if self._ephemeral:
+            import shutil
+
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def workers(self) -> tuple[WorkerInfo, ...]:
+        leases = self._leases(max_age_s=0.0)
+        infos: list[WorkerInfo] = []
+        for entry in self._tickets.values():
+            for proc in self._live(entry):
+                lease = (
+                    (leases.get(proc.lease_key) or {}).get("value") or {}
+                )
+                infos.append(
+                    WorkerInfo(
+                        worker_id=proc.worker_id,
+                        pid=proc.popen.pid,
+                        state=str(lease.get("state") or LEASE_DISPATCHED),
+                        job_id=entry.spec.job_id,
+                        attempt=entry.attempt,
+                        last_beat=proc.beat,
+                    )
+                )
+        return tuple(infos)

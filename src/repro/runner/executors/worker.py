@@ -1,0 +1,163 @@
+"""Single-job fleet worker: run one attempt, heartbeat a lease, exit.
+
+Launched by :class:`~repro.runner.executors.fleet.FleetExecutor` as
+``repro worker --task FILE``.  The task file is a pickle carrying the
+:class:`~repro.runner.jobs.JobSpec`, the attempt number, the lease
+store path/key, and the result path.  Protocol:
+
+1. append a ``running`` lease immediately (ends the startup grace),
+2. heartbeat the lease every ``heartbeat_s`` from a daemon thread,
+3. run the attempt (the ``queue.attempt`` fault site fires in-process,
+   exactly like a pool worker),
+4. write the result payload to a temp file and :func:`os.replace` it
+   into place — the rename is the commit point, so the supervisor
+   never reads a half-written result,
+5. append a ``done``/``failed`` terminal lease and exit 0.
+
+A job that *raises* is a structured ``failed`` payload with exit code
+0 — only a crash (nonzero exit, missing result) reads as a lost
+worker.  Fault sites: ``worker.heartbeat`` wraps each beat (``drop``
+skips it, ``hang`` delays it, ``crash`` kills the process) and
+``lease.renew`` wraps the store append itself, so chaos plans can
+separate "worker stopped beating" from "lease write failed".
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import threading
+import time
+from typing import Any
+
+from ...errors import ConfigurationError
+from ...faults import ACTION_DROP, fault_site
+from ..jobs import execute
+from .base import run_one_attempt, telemetry_delta, telemetry_marks
+from .fleet import LEASE_DONE, LEASE_FAILED, LEASE_RUNNING, lease_record
+
+
+class _Lease:
+    """The worker's half of one lease: appends against a store."""
+
+    def __init__(
+        self, lease_path: str, key: str, job_id: str, worker_id: str,
+        attempt: int,
+    ):
+        from ..store import ResultStore
+
+        self._store = ResultStore(lease_path, backend="jsonl")
+        self._key = key
+        self._job_id = job_id
+        self._worker_id = worker_id
+        self._attempt = attempt
+        self.context = f"{job_id}#{attempt}"
+
+    def renew(self, state: str) -> None:
+        """Append one lease record (the ``lease.renew`` fault site).
+
+        A ``drop`` fault (or any append error) is a *missed* renewal:
+        the lease ages toward expiry, which is the safe direction.
+        """
+        fired = fault_site("lease.renew", self.context)
+        if fired is not None and fired.action == ACTION_DROP:
+            return
+        self._store.append(
+            lease_record(
+                self._key, self._job_id, self._worker_id, state,
+                attempt=self._attempt, pid=os.getpid(),
+            )
+        )
+
+    def close(self) -> None:
+        self._store.close()
+
+
+def _heartbeat_loop(
+    lease: _Lease, stop: threading.Event, heartbeat_s: float
+) -> None:
+    while not stop.wait(heartbeat_s):
+        try:
+            fired = fault_site("worker.heartbeat", lease.context)
+            if fired is not None and fired.action == ACTION_DROP:
+                continue  # a dropped beat; the supervisor sees silence
+            lease.renew(LEASE_RUNNING)
+        except Exception:  # noqa: BLE001 - a failed beat is a missed beat
+            pass
+
+
+def _write_result(result_path: str, payload: dict[str, Any]) -> None:
+    tmp = result_path + ".tmp"
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, result_path)
+
+
+def worker_main(task_path: str) -> int:
+    """Entry point behind ``repro worker --task FILE``."""
+    try:
+        with open(task_path, "rb") as handle:
+            task = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as error:
+        raise ConfigurationError(
+            f"unreadable worker task file {task_path!r}: {error}"
+        ) from error
+    spec = task["spec"]
+    attempt = int(task["attempt"])
+    executor_fn = task.get("fn") or execute
+    lease = _Lease(
+        task["lease_path"], task["lease_key"], spec.job_id,
+        task["worker_id"], attempt,
+    )
+    try:
+        lease.renew(LEASE_RUNNING)
+    except Exception:  # noqa: BLE001 - still worth running the job
+        pass
+    stop = threading.Event()
+    beater = threading.Thread(
+        target=_heartbeat_loop,
+        args=(lease, stop, float(task["heartbeat_s"])),
+        name=f"heartbeat-{task['worker_id']}",
+        daemon=True,
+    )
+    beater.start()
+    marks = telemetry_marks()
+    start = time.perf_counter()
+    try:
+        value, duration, pid = run_one_attempt(spec, executor_fn, attempt)
+    except Exception as error:  # noqa: BLE001 - jobs may raise anything
+        payload: dict[str, Any] = {
+            "status": "error",
+            "error": f"{type(error).__name__}: {error}",
+            "duration_s": time.perf_counter() - start,
+            "pid": os.getpid(),
+            "telemetry": telemetry_delta(marks),
+        }
+        terminal = LEASE_FAILED
+    else:
+        payload = {
+            "status": "ok",
+            "value": value,
+            "duration_s": duration,
+            "pid": pid,
+            "telemetry": telemetry_delta(marks),
+        }
+        terminal = LEASE_DONE
+    stop.set()
+    _write_result(task["result_path"], payload)
+    try:
+        lease.renew(terminal)
+    finally:
+        lease.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 2 or args[0] != "--task":
+        print("usage: repro worker --task FILE", file=sys.stderr)
+        return 2
+    return worker_main(args[1])

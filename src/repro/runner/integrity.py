@@ -5,7 +5,9 @@ append time and verify it on every scan, so silent corruption — a
 torn write past the JSON parser's tolerance, a flipped bit in a
 column blob, a truncated SQLite row — is *detected and skipped*, never
 returned as data.  A damaged record is quarantined in place: the scan
-counts it (``store.<backend>.corrupt``), moves on, and the content
+counts it (``store.<backend>.corrupt`` on read paths, plus a
+``store.<backend>.quarantined`` telemetry counter shared with verify
+scans), moves on, and the content
 key it occupied simply reads as "missing", which the campaign layer
 already treats as "re-compute".  Nothing crashes, nothing is silently
 wrong.
@@ -122,9 +124,17 @@ def new_verify_stats(backend: str) -> dict[str, Any]:
 
 
 def count_corrupt(stats: dict[str, Any], kind: str) -> None:
-    """Charge one corrupt record to its payload kind."""
+    """Charge one corrupt record to its payload kind.
+
+    Also counts ``store.<backend>.quarantined`` in the telemetry
+    registry, so dashboards see quarantine pressure from verify scans
+    without parsing the stats mapping.
+    """
+    from ..telemetry import metrics
+
     stats["corrupt"][kind] = stats["corrupt"].get(kind, 0) + 1
     stats["corrupt_total"] += 1
+    metrics().count(f"store.{stats['backend']}.quarantined")
 
 
 def damage_total(stats: Mapping[str, Any]) -> int:

@@ -20,6 +20,7 @@ from .events import (
     EVENT_CACHED,
     EVENT_FAILED,
     EVENT_FINISHED,
+    EVENT_LOST,
     EVENT_RETRY,
     EVENT_SCHEDULED,
     EVENT_SKIPPED,
@@ -72,19 +73,23 @@ class ProgressMonitor:
         if event.kind == EVENT_STARTED:
             self._active += 1
             self.in_flight.record(now, float(self._active))
-        elif event.kind in (EVENT_FINISHED, EVENT_FAILED, EVENT_RETRY):
-            # A retry event closes one attempt; the next attempt emits
-            # its own started event, so the job is not in flight between.
+        elif event.kind in (
+            EVENT_FINISHED, EVENT_FAILED, EVENT_RETRY, EVENT_LOST
+        ):
+            # A retry or lost event closes one attempt; the next
+            # attempt emits its own started event, so the job is not
+            # in flight between.
             self._active = max(0, self._active - 1)
             self.in_flight.record(now, float(self._active))
         if self._stream is not None and event.kind in (
-            EVENT_RETRY, EVENT_TIMEOUT
+            EVENT_RETRY, EVENT_TIMEOUT, EVENT_LOST
         ):
-            # Retries and expired deadlines are worth a line of their
-            # own (with the attempt number) — a silently re-running
-            # job looks like a hang.  A timeout event is always
-            # followed by a retry or a terminal failure, so it carries
-            # no in-flight accounting of its own.
+            # Retries, expired deadlines, and lost workers are worth a
+            # line of their own (with the attempt number) — a silently
+            # re-running job looks like a hang.  A timeout event is
+            # always followed by a retry or a terminal failure, so it
+            # carries no in-flight accounting of its own; a requeued
+            # event follows lost and likewise carries none.
             line = (
                 f"[{self.done:{self._width()}d}/{self.total}] "
                 f"{event.kind:7s} {event.job_id} (attempt {event.attempt})"

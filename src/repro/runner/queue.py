@@ -1,9 +1,32 @@
-"""Dependency-aware job scheduler with retries and a process pool.
+"""Dependency-aware job scheduler over pluggable execution backends.
 
 :func:`run_jobs` takes a batch of :class:`~repro.runner.jobs.JobSpec`
 and executes them respecting ``after`` dependencies, retrying failures
 up to each spec's budget, consulting an optional content-addressed
 cache, and emitting :class:`JobEvent` notifications to observers.
+
+The scheduler owns *policy* — topological order, retry budgets,
+full-jitter backoff, deadlines, caching, cancellation, events — and
+delegates *mechanism* to an
+:class:`~repro.runner.executors.ExecutionBackend`
+(``submit / poll / collect / cancel / shutdown``):
+
+* ``serial`` — in this process, one attempt at a time (default for
+  ``jobs=1``; no pickling, easiest to debug),
+* ``pool`` — a local :class:`~concurrent.futures.ProcessPoolExecutor`
+  with broken-pool isolation and deadline eviction (default for
+  ``jobs > 1``),
+* ``fleet`` — independent single-job worker subprocesses under lease
+  records, with lost-worker requeue and speculative straggler
+  re-dispatch (see :mod:`repro.runner.executors.fleet`).
+
+All backends share the same bookkeeping, produce the same results, and
+schedule ready jobs in the stable order the specs were given, so a
+parallel campaign is a faithful — bit-identical — replay of the serial
+one.  A backend reporting an attempt *lost* (worker crash, broken
+pool, expired lease) emits ``lost``/``requeued`` events and the job
+re-runs under its retry budget — worker death is a recoverable event,
+not a run-fatal one.
 
 Resilience: every attempt may carry a wall-clock **deadline**
 (``JobSpec.deadline_s``, or the ``REPRO_JOB_DEADLINE_S`` environment
@@ -14,21 +37,14 @@ growing, fully jittered **backoff** (``JobSpec.retry_backoff_s``),
 seedable per run for deterministic tests.  The scheduler also hosts
 the ``queue.attempt`` fault-injection site (:mod:`repro.faults`):
 ``run_jobs(..., faults=...)`` activates a plan for the run, exported
-to pool workers through the environment.
-
-``jobs=1`` runs everything serially in-process (no pickling, easiest to
-debug); ``jobs>1`` fans ready jobs out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Both paths share the
-same bookkeeping, produce the same results, and schedule ready jobs in
-the stable order the specs were given, so a parallel campaign is a
-faithful — bit-identical — replay of the serial one.
+to worker processes through the environment.
 
 Events travel over the :class:`~repro.runner.events.EventBus`: every
 run publishes a stamped :class:`~repro.runner.events.Event` stream
 (sequence numbers, timestamps, run id) and observers are just bus
-subscribers.  Telemetry rides the same machinery in reverse — pool
-workers record metrics/spans into their own process-global registries
-and ship the delta back piggybacked on the result tuple, which
+subscribers.  Telemetry rides the same machinery in reverse — workers
+record metrics/spans into their own process-global registries and ship
+the delta back piggybacked on the attempt outcome, which
 :meth:`_Run.resolve` merges into the parent's registries, so a
 parallel campaign aggregates observability without extra IPC.
 """
@@ -37,11 +53,7 @@ from __future__ import annotations
 
 import os
 import random
-import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures import TimeoutError as FutureTimeout
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError
@@ -49,15 +61,16 @@ from ..faults import (
     FaultPlan,
     active_faults,
     coerce_plan,
-    fault_site,
     faults_active,
 )
-from ..telemetry import metrics, recorder, span
+from ..telemetry import metrics, recorder
 from .cache import ResultCache
 from .events import (
     EVENT_CACHED,
     EVENT_FAILED,
     EVENT_FINISHED,
+    EVENT_LOST,
+    EVENT_REQUEUED,
     EVENT_RETRY,
     EVENT_SCHEDULED,
     EVENT_SKIPPED,
@@ -67,6 +80,19 @@ from .events import (
     EventBus,
     JobEvent,
 )
+from .executors.base import (
+    KIND_SERIAL,
+    OUTCOME_LOST,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    AttemptOutcome,
+    DeadlineExceeded,
+    ExecutionBackend,
+    make_executor,
+    resolve_executor_kind,
+    run_one_attempt,
+)
+from .executors.serial import SerialExecutor
 from .jobs import (
     STATUS_CACHED,
     STATUS_FAILED,
@@ -81,6 +107,8 @@ __all__ = [
     "EVENT_CACHED",
     "EVENT_FAILED",
     "EVENT_FINISHED",
+    "EVENT_LOST",
+    "EVENT_REQUEUED",
     "EVENT_RETRY",
     "EVENT_SCHEDULED",
     "EVENT_SKIPPED",
@@ -112,13 +140,15 @@ DEADLINE_ENV_VAR = "REPRO_JOB_DEADLINE_S"
 #: Ceiling on any single jittered backoff delay, seconds.
 BACKOFF_CAP_S = 30.0
 
+#: How often the scheduler re-checks the cancellation probe while
+#: attempts are in flight, seconds.
+CANCEL_POLL_S = 0.25
 
-class _DeadlineExceeded(Exception):
-    """Internal marker: an attempt outlived its wall-clock deadline."""
+#: Backward-compatible alias; the class now lives with the backends.
+_DeadlineExceeded = DeadlineExceeded
 
-    def __init__(self, deadline_s: float):
-        super().__init__(f"deadline exceeded ({deadline_s:g}s)")
-        self.deadline_s = deadline_s
+#: Backward-compatible alias for the attempt primitive.
+_attempt = run_one_attempt
 
 
 def _env_deadline() -> float | None:
@@ -198,143 +228,6 @@ def topological_order(specs: Sequence[JobSpec]) -> list[JobSpec]:
     return order
 
 
-def _attempt(
-    spec: JobSpec, executor: Executor, attempt: int = 0
-) -> tuple[Any, float, int]:
-    """Run one attempt, returning ``(value, duration_s, pid)``.
-
-    The ``queue.attempt`` fault site exposes ``"<job_id>#<attempt>"``
-    as its job-id context: fault rules can target every attempt of a
-    job (``"shard-3#*"``), or exactly one (``"shard-3#1"``) — the only
-    trigger shape that stays deterministic across worker replacement,
-    since per-rule ``nth`` counters are per-process and a crashed
-    worker's replacement starts counting from zero.
-    """
-    fault_site("queue.attempt", f"{spec.job_id}#{attempt}")
-    start = time.perf_counter()
-    with span("job.execute", cat="queue", job_id=spec.job_id):
-        value = executor(spec)
-    return value, time.perf_counter() - start, os.getpid()
-
-
-def _attempt_with_deadline(
-    spec: JobSpec,
-    executor: Executor,
-    deadline: float | None,
-    attempt: int = 0,
-) -> tuple[Any, float, int]:
-    """Serial attempt under a wall-clock watchdog.
-
-    With no deadline this is :func:`_attempt` unchanged (no thread).
-    Otherwise the attempt runs on a daemon thread the caller waits on
-    for at most ``deadline`` seconds; on expiry the thread is abandoned
-    (it cannot be killed, but it no longer blocks the campaign) and
-    :class:`_DeadlineExceeded` is raised.  A late result from an
-    abandoned attempt is discarded, never resolved.
-    """
-    if deadline is None:
-        return _attempt(spec, executor, attempt)
-    box: list[tuple[str, Any]] = []
-
-    def _target() -> None:
-        try:
-            box.append(("ok", _attempt(spec, executor, attempt)))
-        except BaseException as error:  # noqa: BLE001 - relayed to caller
-            box.append(("err", error))
-
-    watchdog = threading.Thread(
-        target=_target, name=f"attempt-{spec.job_id}", daemon=True
-    )
-    watchdog.start()
-    watchdog.join(deadline)
-    if watchdog.is_alive() or not box:
-        raise _DeadlineExceeded(deadline)
-    status, payload = box[0]
-    if status == "err":
-        raise payload
-    return payload
-
-
-def _telemetry_marks() -> tuple[dict[str, Any], int]:
-    """Worker-side pre-attempt marks for the piggyback delta."""
-    return metrics().snapshot(), recorder().mark()
-
-
-def _telemetry_delta(
-    marks: tuple[dict[str, Any], int]
-) -> dict[str, Any] | None:
-    """What this process recorded since ``marks`` (None when empty)."""
-    snapshot, span_mark = marks
-    delta = metrics().delta_since(snapshot)
-    spans = recorder().delta_since(span_mark)
-    if not (delta["counters"] or delta["histograms"] or spans):
-        return None
-    return {"metrics": delta, "spans": spans}
-
-
-def _pool_attempt(
-    spec: JobSpec, attempt: int = 0
-) -> tuple[Any, float, int, Any]:
-    """Module-level worker entry point (picklable by reference).
-
-    Returns ``(value, duration_s, pid, telemetry)`` — the fourth slot
-    carries the worker's metrics/spans delta for this attempt, merged
-    into the parent's registries when the result resolves.
-    """
-    marks = _telemetry_marks()
-    value, duration, pid = _attempt(spec, execute, attempt)
-    return value, duration, pid, _telemetry_delta(marks)
-
-
-def _pool_custom_attempt(
-    spec: JobSpec, executor: Executor, attempt: int = 0
-) -> tuple[Any, float, int, Any]:
-    """Worker entry point for a custom (picklable) executor."""
-    marks = _telemetry_marks()
-    value, duration, pid = _attempt(spec, executor, attempt)
-    return value, duration, pid, _telemetry_delta(marks)
-
-
-def _warm_worker() -> None:
-    """Process-pool initializer: build the reference models once.
-
-    Runs in each worker before its first job so sweep shards start
-    computing immediately instead of rebuilding the Table I config and
-    model stack per call.  Warmup is best-effort — a failure here must
-    never poison the pool, the job itself will surface any real error.
-    """
-    try:
-        from ..core.batch import warm_reference_models
-
-        warm_reference_models()
-    except Exception:  # noqa: BLE001 - warmup is strictly best-effort
-        pass
-
-
-def _make_pool(max_workers: int) -> ProcessPoolExecutor:
-    """A process pool whose workers pre-build the reference models."""
-    return ProcessPoolExecutor(
-        max_workers=max_workers, initializer=_warm_worker
-    )
-
-
-def _abandon_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down without waiting for hung workers.
-
-    ``ProcessPoolExecutor`` has no per-task cancellation once a worker
-    is executing, so an expired deadline means replacing the pool:
-    terminate every worker (hung ones included — that is the point),
-    then shut down without blocking.  The executor machinery treats
-    the terminations like any other abrupt worker death and unwinds
-    cleanly; a later ``shutdown(wait=True)`` from a context manager
-    only joins already-dead processes.
-    """
-    processes = list(getattr(pool, "_processes", {}).values())
-    for process in processes:
-        process.terminate()
-    pool.shutdown(wait=False, cancel_futures=True)
-
-
 class _Run:
     """Shared bookkeeping for one :func:`run_jobs` invocation."""
 
@@ -378,6 +271,10 @@ class _Run:
     def _event(self, kind: str, job_id: str, **kwargs: Any) -> None:
         if kind == EVENT_RETRY:
             metrics().count("queue.retries")
+        elif kind == EVENT_LOST:
+            metrics().count("queue.lost")
+        elif kind == EVENT_REQUEUED:
+            metrics().count("queue.requeues")
         self.bus.publish(
             kind,
             job_id,
@@ -389,8 +286,9 @@ class _Run:
     def resolve(self, result: JobResult) -> None:
         """Record a terminal result and emit its event.
 
-        A result carrying a worker telemetry delta (pool attempts)
-        has it merged into the parent's registries here, exactly once.
+        A result carrying a worker telemetry delta (pool or fleet
+        attempts) has it merged into the parent's registries here,
+        exactly once.
         """
         if result.telemetry is not None:
             metrics().merge(
@@ -512,7 +410,7 @@ def run_jobs(
     jobs: int = 1,
     cache: ResultCache | None = None,
     observers: Sequence[Observer] = (),
-    executor: Executor = execute,
+    executor: Executor | str | ExecutionBackend | None = execute,
     run_id: str = "",
     bus: EventBus | None = None,
     cancel: CancelCheck | None = None,
@@ -524,8 +422,9 @@ def run_jobs(
     Parameters
     ----------
     jobs:
-        Worker processes.  ``1`` executes serially in this process;
-        ``N > 1`` uses a process pool (specs and values must pickle).
+        Worker parallelism.  ``1`` executes serially in this process;
+        ``N > 1`` fans out over a process pool (specs and values must
+        pickle) — unless ``executor`` overrides the backend.
     cache:
         Optional content-addressed cache consulted before execution and
         updated after success.
@@ -533,10 +432,19 @@ def run_jobs(
         Callables receiving every :class:`JobEvent` (subscribed to the
         run's event bus).
     executor:
-        The per-spec execution function — injectable for tests.  With
-        ``jobs > 1`` the default :func:`~repro.runner.jobs.execute` is
-        resolved inside each worker; a custom executor must itself be
-        picklable.
+        One of three things:
+
+        * a **callable** — the per-spec execution function (injectable
+          for tests; with a process-backed backend it must pickle).
+          The backend is then resolved from ``REPRO_EXECUTOR`` and the
+          ``jobs`` count, exactly as before this parameter grew.
+        * a **backend kind name** — ``"serial"``, ``"pool"``, or
+          ``"fleet"`` — selecting the execution backend with the
+          default :func:`~repro.runner.jobs.execute` function.
+        * an :class:`~repro.runner.executors.ExecutionBackend`
+          **instance** — full control (custom function *and* backend,
+          or a pre-configured :class:`FleetExecutor`).  The run owns
+          the instance and shuts it down on exit.
     run_id:
         Identifier stamped into every published event (ignored when an
         explicit ``bus`` is given).
@@ -549,8 +457,10 @@ def run_jobs(
         decisions (pass a ``threading.Event``'s ``is_set``).  Once it
         returns True no further job starts: every not-yet-started spec
         resolves as skipped with error ``"cancelled"`` (emitting its
-        terminal event); attempts already executing finish normally and
-        keep their results.
+        terminal event).  In-flight attempts are asked to abort; a
+        backend that can kill its workers (fleet) does so and the job
+        resolves as skipped, one that cannot (pool) lets the attempt
+        finish and keep its result.
     backoff_seed:
         Seed for the run's retry-backoff jitter.  ``None`` (default)
         draws from entropy; a fixed seed makes the whole retry
@@ -560,13 +470,28 @@ def run_jobs(
         :class:`~repro.faults.FaultPlan`, a plan mapping, inline JSON,
         or a plan-file path (see :func:`~repro.faults.coerce_plan`).
         Activated for the duration of the call and exported through
-        ``REPRO_FAULTS`` so pool workers inherit it.  Jobs already
+        ``REPRO_FAULTS`` so worker processes inherit it.  Jobs already
         honouring ``REPRO_FAULTS`` from the environment need nothing
         here.
     """
     spec_list = list(specs)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    backend: ExecutionBackend | None = None
+    executor_fn: Executor = execute
+    choice: str | None = None
+    if isinstance(executor, ExecutionBackend):
+        backend = executor
+    elif isinstance(executor, str):
+        choice = executor
+    elif executor is not None:
+        executor_fn = executor
+    # Resolve (and validate) the backend kind before any event fires.
+    kind = (
+        backend.name
+        if backend is not None
+        else resolve_executor_kind(choice, jobs)
+    )
     if faults is None:
         # A malformed REPRO_FAULTS plan must fail the run up front,
         # not surface as a per-job failure at the first probe.
@@ -578,15 +503,21 @@ def run_jobs(
         )
         if not run.order:
             return {}
-        if jobs == 1:
-            _run_serial(run, executor)
+        if backend is None and kind == KIND_SERIAL:
+            _run_serial(run, SerialExecutor(executor_fn=executor_fn))
+        elif isinstance(backend, SerialExecutor):
+            _run_serial(run, backend)
         else:
-            _run_pool(run, jobs, executor)
+            if backend is None:
+                backend = make_executor(
+                    kind, jobs=jobs, executor_fn=executor_fn
+                )
+            _run_dispatch(run, backend)
         return run.results
 
 
 def _execute_with_retries(
-    run: _Run, spec: JobSpec, executor: Executor
+    run: _Run, spec: JobSpec, backend: SerialExecutor
 ) -> None:
     """Serial path: attempt (with retries) and resolve one spec.
 
@@ -603,10 +534,10 @@ def _execute_with_retries(
         attempt += 1
         run._event(EVENT_STARTED, spec.job_id, attempt=attempt)
         try:
-            value, duration, pid = _attempt_with_deadline(
-                spec, executor, deadline, attempt
+            value, duration, pid = backend.run_attempt(
+                spec, attempt, deadline
             )
-        except _DeadlineExceeded:
+        except DeadlineExceeded:
             error_text = run.timed_out(spec, attempt)
         except Exception as error:  # noqa: BLE001 - jobs may raise anything
             error_text = f"{type(error).__name__}: {error}"
@@ -638,12 +569,11 @@ def _execute_with_retries(
             status=STATUS_FAILED,
             error=error_text,
             attempts=attempt,
-            duration_s=duration,
         )
     )
 
 
-def _run_serial(run: _Run, executor: Executor) -> None:
+def _run_serial(run: _Run, backend: SerialExecutor) -> None:
     for spec in run.order:
         if run.cancelled():
             run.skip_cancelled(spec)
@@ -654,178 +584,108 @@ def _run_serial(run: _Run, executor: Executor) -> None:
             continue
         if run.from_cache(spec):
             continue
-        _execute_with_retries(run, spec, executor)
+        _execute_with_retries(run, spec, backend)
 
 
-def _run_pool(run: _Run, jobs: int, executor: Executor) -> None:
-    """Fan ready jobs out over a process pool as dependencies resolve.
-
-    A worker dying hard (segfault, OOM kill) breaks the whole
-    :class:`ProcessPoolExecutor`, which poisons every in-flight future
-    with :class:`BrokenProcessPool` — the culprit is indistinguishable
-    from innocent co-flying jobs.  On breakage every in-flight job
-    becomes a *suspect* and is re-run alone on a fresh single-worker
-    pool: a solo job that breaks its pool is the culprit with certainty
-    (and fails, honouring its retry budget), while innocents complete
-    and rejoin normal batching.
-    """
-    pending = list(run.order)  # stable topological order
-    attempts: dict[str, int] = {}
-    suspects: list[str] = []
-    while pending:
-        if run.cancelled():
-            for spec in pending:
-                if spec.job_id not in run.results:
-                    run.skip_cancelled(spec)
-            return
-        solo = next(
-            (spec for spec in pending if spec.job_id in suspects), None
-        )
-        if solo is not None:
-            _solo_round(run, executor, solo, attempts)
-            suspects.remove(solo.job_id)
-            pending = [
-                spec for spec in pending
-                if spec.job_id not in run.results
-            ]
-            continue
-        newly_suspect, pending = _batch_round(
-            run, jobs, executor, pending, attempts
-        )
-        suspects.extend(newly_suspect)
-
-
-def _solo_round(
-    run: _Run, executor: Executor, spec: JobSpec, attempts: dict[str, int]
+def _submit_ready(
+    run: _Run,
+    backend: ExecutionBackend,
+    pending: list[JobSpec],
+    tickets: dict[str, JobSpec],
+    attempts: dict[str, int],
+    not_before: dict[str, float],
 ) -> None:
-    """Re-run one pool-break suspect in isolation until it resolves.
+    """Dispatch every runnable pending spec, capacity permitting.
 
-    With the job alone on a one-worker pool, a broken pool can only
-    mean this job killed its worker.
+    Mutates ``pending`` in place.  Capacity capping is what fixes the
+    historical ``_abandon_pool`` unfairness: a job is only ever handed
+    to the backend when a worker slot exists for it, so a broken pool
+    can never take down jobs that were merely queued behind the
+    casualties.  The skip/cache cascade keeps running at capacity —
+    only actual dispatch is gated.
     """
-    if run.from_cache(spec):  # a same-key twin may have finished since
-        return
-    error_text = ""
-    deadline = run.deadline_for(spec)
-    while True:
-        attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
-        attempt = attempts[spec.job_id]
-        run._event(EVENT_STARTED, spec.job_id, attempt=attempt)
-        try:
-            with _make_pool(1) as pool:
-                if executor is execute:
-                    future = pool.submit(_pool_attempt, spec, attempt)
-                else:
-                    future = pool.submit(
-                        _pool_custom_attempt, spec, executor, attempt
-                    )
-                try:
-                    value, duration, pid, telemetry = future.result(
-                        timeout=deadline
-                    )
-                except FutureTimeout:
-                    if future.done():
-                        # The *job* raised TimeoutError; let it take the
-                        # ordinary job-failure path below.
-                        raise
-                    _abandon_pool(pool)
-                    raise _DeadlineExceeded(deadline or 0.0) from None
-        except _DeadlineExceeded:
-            error_text = run.timed_out(spec, attempt)
-        except BrokenProcessPool:
-            error_text = "worker process died (job killed its worker)"
-        except Exception as error:  # noqa: BLE001 - jobs may raise anything
-            error_text = f"{type(error).__name__}: {error}"
-        else:
-            run.resolve(
-                JobResult(
-                    job_id=spec.job_id,
-                    key=spec.key,
-                    status=STATUS_OK,
-                    value=value,
-                    attempts=attempt,
-                    duration_s=duration,
-                    worker_pid=pid,
-                    telemetry=telemetry,
-                )
-            )
-            return
-        if attempt <= spec.retries:
+    capacity = backend.capacity()
+    inflight_keys = {spec.key for spec in tickets.values()}
+    progress = True
+    while progress:
+        progress = False
+        now = time.monotonic()
+        still_pending: list[JobSpec] = []
+        for spec in pending:
+            if spec.job_id in run.results:
+                # Already resolved (e.g. skipped by an earlier cascade
+                # pass that left a stale entry in the pending list).
+                continue
+            if not run.deps_resolved(spec):
+                still_pending.append(spec)
+                continue
+            failed = run.failed_dep(spec)
+            if failed is not None:
+                run.skip(spec, failed)
+                progress = True  # may unblock dependents' skip cascade
+                continue
+            if run.from_cache(spec):
+                progress = True  # cached result may ready dependents
+                continue
+            if spec.key in inflight_keys:
+                # A same-key job is already executing; hold this one
+                # back so it resolves as "cached" like in serial mode.
+                still_pending.append(spec)
+                continue
+            if not_before.get(spec.job_id, 0.0) > now:
+                # Backoff window still open; retry later.
+                still_pending.append(spec)
+                continue
+            if len(tickets) >= capacity:
+                still_pending.append(spec)
+                continue
+            not_before.pop(spec.job_id, None)
+            attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
             run._event(
-                EVENT_RETRY, spec.job_id, attempt=attempt, error=error_text
+                EVENT_STARTED, spec.job_id, attempt=attempts[spec.job_id]
             )
-            delay = run.backoff_delay(spec, attempt)
-            if delay > 0:
-                time.sleep(delay)
-            continue
+            ticket = backend.submit(
+                spec, attempts[spec.job_id], run.deadline_for(spec)
+            )
+            tickets[ticket] = spec
+            inflight_keys.add(spec.key)
+        pending[:] = still_pending
+    metrics().gauge("queue.depth", len(pending))
+    metrics().gauge_max("queue.active", len(tickets))
+
+
+def _dispatch_outcome(
+    run: _Run,
+    spec: JobSpec,
+    outcome: AttemptOutcome,
+    attempts: dict[str, int],
+    pending: list[JobSpec],
+    not_before: dict[str, float],
+) -> None:
+    """Apply retry/requeue policy to one collected attempt outcome."""
+    attempt = outcome.attempt
+    if outcome.status == OUTCOME_OK:
         run.resolve(
             JobResult(
                 job_id=spec.job_id,
                 key=spec.key,
-                status=STATUS_FAILED,
-                error=error_text,
+                status=STATUS_OK,
+                value=outcome.value,
                 attempts=attempt,
+                duration_s=outcome.duration_s,
+                worker_pid=outcome.worker_pid,
+                telemetry=outcome.telemetry,
             )
         )
         return
-
-
-def _expired_futures(
-    in_flight: dict[Future, JobSpec], deadlines: dict[Future, float]
-) -> list[Future]:
-    """In-flight futures whose deadline has passed and are not done."""
-    now = time.monotonic()
-    return [
-        future
-        for future, cutoff in deadlines.items()
-        if future in in_flight and now >= cutoff and not future.done()
-    ]
-
-
-def _evict_overdue(
-    run: _Run,
-    pool: ProcessPoolExecutor,
-    in_flight: dict[Future, JobSpec],
-    deadlines: dict[Future, float],
-    attempts: dict[str, int],
-    overdue: list[Future],
-) -> list[JobSpec]:
-    """Replace a pool holding expired attempts; return specs to requeue.
-
-    Three populations, three treatments:
-
-    * an overdue future the pool never *started* is cancelled and
-      requeued with its attempt refunded (queue wait ate the window —
-      an undersized pool, not a hung job),
-    * an overdue *running* attempt is charged: ``timeout`` event, then
-      retry (no backoff — a hung retry already pays the full deadline)
-      or terminal failure by its budget,
-    * innocent in-flight jobs lose their worker with the pool; they are
-      requeued with the interrupted attempt refunded.
-
-    The caller restores topological order over the returned specs.
-    """
-    requeue: list[JobSpec] = []
-    for future in overdue:
-        spec = in_flight.pop(future)
-        deadlines.pop(future, None)
-        if future.cancel():
-            run._event(
-                EVENT_RETRY, spec.job_id,
-                attempt=attempts.get(spec.job_id, 0),
-                error="pool replaced before the attempt started; requeued",
-            )
-            attempts[spec.job_id] -= 1
-            requeue.append(spec)
-            continue
-        attempt = attempts[spec.job_id]
+    if outcome.status == OUTCOME_TIMEOUT:
         error_text = run.timed_out(spec, attempt)
         if attempt <= spec.retries:
+            # No backoff: a hung retry already pays the full deadline.
             run._event(
-                EVENT_RETRY, spec.job_id, attempt=attempt,
-                error=error_text,
+                EVENT_RETRY, spec.job_id, attempt=attempt, error=error_text
             )
-            requeue.append(spec)
+            pending.append(spec)
         else:
             run.resolve(
                 JobResult(
@@ -836,219 +696,132 @@ def _evict_overdue(
                     attempts=attempt,
                 )
             )
-    for spec in in_flight.values():
+        return
+    if outcome.status == OUTCOME_LOST:
         run._event(
-            EVENT_RETRY, spec.job_id,
-            attempt=attempts.get(spec.job_id, 0),
-            error="pool replaced (deadline eviction); requeued",
+            EVENT_LOST, spec.job_id, attempt=attempt, error=outcome.error
         )
-        attempts[spec.job_id] -= 1
-        requeue.append(spec)
-    in_flight.clear()
-    deadlines.clear()
-    _abandon_pool(pool)
-    return requeue
+        if not outcome.charge:
+            attempts[spec.job_id] -= 1
+        if outcome.requeue or attempt <= spec.retries:
+            run._event(
+                EVENT_REQUEUED, spec.job_id,
+                attempt=attempts[spec.job_id], error=outcome.error,
+            )
+            if outcome.charge and not outcome.requeue:
+                # A budget-driven requeue (fleet worker loss) honours
+                # the existing backoff machinery; forced requeues
+                # (pool-break isolation, eviction refunds) re-dispatch
+                # immediately, as the pool path always has.
+                delay = run.backoff_delay(spec, attempt)
+                if delay > 0:
+                    not_before[spec.job_id] = time.monotonic() + delay
+            pending.append(spec)
+        else:
+            run.resolve(
+                JobResult(
+                    job_id=spec.job_id,
+                    key=spec.key,
+                    status=STATUS_FAILED,
+                    error=outcome.error,
+                    attempts=attempt,
+                )
+            )
+        return
+    # OUTCOME_ERROR: an ordinary job failure, retried under budget.
+    if attempt <= spec.retries:
+        run._event(
+            EVENT_RETRY, spec.job_id, attempt=attempt, error=outcome.error
+        )
+        delay = run.backoff_delay(spec, attempt)
+        if delay > 0:
+            not_before[spec.job_id] = time.monotonic() + delay
+        pending.append(spec)
+    else:
+        run.resolve(
+            JobResult(
+                job_id=spec.job_id,
+                key=spec.key,
+                status=STATUS_FAILED,
+                error=outcome.error,
+                attempts=attempt,
+            )
+        )
 
 
-def _batch_round(
-    run: _Run,
-    jobs: int,
-    executor: Executor,
-    pending: list[JobSpec],
-    attempts: dict[str, int],
-) -> tuple[list[str], list[JobSpec]]:
-    """Run one pool until the work drains, breaks, or misses a deadline.
+def _run_dispatch(run: _Run, backend: ExecutionBackend) -> None:
+    """Drive one run over an asynchronous execution backend.
 
-    Returns ``(suspect_job_ids, remaining_pending)`` — suspects are the
-    jobs that were in flight when the pool broke (empty normally).
-
-    Deadlines: a future's clock starts at submission (the pool cannot
-    report when a worker picks a task up), so in a saturated pool the
-    budget covers queue wait plus execution.  A future the pool never
-    started is cancelled and requeued *uncharged* when its window
-    expires — only attempts that actually ran are charged.  Because
-    workers cannot be interrupted individually, an expired running
-    attempt evicts the whole pool (:func:`_abandon_pool`); innocent
-    co-flying jobs are requeued with the interrupted attempt refunded.
+    The loop: dispatch every runnable spec (capacity-capped), poll the
+    backend for finished attempts, apply retry/requeue policy, repeat.
+    The backend owns worker processes and loss detection; this loop
+    owns everything observable (events, budgets, results).
     """
-    in_flight: dict[Future, JobSpec] = {}
-    #: Absolute monotonic cutoffs for in-flight futures with deadlines.
-    deadlines: dict[Future, float] = {}
-    #: job id -> monotonic instant its backoff window closes.  Local to
-    #: the round: a pool replacement forgets open windows, which only
-    #: makes those retries sooner, never lost.
+    pending = list(run.order)
+    attempts: dict[str, int] = {}
+    tickets: dict[str, JobSpec] = {}
     not_before: dict[str, float] = {}
-
-    def submit_ready(pool: ProcessPoolExecutor) -> None:
-        nonlocal pending
-        if run.cancelled():
-            # Stop scheduling: everything not yet started resolves as
-            # skipped; in-flight futures finish and resolve normally.
-            for spec in pending:
-                if spec.job_id not in run.results:
-                    run.skip_cancelled(spec)
-            pending = []
-            return
-        inflight_keys = {spec.key for spec in in_flight.values()}
-        while True:
-            progress = True
-            while progress:
-                progress = False
-                now = time.monotonic()
-                still_pending: list[JobSpec] = []
+    order_index = {spec.job_id: i for i, spec in enumerate(run.order)}
+    try:
+        while pending or tickets:
+            if run.cancelled():
                 for spec in pending:
-                    if spec.job_id in run.results:
-                        # Already resolved in an earlier round (a pool break
-                        # can leave stale entries in the pending list).
-                        continue
-                    if not run.deps_resolved(spec):
-                        still_pending.append(spec)
-                        continue
-                    failed = run.failed_dep(spec)
-                    if failed is not None:
-                        run.skip(spec, failed)
-                        progress = True  # may unblock dependents' skip cascade
-                        continue
-                    if run.from_cache(spec):
-                        progress = True  # cached result may ready dependents
-                        continue
-                    if spec.key in inflight_keys:
-                        # A same-key job is already executing; hold this one
-                        # back so it resolves as "cached" like in serial mode.
-                        still_pending.append(spec)
-                        continue
-                    if not_before.get(spec.job_id, 0.0) > now:
-                        # Backoff window still open; retry later.
-                        still_pending.append(spec)
-                        continue
-                    not_before.pop(spec.job_id, None)
-                    attempts[spec.job_id] = attempts.get(spec.job_id, 0) + 1
-                    run._event(
-                        EVENT_STARTED, spec.job_id,
-                        attempt=attempts[spec.job_id],
-                    )
-                    if executor is execute:
-                        future = pool.submit(
-                            _pool_attempt, spec, attempts[spec.job_id]
-                        )
-                    else:
-                        future = pool.submit(
-                            _pool_custom_attempt, spec, executor,
-                            attempts[spec.job_id],
-                        )
-                    deadline = run.deadline_for(spec)
-                    if deadline is not None:
-                        deadlines[future] = now + deadline
-                    in_flight[future] = spec
-                    inflight_keys.add(spec.key)
-                pending = still_pending
-            if in_flight or not pending:
-                break
-            # Nothing executing, yet work remains: every runnable spec
-            # is inside a backoff window (dep-blocked specs need
-            # in-flight work to unblock, which there is none of).
-            # Sleep the shortest window out so the round cannot spin.
+                    if spec.job_id not in run.results:
+                        run.skip_cancelled(spec)
+                pending = []
+                for tid in list(tickets):
+                    if backend.cancel(tid):
+                        spec = tickets.pop(tid)
+                        if spec.job_id not in run.results:
+                            run.skip_cancelled(spec)
+                if not tickets:
+                    return
+            else:
+                _submit_ready(
+                    run, backend, pending, tickets, attempts, not_before
+                )
+            if not tickets:
+                if not pending:
+                    return
+                # Nothing executing, yet work remains: every runnable
+                # spec is inside a backoff window (dep-blocked specs
+                # need in-flight work to unblock, which there is none
+                # of).  Sleep the shortest window out.
+                waits = [
+                    not_before[spec.job_id] - time.monotonic()
+                    for spec in pending
+                    if spec.job_id in not_before
+                ]
+                if not waits:
+                    return
+                pause = max(0.0, min(waits))
+                if pause > 0:
+                    time.sleep(pause)
+                continue
+            timeout: float | None = None
+            if run.cancel is not None:
+                timeout = CANCEL_POLL_S
             waits = [
                 not_before[spec.job_id] - time.monotonic()
                 for spec in pending
                 if spec.job_id in not_before
             ]
-            if not waits:
-                break
-            pause = max(0.0, min(waits))
-            if pause > 0:
-                time.sleep(pause)
-        metrics().gauge("queue.depth", len(pending))
-        metrics().gauge_max("queue.active", len(in_flight))
-
-    try:
-        with _make_pool(jobs) as pool:
-            submit_ready(pool)
-            while in_flight:
-                timeout = None
-                if deadlines:
-                    timeout = max(
-                        0.0, min(deadlines.values()) - time.monotonic()
-                    )
-                done, _ = wait(
-                    list(in_flight), timeout=timeout,
-                    return_when=FIRST_COMPLETED,
+            if waits:
+                window = max(0.0, min(waits))
+                timeout = window if timeout is None else min(
+                    timeout, window
                 )
-                for future in done:
-                    spec = in_flight.pop(future)
-                    deadlines.pop(future, None)
-                    attempt = attempts[spec.job_id]
-                    try:
-                        value, duration, pid, telemetry = future.result()
-                    except BrokenProcessPool:
-                        in_flight[future] = spec  # back among survivors
-                        raise
-                    except Exception as error:  # noqa: BLE001
-                        error_text = f"{type(error).__name__}: {error}"
-                        if attempt <= spec.retries:
-                            run._event(
-                                EVENT_RETRY, spec.job_id, attempt=attempt,
-                                error=error_text,
-                            )
-                            delay = run.backoff_delay(spec, attempt)
-                            if delay > 0:
-                                not_before[spec.job_id] = (
-                                    time.monotonic() + delay
-                                )
-                            pending.append(spec)  # resubmit below
-                        else:
-                            run.resolve(
-                                JobResult(
-                                    job_id=spec.job_id,
-                                    key=spec.key,
-                                    status=STATUS_FAILED,
-                                    error=error_text,
-                                    attempts=attempt,
-                                )
-                            )
-                        continue
-                    run.resolve(
-                        JobResult(
-                            job_id=spec.job_id,
-                            key=spec.key,
-                            status=STATUS_OK,
-                            value=value,
-                            attempts=attempt,
-                            duration_s=duration,
-                            worker_pid=pid,
-                            telemetry=telemetry,
-                        )
-                    )
-                overdue = _expired_futures(in_flight, deadlines)
-                if overdue:
-                    requeue = _evict_overdue(
-                        run, pool, in_flight, deadlines, attempts, overdue
-                    )
-                    requeue.extend(pending)
-                    order_index = {
-                        spec.job_id: i for i, spec in enumerate(run.order)
-                    }
-                    requeue.sort(key=lambda spec: order_index[spec.job_id])
-                    return [], requeue
-                submit_ready(pool)
-    except BrokenProcessPool:
-        # Someone killed a worker; every in-flight job is a suspect and
-        # will be re-run in isolation.  The poisoned attempt stays in
-        # the tally, so a repeat offender fails fast in its solo round.
-        survivors = list(in_flight.values())
-        for spec in survivors:
-            run._event(
-                EVENT_RETRY, spec.job_id,
-                attempt=attempts.get(spec.job_id, 0),
-                error="worker process died (pool broken); isolating",
-            )
-        order_index = {spec.job_id: i for i, spec in enumerate(run.order)}
-        survivors.sort(key=lambda spec: order_index[spec.job_id])
-        return (
-            [spec.job_id for spec in survivors],
-            survivors + pending,
-        )
-    return [], pending
+            for tid in backend.poll(timeout):
+                spec = tickets.pop(tid)
+                _dispatch_outcome(
+                    run, spec, backend.collect(tid), attempts, pending,
+                    not_before,
+                )
+            # Requeues append out of order; restore the stable
+            # topological order the whole scheduler guarantees.
+            pending.sort(key=lambda spec: order_index[spec.job_id])
+    finally:
+        backend.shutdown()
 
 
 def parallel_map(
@@ -1064,9 +837,11 @@ def parallel_map(
     must be picklable; results come back in input order so parallel
     evaluation is indistinguishable from serial.
     """
+    from .executors.pool import make_pool
+
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or len(items) <= 1:
         return [func(item) for item in items]
-    with _make_pool(min(jobs, len(items))) as pool:
+    with make_pool(min(jobs, len(items))) as pool:
         return list(pool.map(func, items))

@@ -802,6 +802,7 @@ def run_sharded_sweep(
     run_id: str = "",
     bus: Any = None,
     cancel: Any = None,
+    executor: Any = None,
 ):
     """Build and execute a sharded sweep; return its ``CampaignResult``.
 
@@ -811,7 +812,9 @@ def run_sharded_sweep(
     numpy with :func:`collect_arrays`).  The campaign's cache preloads
     only the campaign's own content keys, so re-running against a
     store already holding millions of point records never loads them
-    into memory.
+    into memory.  ``executor`` picks the execution backend
+    (``"serial"``/``"pool"``/``"fleet"`` or a backend instance),
+    forwarded through :func:`~repro.runner.campaign.run_campaign`.
     """
     from .campaign import run_campaign
 
@@ -841,6 +844,7 @@ def run_sharded_sweep(
         run_id=run_id,
         bus=bus,
         cancel=cancel,
+        executor=executor,
     )
 
 

@@ -242,6 +242,10 @@ class CampaignServer:
         Store backend override, as everywhere else.
     jobs:
         Default worker processes per run (a spec's ``"jobs"`` wins).
+    executor:
+        Default execution backend kind per run (``"serial"``,
+        ``"pool"``, or ``"fleet"``; a spec's ``"executor"`` wins).
+        ``None`` resolves from ``REPRO_EXECUTOR`` then the jobs count.
     runs_dir:
         Directory of per-run event sidecars
         (``<runs_dir>/<run_id>.jsonl``); default ``store_path +
@@ -267,6 +271,7 @@ class CampaignServer:
         port: int = 0,
         store_backend: str | None = None,
         jobs: int = 1,
+        executor: str | None = None,
         runs_dir: str | None = None,
         trace_dir: str | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
@@ -277,6 +282,7 @@ class CampaignServer:
         self.host = host
         self.port = port
         self.jobs = jobs
+        self.executor = executor
         self.runs_dir = runs_dir or self.store_path + ".events"
         self.trace_dir = trace_dir
         self.drain_grace_s = drain_grace_s
@@ -606,6 +612,7 @@ class CampaignServer:
                     strict=False,
                     bus=bus,
                     cancel=run.cancel.is_set,
+                    executor=run.spec.get("executor", self.executor),
                 )
             run.counts = result.status_counts()
             if run.cancel.is_set():

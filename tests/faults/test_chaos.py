@@ -29,6 +29,7 @@ from repro.runner import (
     run_jobs,
     sharded_sweep_campaign,
 )
+from repro.runner.executors.fleet import TERMINAL_LEASE_STATES
 from repro.runner.integrity import damage_total
 from repro.runner.jobs import JobSpec
 
@@ -111,6 +112,107 @@ class TestChaosProperty:
         assert damage_total(stats) >= 0
 
 
+#: Fault shapes a fleet is expected to survive (or report loudly):
+#: hard worker crashes, dropped heartbeats/lease writes, hung beats,
+#: and dispatch failures in the supervisor itself.
+_fleet_rules = st.lists(
+    st.one_of(
+        st.fixed_dictionaries(
+            {
+                "site": st.just("queue.attempt"),
+                "action": st.just("crash"),
+                "job_id": st.sampled_from(
+                    ["chaos/shard*#1", "chaos/merge#1"]
+                ),
+            }
+        ),
+        st.fixed_dictionaries(
+            {
+                "site": st.sampled_from(
+                    ["worker.heartbeat", "lease.renew"]
+                ),
+                "action": st.just("drop"),
+                "times": st.integers(min_value=1, max_value=50),
+            }
+        ),
+        st.fixed_dictionaries(
+            {
+                "site": st.just("worker.heartbeat"),
+                "action": st.just("hang"),
+                "seconds": st.floats(min_value=0.05, max_value=0.4),
+                "times": st.integers(min_value=1, max_value=2),
+            }
+        ),
+        st.fixed_dictionaries(
+            {
+                "site": st.just("executor.dispatch"),
+                "action": st.just("raise"),
+                "nth": st.integers(min_value=1, max_value=3),
+            }
+        ),
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+def _terminal_lease_states(lease_path):
+    store = ResultStore(lease_path, backend="jsonl")
+    try:
+        view = store.latest_by_key("ok")
+    finally:
+        store.close()
+    return {
+        key: (record.get("value") or {}).get("state")
+        for key, record in view.items()
+    }
+
+
+class TestFleetChaosProperty:
+    @given(rules=_fleet_rules)
+    @settings(max_examples=5, deadline=None)
+    def test_fleet_converges_bit_exact_or_fails_loudly(
+        self, rules, baseline, tmp_path_factory
+    ):
+        """The pool chaos contract, re-proven over the fleet backend.
+
+        Random worker crash/heartbeat-drop/hang/dispatch-failure plans
+        over a real sharded sweep must either converge bit-exact
+        against the undisturbed baseline or fail loudly — and in both
+        cases every lease in the transcript must end terminal and the
+        main store must scan clean.
+        """
+        reset()
+        store_path = str(tmp_path_factory.mktemp("fchaos") / "s.jsonl")
+        campaign = _sweep(store_path)
+        plan = FaultPlan.from_json({"rules": rules})
+        try:
+            result = run_campaign(
+                campaign, store_path=store_path, jobs=2,
+                executor="fleet", faults=plan,
+            )
+        except (InjectedFault, ReproError):
+            result = None  # loud is allowed; silent wrongness is not
+        finally:
+            reset()
+        if result is not None:
+            if result.ok:
+                assert collect_points(store_path, campaign) == baseline
+            else:
+                assert result.failures
+                for job_id in result.failures:
+                    assert result.results[job_id].error
+        lease_path = store_path + ".fleet/leases.jsonl"
+        for key, state in _terminal_lease_states(lease_path).items():
+            assert state in TERMINAL_LEASE_STATES, (key, state)
+        store = ResultStore(store_path)
+        try:
+            stats = store.verify()
+        finally:
+            store.close()
+        assert damage_total(stats) >= 0
+
+
 class TestCannedScenarios:
     def test_torn_write_quarantined_then_retried(self, tmp_path):
         store_path = str(tmp_path / "s.jsonl")
@@ -158,3 +260,44 @@ class TestCannedScenarios:
         assert results["c1"].status == "ok" and results["c1"].value == 3
         assert results["c1"].attempts == 2
         assert results["c2"].status == "ok" and results["c2"].value == 7
+
+    def test_fleet_worker_kill_converges_with_clean_leases(
+        self, tmp_path, baseline
+    ):
+        """A shard worker dies hard mid-sweep; the fleet recovers.
+
+        The crashed attempt emits lost/requeued, the retry runs on a
+        fresh worker, the merged points stay bit-exact, every lease
+        ends terminal, and the store verifies clean — a kill -9'd
+        worker never loses or duplicates a result.
+        """
+        store_path = str(tmp_path / "s.jsonl")
+        campaign = _sweep(store_path)
+        plan = {
+            "rules": [
+                {"site": "queue.attempt", "action": "crash",
+                 "job_id": "chaos/shard0000#1"},
+            ]
+        }
+        events = []
+        result = run_campaign(
+            campaign, store_path=store_path, jobs=2, executor="fleet",
+            faults=plan, observers=[events.append],
+        )
+        assert result.ok
+        assert result.results["chaos/shard0000"].attempts == 2
+        assert collect_points(store_path, campaign) == baseline
+        kinds = [
+            e.kind for e in events if e.job_id == "chaos/shard0000"
+        ]
+        assert "lost" in kinds
+        assert "requeued" in kinds
+        lease_path = store_path + ".fleet/leases.jsonl"
+        for key, state in _terminal_lease_states(lease_path).items():
+            assert state in TERMINAL_LEASE_STATES, (key, state)
+        store = ResultStore(store_path)
+        try:
+            stats = store.verify()
+        finally:
+            store.close()
+        assert damage_total(stats) == 0
