@@ -97,7 +97,7 @@ from .runner import (
 )
 from . import api
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Top-level names that moved behind the :mod:`repro.api` facade.
 #: Importing them from here still works but warns — the facade names

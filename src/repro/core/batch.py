@@ -69,10 +69,14 @@ def warm_reference_models() -> None:
 
     The campaign queue installs this as the process-pool initializer so
     every worker pays model construction once, before its first job —
-    shard jobs then start computing immediately.
+    shard jobs then start computing immediately.  Kernel warm-up rides
+    along: on the native tier that front-loads JIT compilation too.
     """
+    from ..kernels import warm_kernels
+
     _reference_stack(True)
     _reference_energy()
+    warm_kernels()
 
 
 def evaluate_rate_grid(

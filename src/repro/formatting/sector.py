@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError, InfeasibleDesignError
+from ..kernels import batch_chunk_rows, dispatch
 from .ecc import ECCScheme, FractionalECC, NoECC
 
 
@@ -211,21 +212,50 @@ class SectorLayout:
 
         Evaluates the same candidate set as the scalar method — the cap
         itself plus the saw-tooth peaks of the 64 stripe columns below
-        it — for every grid point at once.  The grid is processed in
-        bounded row chunks so the (chunk x 65) candidate matrix keeps
-        peak memory O(chunk) regardless of the grid size.
+        it — for every grid point at once.  The built-in ECC schemes
+        (fractional and none) dispatch to the ``sawtooth_best_user_bits``
+        kernel; arbitrary schemes keep the chunked in-class path, whose
+        chunk size now adapts to the candidate-matrix row width instead
+        of the old fixed 16384 rows.
         """
         caps = np.asarray(max_user_bits, dtype=np.int64)
         flat = caps.ravel()
         if flat.size and int(flat.min()) <= 0:
             raise ConfigurationError("max_user_bits must be > 0")
+        fractional = self._fractional_ecc_terms()
+        if fractional is not None:
+            num, den = fractional
+            out = dispatch(
+                "sawtooth_best_user_bits",
+                flat,
+                self.stripe_width,
+                self.sync_bits_per_subsector,
+                num,
+                den,
+            )
+            return np.asarray(out, dtype=np.int64).reshape(caps.shape)
         out = np.empty(flat.shape, dtype=np.int64)
-        chunk = 16_384
+        chunk = batch_chunk_rows(row_width=66)
         for start in range(0, flat.size, chunk):
             out[start : start + chunk] = self._best_user_bits_chunk(
                 flat[start : start + chunk]
             )
         return out.reshape(caps.shape)
+
+    def _fractional_ecc_terms(self) -> tuple[int, int] | None:
+        """``(num, den)`` when the ECC scheme is kernel-eligible.
+
+        The saw-tooth kernel models ECC as the exact integer ceiling
+        ``ceil(Su * num / den)``; that covers the paper's fractional
+        scheme and the no-ECC baseline (``0/1``).  Anything else —
+        including subclasses that might override the sizing — returns
+        ``None`` and stays on the in-class batch path.
+        """
+        if type(self.ecc) is FractionalECC:
+            return self.ecc.numerator, self.ecc.denominator
+        if type(self.ecc) is NoECC:
+            return 0, 1
+        return None
 
     def _best_user_bits_chunk(self, caps: np.ndarray) -> np.ndarray:
         """One bounded chunk of :meth:`best_user_bits_at_most_batch`."""

@@ -63,6 +63,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..faults import fault_site
+from ..kernels import dispatch
 from ..telemetry import metrics
 
 #: Environment variable naming the default point codec.
@@ -118,31 +119,29 @@ def check_codec(name: str) -> str:
 
 
 def _pack_ndarray(column: np.ndarray) -> tuple[dict[str, Any], bytes] | None:
-    """Pack a typed numpy column without a per-value type scan."""
+    """Pack a typed numpy column without a per-value type scan.
+
+    The dtype decision stays here; the actual byte blit goes through
+    the ``codec_pack`` kernel.
+    """
     kind = column.dtype.kind
     if kind == "f":
-        return (
-            {"dtype": _DTYPE_F8},
-            np.ascontiguousarray(column, dtype="<f8").tobytes(),
-        )
+        return {"dtype": _DTYPE_F8}, dispatch("codec_pack", column, _DTYPE_F8)
     if kind in "iu" and column.dtype.itemsize <= 8:
         if kind == "u" and column.dtype.itemsize == 8:
             return None  # uint64 may exceed int64; let the scan decide
-        return (
-            {"dtype": _DTYPE_I8},
-            np.ascontiguousarray(column, dtype="<i8").tobytes(),
-        )
+        return {"dtype": _DTYPE_I8}, dispatch("codec_pack", column, _DTYPE_I8)
     if kind == "b":
         return (
             {"dtype": _DTYPE_U1, "categories": [False, True]},
-            np.ascontiguousarray(column, dtype="|u1").tobytes(),
+            dispatch("codec_pack", column, _DTYPE_U1),
         )
     if kind == "U":
         categories, codes = np.unique(column, return_inverse=True)
         if categories.size <= 255:
             return (
                 {"dtype": _DTYPE_U1, "categories": categories.tolist()},
-                codes.astype("|u1").tobytes(),
+                dispatch("codec_pack", codes, _DTYPE_U1),
             )
     return None
 
@@ -164,14 +163,11 @@ def _pack_values(values: Sequence[Any]) -> tuple[dict[str, Any], bytes]:
     else:
         values = list(values)
     if values and all(type(v) is float for v in values):
-        return (
-            {"dtype": _DTYPE_F8},
-            np.asarray(values, dtype="<f8").tobytes(),
-        )
+        return {"dtype": _DTYPE_F8}, dispatch("codec_pack", values, _DTYPE_F8)
     if values and all(type(v) is bool for v in values):
         return (
             {"dtype": _DTYPE_U1, "categories": [False, True]},
-            np.asarray(values, dtype="|u1").tobytes(),
+            dispatch("codec_pack", values, _DTYPE_U1),
         )
     if (
         values
@@ -179,17 +175,14 @@ def _pack_values(values: Sequence[Any]) -> tuple[dict[str, Any], bytes]:
         and _I64_MIN <= min(values)
         and max(values) <= _I64_MAX
     ):
-        return (
-            {"dtype": _DTYPE_I8},
-            np.asarray(values, dtype="<i8").tobytes(),
-        )
+        return {"dtype": _DTYPE_I8}, dispatch("codec_pack", values, _DTYPE_I8)
     if values and all(type(v) is str for v in values):
         seen: dict[str, int] = {}
         codes = [seen.setdefault(v, len(seen)) for v in values]
         if len(seen) <= 255:
             return (
                 {"dtype": _DTYPE_U1, "categories": list(seen)},
-                np.asarray(codes, dtype="|u1").tobytes(),
+                dispatch("codec_pack", codes, _DTYPE_U1),
             )
     # Inline fallback: store exactly what the JSON-dict path would
     # have stored (json_safe is what the legacy payload went through).
@@ -211,7 +204,7 @@ def _unpack_array(
             "columnar payload blob is truncated "
             f"(need {offset + nbytes} bytes, have {len(blob)})"
         )
-    raw = np.frombuffer(blob, dtype=dtype, count=count, offset=offset)
+    raw = dispatch("codec_unpack", blob, dtype, count, offset)
     if dtype == _DTYPE_U1:
         categories = descriptor.get("categories")
         if categories == [False, True]:

@@ -50,6 +50,7 @@ from typing import IO, Any
 
 from ...errors import ConfigurationError
 from ...faults import fault_site
+from ...kernels import CACHE_DIR_ENV_VAR as KERNEL_CACHE_ENV_VAR
 from ...telemetry import metrics
 from ..jobs import JobSpec, execute
 from ..store import ResultStore
@@ -373,6 +374,12 @@ class FleetExecutor(ExecutionBackend):
         with open(task_path, "wb") as handle:
             pickle.dump(task, handle)
         env = os.environ.copy()
+        # Pin the JIT kernel cache next to the fleet state (unless the
+        # caller pinned one already): every worker subprocess shares one
+        # on-disk cache, so only the first ever pays native compilation.
+        env.setdefault(
+            KERNEL_CACHE_ENV_VAR, os.path.join(self._dir, "kernel-cache")
+        )
         # Workers are fresh interpreters (no fork): ship the parent's
         # import roots so repro itself, test helper modules, and any
         # pickled-by-reference executor all resolve in the child.

@@ -127,6 +127,15 @@ def worker_main(task_path: str) -> int:
     marks = telemetry_marks()
     start = time.perf_counter()
     try:
+        # Warm inside the telemetry window so the JIT cache counters
+        # (kernel.cache.hit/miss) ride back on this attempt's delta —
+        # that is how the supervisor can see a worker recompiled.
+        from ...kernels import warm_kernels
+
+        warm_kernels()
+    except Exception:  # noqa: BLE001 - warm-up must never fail a job
+        pass
+    try:
         value, duration, pid = run_one_attempt(spec, executor_fn, attempt)
     except Exception as error:  # noqa: BLE001 - jobs may raise anything
         payload: dict[str, Any] = {

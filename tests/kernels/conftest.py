@@ -1,0 +1,20 @@
+"""Kernel test fixtures: isolate tier resolution and warm state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import reset_kernels, reset_warm
+from repro.telemetry import reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def fresh_kernel_state():
+    """Every test re-resolves the tier and starts with empty metrics."""
+    reset_kernels()
+    reset_warm()
+    reset_telemetry()
+    yield
+    reset_kernels()
+    reset_warm()
+    reset_telemetry()

@@ -354,6 +354,31 @@ class TestSweepCommand:
         assert "--min > 0" in capsys.readouterr().err
 
 
+class TestKernelsCli:
+    def test_info_reports_tier_and_registry(self, capsys):
+        assert main(["kernels", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "requested tier" in out
+        assert "active tier" in out
+        assert "native tier" in out
+        assert "energy_wall_bisect" in out
+        assert "sawtooth_best_user_bits" in out
+        assert "codec_pack" in out
+
+    def test_info_respects_forced_tier(self, capsys, monkeypatch):
+        from repro.kernels import KERNELS_ENV_VAR, reset_kernels
+
+        monkeypatch.setenv(KERNELS_ENV_VAR, "scalar")
+        reset_kernels()
+        try:
+            assert main(["kernels", "info"]) == 0
+            out = capsys.readouterr().out
+            assert "active tier    : scalar" in out
+        finally:
+            monkeypatch.delenv(KERNELS_ENV_VAR)
+            reset_kernels()
+
+
 class TestTelemetryCli:
     TARGET = "repro.core.batch:break_even_curve"
 
